@@ -1,0 +1,183 @@
+package rollingjoin
+
+// This file maps every experiment of EXPERIMENTS.md to a testing.B target,
+// one benchmark per figure/claim of the paper. The experiments themselves
+// live in internal/bench and self-verify against recomputation oracles;
+// each benchmark iteration runs one full experiment at quick scale. Run
+// cmd/rollbench for the full-scale tables.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+var quick = bench.Scale{Quick: true}
+
+func runExperiment(b *testing.B, fn func() (*metrics.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn()
+		if err != nil {
+			b.Fatalf("%v\n%s", err, tbl)
+		}
+	}
+}
+
+// BenchmarkF4ComputeDelta reproduces Figure 4 / Equation 3: the
+// asynchronous ComputeDelta query structure for a 2-way join.
+func BenchmarkF4ComputeDelta(b *testing.B) {
+	runExperiment(b, bench.F4)
+}
+
+// BenchmarkF7RegionCoverage reproduces Figure 7: the four query regions
+// net to the L-shaped view delta region.
+func BenchmarkF7RegionCoverage(b *testing.B) {
+	runExperiment(b, bench.F7)
+}
+
+// BenchmarkF8Propagate reproduces Figure 8: the Propagate process's
+// iteration schedule.
+func BenchmarkF8Propagate(b *testing.B) {
+	runExperiment(b, bench.F8)
+}
+
+// BenchmarkF9Rolling reproduces Figure 9: rolling propagation with
+// per-relation intervals.
+func BenchmarkF9Rolling(b *testing.B) {
+	runExperiment(b, bench.F9)
+}
+
+// BenchmarkE1IncrementalVsFull measures incremental refresh against full
+// recomputation across delta sizes.
+func BenchmarkE1IncrementalVsFull(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) { return bench.E1(quick) })
+}
+
+// BenchmarkE2IntervalContention measures writer latency while a backlog
+// propagates at different interval sizes.
+func BenchmarkE2IntervalContention(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) { return bench.E2(quick) })
+}
+
+// BenchmarkE3AsyncDeferral verifies and times fully deferred propagation.
+func BenchmarkE3AsyncDeferral(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) { return bench.E3(quick) })
+}
+
+// BenchmarkE4PointInTime measures point-in-time refresh cost vs window
+// width.
+func BenchmarkE4PointInTime(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) { return bench.E4(quick) })
+}
+
+// BenchmarkE5Eq1VsEq2 compares the query budgets of the synchronous
+// baselines and the asynchronous algorithm.
+func BenchmarkE5Eq1VsEq2(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) { return bench.E5(quick) })
+}
+
+// BenchmarkE6StarSchema compares single-interval and per-relation-interval
+// propagation on the skewed star-schema workload.
+func BenchmarkE6StarSchema(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) { return bench.E6(quick) })
+}
+
+// BenchmarkE7CaptureModes compares log-based and trigger-based delta
+// capture.
+func BenchmarkE7CaptureModes(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) { return bench.E7(quick) })
+}
+
+// BenchmarkA1IndexAblation compares index-nested-loop and full-scan
+// propagation queries.
+func BenchmarkA1IndexAblation(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) { return bench.A1(quick) })
+}
+
+// BenchmarkA2AdaptiveIntervals compares fixed and adaptive interval
+// policies on the star schema.
+func BenchmarkA2AdaptiveIntervals(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) { return bench.A2(quick) })
+}
+
+// --- micro-benchmarks on the core machinery ---
+
+// BenchmarkPropagationStep measures one rolling forward step (query
+// execution, delta append, commit) on a warm 2-way join.
+func BenchmarkPropagationStep(b *testing.B) {
+	env, err := bench.NewEnv(workload.Chain(2, 1000, 100), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	d := workload.NewDriver(env.DB, env.W, 2)
+	rp := core.NewRollingPropagator(env.Exec, 0, core.FixedInterval(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		last, err := d.Run(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.Cap.WaitProgress(last); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := rp.Step(); err != nil && err != core.ErrNoProgress {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyWindow measures rolling a materialized view forward by one
+// commit.
+func BenchmarkApplyWindow(b *testing.B) {
+	env, err := bench.NewEnv(workload.Chain(2, 500, 50), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	d := workload.NewDriver(env.DB, env.W, 4)
+	last, err := d.Run(b.N + 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rp := core.NewRollingPropagator(env.Exec, 0, core.FixedInterval(64))
+	if err := bench.DrainRolling(rp, last); err != nil {
+		b.Fatal(err)
+	}
+	schema, err := env.W.View.Schema(env.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mv := core.NewMaterializedView("bench", schema, 0)
+	applier := core.NewApplier(mv, env.Dest, rp.HWM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := applier.RollTo(CSN(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriterTxn measures a single-row writer transaction with log
+// capture active.
+func BenchmarkWriterTxn(b *testing.B) {
+	env, err := bench.NewEnv(workload.Chain(2, 100, 20), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	d := workload.NewDriver(env.DB, env.W, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

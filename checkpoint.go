@@ -1,0 +1,116 @@
+package rollingjoin
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/capture"
+)
+
+// Checkpoint writes a snapshot of the committed database state (base
+// tables, base delta tables, and the commit counter) to path. A database
+// restored from the snapshot replays only the log suffix written after it,
+// instead of the whole log.
+//
+// The snapshot is taken quiescently: every view's propagation is suspended,
+// capture is allowed to catch up, and the snapshot is written while the
+// caller refrains from committing writes. View propagation restarts before
+// Checkpoint returns. Concurrent writers during the snapshot itself are
+// the caller's responsibility to avoid.
+func (db *DB) Checkpoint(path string) error {
+	if db.logCap == nil {
+		return errors.New("rollingjoin: checkpointing requires log capture mode")
+	}
+	db.ensureCapture()
+
+	// Suspend propagation for a consistent delta snapshot.
+	db.mu.Lock()
+	views := make([]*View, 0, len(db.views))
+	for _, v := range db.views {
+		views = append(views, v)
+	}
+	db.mu.Unlock()
+	var suspended []*View
+	for _, v := range views {
+		v.mu.Lock()
+		running := v.running
+		v.mu.Unlock()
+		if running {
+			if err := v.StopPropagation(); err != nil {
+				return err
+			}
+			suspended = append(suspended, v)
+		}
+	}
+	defer func() {
+		for _, v := range suspended {
+			v.StartPropagation()
+		}
+	}()
+
+	// Base deltas must reflect every commit the snapshot will include.
+	last := db.eng.LastCSN()
+	if err := db.logCap.WaitProgress(last); err != nil {
+		return err
+	}
+	offset := db.eng.Log().Size()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.eng.WriteSnapshot(f, offset); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Restore loads a snapshot written by Checkpoint into a freshly opened
+// database whose catalog (tables, indexes) has been re-created, then
+// replays the log suffix past the snapshot offset and points the capture
+// process there. Call it instead of Recover when a snapshot exists:
+//
+//	db, _ := rollingjoin.Open(rollingjoin.Options{WALPath: wal})
+//	createCatalog(db)
+//	db.Restore("snap.ckpt")
+//	// define views, resume work
+//
+// Wall-clock lookup (RefreshToTime, CSNAt) only covers commits captured
+// after the restore; point-in-time refresh by CSN is unaffected.
+func (db *DB) Restore(path string) (CSN, error) {
+	if db.logCap == nil {
+		return 0, errors.New("rollingjoin: restore requires log capture mode")
+	}
+	if db.logCap.Started() {
+		return 0, errors.New("rollingjoin: restore must run before any view definition or Source access")
+	}
+	// Claim the once so ensureCapture never starts the stale reader; the
+	// replacement capture below is started explicitly.
+	db.captureOnce.Do(func() {})
+
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	offset, err := db.eng.ReadSnapshot(f)
+	if err != nil {
+		return 0, fmt.Errorf("rollingjoin: restore: %w", err)
+	}
+	// Redo the log suffix into the base tables.
+	if _, err := db.eng.RecoverFrom(offset); err != nil {
+		return 0, err
+	}
+	// Point capture past the snapshot and start it.
+	db.logCap = capture.NewLogCaptureAt(db.eng, offset, db.eng.LastCSN())
+	db.src = db.logCap
+	db.logCap.Start()
+	return db.eng.LastCSN(), nil
+}

@@ -1,0 +1,158 @@
+package rollingjoin
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckpointRestoreEndToEnd checkpoints a live database, continues
+// writing, "crashes", and restores from snapshot + log suffix.
+func TestCheckpointRestoreEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "db.wal")
+	ckptPath := filepath.Join(dir, "snap.ckpt")
+
+	catalog := func(db *DB) {
+		if err := db.CreateTable("orders", Col("id", TypeInt), Col("item", TypeString)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateTable("items", Col("item", TypeString), Col("price", TypeInt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db, err := Open(Options{WALPath: walPath, SyncOnCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog(db)
+	db.Update(func(tx *Tx) error {
+		tx.Insert("items", Str("ball"), Int(5))
+		tx.Insert("items", Str("bat"), Int(20))
+		return nil
+	})
+	view, err := db.DefineView(orderPricesSpec(), Maintain{Interval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		db.Update(func(tx *Tx) error { return tx.Insert("orders", Int(int64(i)), Str("ball")) })
+	}
+	if err := db.Checkpoint(ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	// Propagation restarted after the checkpoint: the view still works.
+	last, _ := db.Update(func(tx *Tx) error { return tx.Insert("orders", Int(100), Str("bat")) })
+	view.WaitForHWM(last)
+	if _, err := view.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if view.Cardinality() != 9 {
+		t.Fatalf("pre-crash view rows: %d", view.Cardinality())
+	}
+	// More post-checkpoint writes that only the log suffix holds.
+	db.Update(func(tx *Tx) error { return tx.Insert("orders", Int(101), Str("ball")) })
+	db.Close()
+
+	// Restore: snapshot + suffix replay.
+	db2, err := Open(Options{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	catalog(db2)
+	restored, err := db2.Restore(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored == 0 {
+		t.Fatal("restored csn")
+	}
+	var rows []Tuple
+	db2.Update(func(tx *Tx) error {
+		var err error
+		rows, err = tx.Scan("orders")
+		return err
+	})
+	if len(rows) != 10 { // 8 + 2 post-checkpoint
+		t.Fatalf("orders after restore: %d", len(rows))
+	}
+	// Base deltas cover the whole history (snapshot + captured suffix), so
+	// even a from-zero union view is correct after restore.
+	view2, err := db2.DefineView(orderPricesSpec(), Maintain{Interval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view2.Cardinality() != 10 {
+		t.Fatalf("view after restore: %d", view2.Cardinality())
+	}
+	final, _ := db2.Update(func(tx *Tx) error { return tx.Insert("orders", Int(102), Str("bat")) })
+	view2.WaitForHWM(final)
+	if _, err := view2.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if view2.Cardinality() != 11 {
+		t.Fatalf("view after post-restore update: %d", view2.Cardinality())
+	}
+	// Base delta table holds snapshot rows plus the captured suffix.
+	d, _ := db2.Engine().Delta("orders")
+	if d.Len() != 11 {
+		t.Fatalf("orders delta rows after restore: %d", d.Len())
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	db := newTestDB(t, Options{})
+	if _, err := db.Restore(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Fatal("missing snapshot should fail")
+	}
+	// Corrupt snapshot.
+	bad := filepath.Join(dir, "bad.ckpt")
+	os.WriteFile(bad, []byte("garbage"), 0o644)
+	if _, err := db.Restore(bad); err == nil {
+		t.Fatal("corrupt snapshot should fail")
+	}
+	// After capture has started (view defined), restore is refused.
+	db2 := newTestDB(t, Options{})
+	if _, err := db2.DefineView(orderPricesSpec(), Maintain{Manual: true}); err != nil {
+		t.Fatal(err)
+	}
+	ck := filepath.Join(dir, "ok.ckpt")
+	if err := db2.Checkpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Restore(ck); err == nil {
+		t.Fatal("restore after capture start should fail")
+	}
+	// Trigger mode: checkpoint/restore unsupported.
+	db3 := newTestDB(t, Options{Capture: CaptureTrigger})
+	if err := db3.Checkpoint(ck); err == nil {
+		t.Fatal("trigger-mode checkpoint should fail")
+	}
+	if _, err := db3.Restore(ck); err == nil {
+		t.Fatal("trigger-mode restore should fail")
+	}
+}
+
+func TestCheckpointTamperDetected(t *testing.T) {
+	dir := t.TempDir()
+	db := newTestDB(t, Options{})
+	db.Update(func(tx *Tx) error { return tx.Insert("items", Str("ball"), Int(5)) })
+	ck := filepath.Join(dir, "snap.ckpt")
+	if err := db.Checkpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	os.WriteFile(ck, raw, 0o644)
+
+	db2 := newTestDB(t, Options{})
+	if _, err := db2.Restore(ck); err == nil {
+		t.Fatal("tampered snapshot should fail the checksum")
+	}
+}

@@ -1,0 +1,93 @@
+// Command rollbench runs the experiment suite of EXPERIMENTS.md and prints
+// the paper-style result tables.
+//
+// Usage:
+//
+//	rollbench [-quick] [-run F4,E1,...]
+//
+// Without -run, every experiment executes. Each experiment self-verifies
+// (results are checked against recomputation oracles) and the command exits
+// non-zero on any failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(bench.Scale) (fmt.Stringer, error)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+	scale := bench.Scale{Quick: *quick}
+
+	experiments := []experiment{
+		{"F4", "ComputeDelta query structure (Figure 4 / Equation 3)",
+			func(bench.Scale) (fmt.Stringer, error) { return bench.F4() }},
+		{"F7", "region coverage of ComputeDelta (Figure 7)",
+			func(bench.Scale) (fmt.Stringer, error) { return bench.F7() }},
+		{"F8", "Propagate iteration schedule (Figure 8)",
+			func(bench.Scale) (fmt.Stringer, error) { return bench.F8() }},
+		{"F9", "RollingPropagate schedule with per-relation intervals (Figure 9)",
+			func(bench.Scale) (fmt.Stringer, error) { return bench.F9() }},
+		{"E1", "incremental vs full refresh",
+			func(s bench.Scale) (fmt.Stringer, error) { return bench.E1(s) }},
+		{"E2", "writer contention vs propagation interval",
+			func(s bench.Scale) (fmt.Stringer, error) { return bench.E2(s) }},
+		{"E3", "asynchronous deferral of propagation work",
+			func(s bench.Scale) (fmt.Stringer, error) { return bench.E3(s) }},
+		{"E4", "point-in-time refresh cost",
+			func(s bench.Scale) (fmt.Stringer, error) { return bench.E4(s) }},
+		{"E5", "query budget: Eq.1 vs Eq.2 vs asynchronous",
+			func(s bench.Scale) (fmt.Stringer, error) { return bench.E5(s) }},
+		{"E6", "star schema: per-relation intervals",
+			func(s bench.Scale) (fmt.Stringer, error) { return bench.E6(s) }},
+		{"E7", "capture architectures: log vs trigger",
+			func(s bench.Scale) (fmt.Stringer, error) { return bench.E7(s) }},
+		{"A1", "ablation: index nested-loop vs full-scan propagation",
+			func(s bench.Scale) (fmt.Stringer, error) { return bench.A1(s) }},
+		{"A2", "ablation: fixed vs adaptive propagation intervals",
+			func(s bench.Scale) (fmt.Stringer, error) { return bench.A2(s) }},
+	}
+
+	selected := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failed := 0
+	for _, e := range experiments {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.id, e.desc)
+		start := time.Now()
+		tbl, err := e.run(scale)
+		if tbl != nil {
+			fmt.Println(tbl.String())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.id, err)
+			failed++
+		} else {
+			fmt.Printf("(%s verified in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

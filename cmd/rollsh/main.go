@@ -1,0 +1,113 @@
+// Command rollsh is an interactive SQL shell over the rollingjoin library:
+// create tables and materialized views, stream updates, and watch
+// asynchronous incremental maintenance happen.
+//
+//	$ go run ./cmd/rollsh
+//	rollsh> CREATE TABLE orders (id INT, item TEXT);
+//	rollsh> CREATE TABLE items (item TEXT, price INT);
+//	rollsh> INSERT INTO items VALUES ('ball', 5);
+//	rollsh> CREATE MATERIALIZED VIEW op AS
+//	          SELECT o.id, i.price FROM orders o JOIN items i ON o.item = i.item
+//	          WITH INTERVAL 8;
+//	rollsh> INSERT INTO orders VALUES (1, 'ball');
+//	rollsh> REFRESH VIEW op;
+//	rollsh> SELECT * FROM op;
+//
+// Statements end with ';'. A script can be piped on stdin or passed with
+// -f. Use -wal to persist the write-ahead log to a file.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	rollingjoin "repro"
+	"repro/internal/sql"
+)
+
+func main() {
+	walPath := flag.String("wal", "", "back the write-ahead log with this file")
+	file := flag.String("f", "", "execute statements from this file and exit")
+	flag.Parse()
+
+	db, err := rollingjoin.Open(rollingjoin.Options{WALPath: *walPath})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rollsh:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	session := sql.NewSession(db)
+
+	if *file != "" {
+		script, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rollsh:", err)
+			os.Exit(1)
+		}
+		if !runScript(session, string(script)) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("rollingjoin SQL shell — statements end with ';', ctrl-D to exit")
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if !interactive {
+			return
+		}
+		if buf.Len() == 0 {
+			fmt.Print("rollsh> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			runScript(session, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+	if buf.Len() > 0 && strings.TrimSpace(buf.String()) != "" {
+		runScript(session, buf.String())
+	}
+}
+
+// runScript executes a script and prints results; it returns false if any
+// statement failed.
+func runScript(s *sql.Session, script string) bool {
+	if strings.TrimSpace(script) == "" {
+		return true
+	}
+	results, err := s.Exec(script)
+	for _, r := range results {
+		fmt.Println(r.String())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return false
+	}
+	return true
+}
+
+// isTerminal reports whether stdin looks interactive.
+func isTerminal() bool {
+	st, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return st.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,98 @@
+// Aggregates: maintain GROUP BY revenue totals over a join view using the
+// summary-delta method — the paper's aggregation extension. The summary
+// supports the same point-in-time refresh as the view it summarizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rollingjoin "repro"
+)
+
+func main() {
+	db, err := rollingjoin.Open(rollingjoin.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.CreateTable("orders",
+		rollingjoin.Col("id", rollingjoin.TypeInt),
+		rollingjoin.Col("item", rollingjoin.TypeString),
+		rollingjoin.Col("qty", rollingjoin.TypeInt)))
+	must(db.CreateTable("items",
+		rollingjoin.Col("item", rollingjoin.TypeString),
+		rollingjoin.Col("price", rollingjoin.TypeInt)))
+
+	if _, err := db.Update(func(tx *rollingjoin.Tx) error {
+		tx.Insert("items", rollingjoin.Str("ball"), rollingjoin.Int(5))
+		tx.Insert("items", rollingjoin.Str("bat"), rollingjoin.Int(20))
+		tx.Insert("items", rollingjoin.Str("cap"), rollingjoin.Int(9))
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	view, err := db.DefineView(rollingjoin.ViewSpec{
+		Name:   "order_detail",
+		Tables: []string{"orders", "items"},
+		Joins:  []rollingjoin.Join{{LeftTable: "orders", LeftColumn: "item", RightTable: "items", RightColumn: "item"}},
+	}, rollingjoin.Maintain{Interval: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// COUNT(*) and SUM(price) per item over the join view.
+	revenue, err := view.DefineSummary("revenue", []string{"item"}, []string{"price"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	items := []string{"ball", "bat", "cap"}
+	var mid, last rollingjoin.CSN
+	for i := 0; i < 30; i++ {
+		csn, err := db.Update(func(tx *rollingjoin.Tx) error {
+			return tx.Insert("orders",
+				rollingjoin.Int(int64(i)),
+				rollingjoin.Str(items[i%3]),
+				rollingjoin.Int(int64(1+i%4)))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 14 {
+			mid = csn
+		}
+		last = csn
+	}
+
+	view.WaitForHWM(last)
+
+	// Point-in-time aggregates: revenue as of the 15th order...
+	if err := revenue.RefreshTo(mid); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revenue as of commit %d:\n", mid)
+	printSummary(revenue)
+
+	// ...then as of now.
+	now, err := revenue.Refresh()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrevenue as of commit %d:\n", now)
+	printSummary(revenue)
+}
+
+func printSummary(s *rollingjoin.Summary) {
+	for _, row := range s.Rows() {
+		fmt.Printf("  %-5s orders=%-3d total=%.0f\n", row.Key[0], row.Count, row.Sums[0])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

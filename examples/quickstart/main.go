@@ -1,0 +1,80 @@
+// Quickstart: define a join view over two tables, stream updates, and
+// refresh the materialized view incrementally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rollingjoin "repro"
+)
+
+func main() {
+	db, err := rollingjoin.Open(rollingjoin.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Two base tables: orders reference items by name.
+	must(db.CreateTable("orders",
+		rollingjoin.Col("id", rollingjoin.TypeInt),
+		rollingjoin.Col("item", rollingjoin.TypeString)))
+	must(db.CreateTable("items",
+		rollingjoin.Col("item", rollingjoin.TypeString),
+		rollingjoin.Col("price", rollingjoin.TypeInt)))
+
+	if _, err := db.Update(func(tx *rollingjoin.Tx) error {
+		if err := tx.Insert("items", rollingjoin.Str("ball"), rollingjoin.Int(5)); err != nil {
+			return err
+		}
+		return tx.Insert("items", rollingjoin.Str("bat"), rollingjoin.Int(20))
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A materialized join view, maintained asynchronously in the background.
+	view, err := db.DefineView(rollingjoin.ViewSpec{
+		Name:   "order_prices",
+		Tables: []string{"orders", "items"},
+		Joins:  []rollingjoin.Join{{LeftTable: "orders", LeftColumn: "item", RightTable: "items", RightColumn: "item"}},
+		Output: []rollingjoin.OutCol{{Table: "orders", Column: "id"}, {Table: "items", Column: "price"}},
+	}, rollingjoin.Maintain{Interval: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream some orders.
+	var last rollingjoin.CSN
+	items := []string{"ball", "bat"}
+	for i := 0; i < 10; i++ {
+		csn, err := db.Update(func(tx *rollingjoin.Tx) error {
+			return tx.Insert("orders", rollingjoin.Int(int64(i)), rollingjoin.Str(items[i%2]))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = csn
+	}
+
+	// The propagate process catches up in the background; Refresh applies
+	// the accumulated, timestamped view delta.
+	view.WaitForHWM(last)
+	reached, err := view.Refresh()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("view refreshed to commit %d\n", reached)
+	for _, row := range view.Rows() {
+		fmt.Printf("  order %v costs %v\n", row[0], row[1])
+	}
+	st := view.Stats()
+	fmt.Printf("maintenance: %d forward + %d compensation queries, %d delta rows applied\n",
+		st.ForwardQueries, st.CompensationQueries, st.RowsApplied)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

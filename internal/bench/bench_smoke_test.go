@@ -1,0 +1,54 @@
+package bench
+
+import "testing"
+
+// The experiments self-verify (each returns an error when its internal
+// consistency checks fail), so the smoke test simply runs every one at
+// quick scale.
+
+func TestFigures(t *testing.T) {
+	for name, fn := range map[string]func() (tbl interface{ String() string }, err error){
+		"F4": func() (interface{ String() string }, error) { return F4() },
+		"F7": func() (interface{ String() string }, error) { return F7() },
+		"F8": func() (interface{ String() string }, error) { return F8() },
+		"F9": func() (interface{ String() string }, error) { return F9() },
+	} {
+		tbl, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, render(tbl))
+		}
+		if tbl.String() == "" {
+			t.Fatalf("%s: empty table", name)
+		}
+	}
+}
+
+func TestClaims(t *testing.T) {
+	s := Scale{Quick: true}
+	for name, fn := range map[string]func() (tbl interface{ String() string }, err error){
+		"E1": func() (interface{ String() string }, error) { return E1(s) },
+		"E2": func() (interface{ String() string }, error) { return E2(s) },
+		"E3": func() (interface{ String() string }, error) { return E3(s) },
+		"E4": func() (interface{ String() string }, error) { return E4(s) },
+		"E5": func() (interface{ String() string }, error) { return E5(s) },
+		"E6": func() (interface{ String() string }, error) { return E6(s) },
+		"E7": func() (interface{ String() string }, error) { return E7(s) },
+		"A1": func() (interface{ String() string }, error) { return A1(s) },
+		"A2": func() (interface{ String() string }, error) { return A2(s) },
+	} {
+		tbl, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, render(tbl))
+		}
+		if tbl.String() == "" {
+			t.Fatalf("%s: empty table", name)
+		}
+	}
+}
+
+func render(tbl interface{ String() string }) string {
+	if tbl == nil {
+		return "<nil>"
+	}
+	return tbl.String()
+}

@@ -1,0 +1,103 @@
+// Package bench implements the experiment suite of EXPERIMENTS.md: one
+// function per figure/claim of the paper, each returning printable result
+// tables. cmd/rollbench drives the full suite; the root-level
+// bench_test.go wraps each experiment as a testing.B benchmark.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/relalg"
+	"repro/internal/workload"
+)
+
+// Env bundles everything one experiment run needs.
+type Env struct {
+	DB   *engine.DB
+	Cap  *capture.LogCapture
+	W    *workload.Workload
+	Exec *core.Executor
+	Dest *engine.DeltaTable
+}
+
+// NewEnv builds a database, loads the workload, and wires the capture
+// process and view-delta executor.
+func NewEnv(w *workload.Workload, seed int64) (*Env, error) {
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Setup(db, rand.New(rand.NewSource(seed))); err != nil {
+		db.Close()
+		return nil, err
+	}
+	schema, err := w.View.Schema(db)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	dest, err := db.CreateStandaloneDelta("Δ"+w.View.Name, schema)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	c := capture.NewLogCapture(db)
+	c.Start()
+	return &Env{
+		DB:   db,
+		Cap:  c,
+		W:    w,
+		Exec: core.NewExecutor(db, c, w.View, dest),
+		Dest: dest,
+	}, nil
+}
+
+// Close tears the environment down.
+func (e *Env) Close() {
+	e.DB.Close()
+	e.Cap.Wait()
+}
+
+// ResetDest swaps in a fresh view delta table (for back-to-back algorithm
+// comparisons over the same history).
+func (e *Env) ResetDest() error {
+	name := fmt.Sprintf("Δ%s#%d", e.W.View.Name, e.DB.LastCSN())
+	schema, err := e.W.View.Schema(e.DB)
+	if err != nil {
+		return err
+	}
+	dest, err := e.DB.CreateStandaloneDelta(name, schema)
+	if err != nil {
+		return err
+	}
+	e.Dest = dest
+	e.Exec = core.NewExecutor(e.DB, e.Cap, e.W.View, dest)
+	return nil
+}
+
+// DrainRolling steps a rolling propagator until its high-water mark
+// reaches target.
+func DrainRolling(rp *core.RollingPropagator, target relalg.CSN) error {
+	for rp.HWM() < target {
+		if err := rp.Step(); err != nil && !errors.Is(err, core.ErrNoProgress) {
+			return err
+		}
+	}
+	return nil
+}
+
+// DrainPropagate steps a Figure 5 propagator until its high-water mark
+// reaches target.
+func DrainPropagate(p *core.Propagator, target relalg.CSN) error {
+	for p.HWM() < target {
+		if err := p.Step(); err != nil && !errors.Is(err, core.ErrNoProgress) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+// Package btree implements an in-memory B+ tree keyed on byte slices.
+//
+// It backs the storage engine's heap tables, secondary indexes, and the
+// timestamp-ordered delta tables. Keys are unique; the caller appends a
+// uniquifier when multiset semantics are needed. The tree is not
+// goroutine-safe: the engine serializes access through its lock manager and
+// latches.
+package btree
+
+import "bytes"
+
+const (
+	// maxKeys is the fan-out: a node splits when it exceeds maxKeys entries.
+	maxKeys = 64
+	minKeys = maxKeys / 2
+)
+
+type node struct {
+	// keys holds the separator keys (internal) or entry keys (leaf).
+	keys [][]byte
+	// children is populated for internal nodes: len(children) == len(keys)+1.
+	children []*node
+	// vals is populated for leaves: len(vals) == len(keys).
+	vals [][]byte
+	// next and prev link leaves for range scans.
+	next, prev *node
+	leaf       bool
+}
+
+// Tree is an in-memory B+ tree mapping byte-slice keys to byte-slice values.
+// The zero value is not usable; call New.
+type Tree struct {
+	root  *node
+	first *node // leftmost leaf
+	last  *node // rightmost leaf
+	size  int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	leaf := &node{leaf: true}
+	return &Tree{root: leaf, first: leaf, last: leaf}
+}
+
+// Len returns the number of entries in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// search returns the index of the first key in n.keys >= key, and whether it
+// is an exact match.
+func search(n *node, key []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	exact := lo < len(n.keys) && bytes.Equal(n.keys[lo], key)
+	return lo, exact
+}
+
+// Get returns the value stored at key, or (nil, false) if absent. The
+// returned slice must not be modified.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for !n.leaf {
+		i, exact := search(n, key)
+		if exact {
+			i++
+		}
+		n = n.children[i]
+	}
+	i, exact := search(n, key)
+	if !exact {
+		return nil, false
+	}
+	return n.vals[i], true
+}
+
+// Put inserts or replaces the value at key. It returns true if the key was
+// newly inserted (false if an existing value was replaced). Key and value
+// are retained; callers must not modify them afterwards.
+func (t *Tree) Put(key, value []byte) bool {
+	inserted, splitKey, sibling := t.insert(t.root, key, value)
+	if sibling != nil {
+		newRoot := &node{
+			keys:     [][]byte{splitKey},
+			children: []*node{t.root, sibling},
+		}
+		t.root = newRoot
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// insert recursively inserts into n. If n splits, it returns the separator
+// key and the new right sibling.
+func (t *Tree) insert(n *node, key, value []byte) (inserted bool, splitKey []byte, sibling *node) {
+	if n.leaf {
+		i, exact := search(n, key)
+		if exact {
+			n.vals[i] = value
+			return false, nil, nil
+		}
+		n.keys = insertAt(n.keys, i, key)
+		n.vals = insertAt(n.vals, i, value)
+		if len(n.keys) > maxKeys {
+			splitKey, sibling = t.splitLeaf(n)
+		}
+		return true, splitKey, sibling
+	}
+	i, exact := search(n, key)
+	if exact {
+		i++
+	}
+	inserted, childKey, childSib := t.insert(n.children[i], key, value)
+	if childSib != nil {
+		n.keys = insertAt(n.keys, i, childKey)
+		n.children = insertNodeAt(n.children, i+1, childSib)
+		if len(n.keys) > maxKeys {
+			splitKey, sibling = t.splitInternal(n)
+		}
+	}
+	return inserted, splitKey, sibling
+}
+
+func (t *Tree) splitLeaf(n *node) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	sib := &node{
+		leaf: true,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		vals: append([][]byte(nil), n.vals[mid:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	sib.next = n.next
+	sib.prev = n
+	if n.next != nil {
+		n.next.prev = sib
+	} else {
+		t.last = sib
+	}
+	n.next = sib
+	return sib.keys[0], sib
+}
+
+func (t *Tree) splitInternal(n *node) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	sib := &node{
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, sib
+}
+
+// Delete removes the entry at key, returning true if it existed.
+func (t *Tree) Delete(key []byte) bool {
+	deleted := t.remove(t.root, key)
+	if !t.root.leaf && len(t.root.keys) == 0 {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree) remove(n *node, key []byte) bool {
+	if n.leaf {
+		i, exact := search(n, key)
+		if !exact {
+			return false
+		}
+		n.keys = removeAt(n.keys, i)
+		n.vals = removeAt(n.vals, i)
+		return true
+	}
+	i, exact := search(n, key)
+	if exact {
+		i++
+	}
+	child := n.children[i]
+	if !t.remove(child, key) {
+		return false
+	}
+	if len(child.keys) < minKeys {
+		t.rebalance(n, i)
+	}
+	return true
+}
+
+// rebalance fixes an underfull child at index i of parent p by borrowing
+// from or merging with a sibling.
+func (t *Tree) rebalance(p *node, i int) {
+	child := p.children[i]
+	// Try borrowing from the left sibling.
+	if i > 0 {
+		left := p.children[i-1]
+		if len(left.keys) > minKeys {
+			if child.leaf {
+				k := left.keys[len(left.keys)-1]
+				v := left.vals[len(left.vals)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.vals = left.vals[:len(left.vals)-1]
+				child.keys = insertAt(child.keys, 0, k)
+				child.vals = insertAt(child.vals, 0, v)
+				p.keys[i-1] = child.keys[0]
+			} else {
+				child.keys = insertAt(child.keys, 0, p.keys[i-1])
+				p.keys[i-1] = left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				c := left.children[len(left.children)-1]
+				left.children = left.children[:len(left.children)-1]
+				child.children = insertNodeAt(child.children, 0, c)
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if i < len(p.children)-1 {
+		right := p.children[i+1]
+		if len(right.keys) > minKeys {
+			if child.leaf {
+				k := right.keys[0]
+				v := right.vals[0]
+				right.keys = removeAt(right.keys, 0)
+				right.vals = removeAt(right.vals, 0)
+				child.keys = append(child.keys, k)
+				child.vals = append(child.vals, v)
+				p.keys[i] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, p.keys[i])
+				p.keys[i] = right.keys[0]
+				right.keys = removeAt(right.keys, 0)
+				child.children = append(child.children, right.children[0])
+				right.children = right.children[1:]
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		t.merge(p, i-1)
+	} else {
+		t.merge(p, i)
+	}
+}
+
+// merge combines p.children[i] and p.children[i+1] into the left child.
+func (t *Tree) merge(p *node, i int) {
+	left, right := p.children[i], p.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+		if right.next != nil {
+			right.next.prev = left
+		} else {
+			t.last = left
+		}
+	} else {
+		left.keys = append(left.keys, p.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	p.keys = removeAt(p.keys, i)
+	p.children = removeNodeAt(p.children, i+1)
+}
+
+func insertAt(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertNodeAt(s []*node, i int, v *node) []*node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt(s [][]byte, i int) [][]byte {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+func removeNodeAt(s []*node, i int) []*node {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}

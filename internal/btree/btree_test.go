@@ -1,0 +1,261 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("len")
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("get on empty")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Fatal("delete on empty")
+	}
+	if tr.First().Valid() || tr.Last().Valid() || tr.Seek([]byte("a")).Valid() {
+		t.Fatal("iterators on empty tree should be invalid")
+	}
+}
+
+func TestPutGetReplace(t *testing.T) {
+	tr := New()
+	if !tr.Put([]byte("a"), []byte("1")) {
+		t.Fatal("insert should report true")
+	}
+	if tr.Put([]byte("a"), []byte("2")) {
+		t.Fatal("replace should report false")
+	}
+	v, ok := tr.Get([]byte("a"))
+	if !ok || string(v) != "2" {
+		t.Fatalf("get: %q %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatal("len after replace")
+	}
+}
+
+func TestInsertDeleteSequential(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), key(i*2))
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || !bytes.Equal(v, key(i*2)) {
+			t.Fatalf("get %d failed", i)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len after deletes = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("get %d = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestRandomAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	tr := New()
+	ref := make(map[string]string)
+	for op := 0; op < 50000; op++ {
+		k := fmt.Sprintf("k%05d", r.Intn(3000))
+		switch r.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", op)
+			tr.Put([]byte(k), []byte(v))
+			ref[k] = v
+		case 2:
+			got := tr.Delete([]byte(k))
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("delete %q = %v, want %v", k, got, want)
+			}
+			delete(ref, k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("len %d != %d", tr.Len(), len(ref))
+	}
+	// Verify full scan matches sorted reference.
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	for it := tr.First(); it.Valid(); it.Next() {
+		if string(it.Key()) != keys[i] || string(it.Value()) != ref[keys[i]] {
+			t.Fatalf("scan mismatch at %d: %q", i, it.Key())
+		}
+		i++
+	}
+	if i != len(keys) {
+		t.Fatalf("scan count %d != %d", i, len(keys))
+	}
+	// And in reverse.
+	i = len(keys) - 1
+	for it := tr.Last(); it.Valid(); it.Prev() {
+		if string(it.Key()) != keys[i] {
+			t.Fatalf("reverse scan mismatch at %d", i)
+		}
+		i--
+	}
+	if i != -1 {
+		t.Fatalf("reverse scan stopped at %d", i)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 10 {
+		tr.Put(key(i), nil)
+	}
+	it := tr.Seek(key(35))
+	if !it.Valid() || !bytes.Equal(it.Key(), key(40)) {
+		t.Fatal("seek 35 should land on 40")
+	}
+	it = tr.Seek(key(40))
+	if !it.Valid() || !bytes.Equal(it.Key(), key(40)) {
+		t.Fatal("seek 40 should land on 40")
+	}
+	it = tr.Seek(key(95))
+	if it.Valid() {
+		t.Fatal("seek past end should be invalid")
+	}
+	it = tr.SeekReverse(key(35))
+	if !it.Valid() || !bytes.Equal(it.Key(), key(30)) {
+		t.Fatal("seek-reverse 35 should land on 30")
+	}
+	it = tr.SeekReverse(key(30))
+	if !it.Valid() || !bytes.Equal(it.Key(), key(30)) {
+		t.Fatal("seek-reverse 30 should land on 30")
+	}
+	it = tr.SeekReverse(key(5))
+	if !it.Valid() || !bytes.Equal(it.Key(), key(0)) {
+		t.Fatal("seek-reverse 5 should land on 0")
+	}
+	tr.Delete(key(0))
+	it = tr.SeekReverse(key(5))
+	if it.Valid() {
+		t.Fatal("seek-reverse before start should be invalid")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Put(key(i), nil)
+	}
+	var got []int
+	tr.Ascend(key(10), key(20), func(k, _ []byte) bool {
+		got = append(got, int(binary.BigEndian.Uint64(k)))
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range scan: %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Ascend(nil, nil, func(_, _ []byte) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop: %d", count)
+	}
+}
+
+func TestQuickInsertLookup(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		tr := New()
+		ref := make(map[string][]byte)
+		for i, k := range keys {
+			v := []byte(fmt.Sprint(i))
+			tr.Put(k, v)
+			ref[string(k)] = v
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get([]byte(k))
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := New()
+	const n = 2000
+	order := rand.New(rand.NewSource(3)).Perm(n)
+	for _, i := range order {
+		tr.Put(key(i), key(i))
+	}
+	for _, i := range order {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("delete %d", i)
+		}
+	}
+	if tr.Len() != 0 || tr.First().Valid() {
+		t.Fatal("tree should be empty")
+	}
+	// Tree must remain usable after full drain.
+	tr.Put(key(7), key(7))
+	if v, ok := tr.Get(key(7)); !ok || !bytes.Equal(v, key(7)) {
+		t.Fatal("reuse after drain")
+	}
+}
+
+func BenchmarkTreePut(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Put(key(i), nil)
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), nil)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}

@@ -1,0 +1,112 @@
+package btree
+
+import "bytes"
+
+// Iterator walks tree entries in key order. A freshly positioned iterator
+// (via Seek/First/Last) is already on its first entry if Valid reports true.
+// Mutating the tree invalidates outstanding iterators.
+type Iterator struct {
+	tree *Tree
+	node *node
+	idx  int
+}
+
+// First positions the iterator on the smallest key.
+func (t *Tree) First() *Iterator {
+	it := &Iterator{tree: t, node: t.first, idx: 0}
+	it.skipEmptyForward()
+	return it
+}
+
+// Last positions the iterator on the largest key.
+func (t *Tree) Last() *Iterator {
+	it := &Iterator{tree: t, node: t.last, idx: len(t.last.keys) - 1}
+	it.skipEmptyBackward()
+	return it
+}
+
+// Seek positions the iterator on the first key >= key.
+func (t *Tree) Seek(key []byte) *Iterator {
+	n := t.root
+	for !n.leaf {
+		i, exact := search(n, key)
+		if exact {
+			i++
+		}
+		n = n.children[i]
+	}
+	i, _ := search(n, key)
+	it := &Iterator{tree: t, node: n, idx: i}
+	it.skipEmptyForward()
+	return it
+}
+
+// SeekReverse positions the iterator on the last key <= key, for descending
+// iteration via Prev.
+func (t *Tree) SeekReverse(key []byte) *Iterator {
+	it := t.Seek(key)
+	if it.Valid() && bytes.Equal(it.Key(), key) {
+		return it
+	}
+	it.Prev()
+	return it
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool {
+	return it.node != nil && it.idx >= 0 && it.idx < len(it.node.keys)
+}
+
+// Key returns the current key. The slice must not be modified.
+func (it *Iterator) Key() []byte { return it.node.keys[it.idx] }
+
+// Value returns the current value. The slice must not be modified.
+func (it *Iterator) Value() []byte { return it.node.vals[it.idx] }
+
+// Next advances to the next entry in ascending order.
+func (it *Iterator) Next() {
+	it.idx++
+	it.skipEmptyForward()
+}
+
+// Prev moves to the previous entry in descending order.
+func (it *Iterator) Prev() {
+	it.idx--
+	it.skipEmptyBackward()
+}
+
+func (it *Iterator) skipEmptyForward() {
+	for it.node != nil && it.idx >= len(it.node.keys) {
+		it.node = it.node.next
+		it.idx = 0
+	}
+}
+
+func (it *Iterator) skipEmptyBackward() {
+	for it.node != nil && it.idx < 0 {
+		it.node = it.node.prev
+		if it.node != nil {
+			it.idx = len(it.node.keys) - 1
+		}
+	}
+}
+
+// Ascend calls fn for every entry with start <= key < end in ascending
+// order, stopping early if fn returns false. A nil end means no upper bound;
+// a nil start means iterate from the beginning.
+func (t *Tree) Ascend(start, end []byte, fn func(key, value []byte) bool) {
+	var it *Iterator
+	if start == nil {
+		it = t.First()
+	} else {
+		it = t.Seek(start)
+	}
+	for ; it.Valid(); it.Next() {
+		if end != nil && bytes.Compare(it.Key(), end) >= 0 {
+			return
+		}
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/relalg"
+)
+
+// AdaptiveInterval returns an interval policy that sizes each relation's
+// propagation interval to hit a target number of delta rows per forward
+// query. The paper leaves the interval as a manual knob ("the interval
+// acts as a parameter that can be tuned to balance query execution
+// overhead against data contention", Section 3.3); this policy closes the
+// loop by estimating each relation's change density from its delta table
+// and widening or narrowing the interval accordingly.
+//
+// The estimate is the relation's total delta rows divided by the CSN span
+// they cover — cheap, smoothed, and recomputed at most once per
+// refreshEvery decisions. Intervals are clamped to [minInterval,
+// maxInterval].
+func AdaptiveInterval(db *engine.DB, view *ViewDef, targetRows int) IntervalPolicy {
+	const (
+		minInterval  = 1
+		maxInterval  = 1 << 16
+		refreshEvery = 8
+	)
+	if targetRows <= 0 {
+		targetRows = 64
+	}
+	var mu sync.Mutex
+	calls := make([]int, view.N())
+	cached := make([]relalg.CSN, view.N())
+	return func(i int) relalg.CSN {
+		if i < 0 {
+			i = 0
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if calls[i]%refreshEvery == 0 || cached[i] == 0 {
+			cached[i] = estimateInterval(db, view.Relations[i], targetRows, minInterval, maxInterval)
+		}
+		calls[i]++
+		return cached[i]
+	}
+}
+
+// estimateInterval computes the interval expected to contain targetRows
+// changes of the relation, from the density of its delta table.
+func estimateInterval(db *engine.DB, relation string, targetRows, minInterval, maxInterval int) relalg.CSN {
+	d, err := db.Delta(relation)
+	if err != nil {
+		return relalg.CSN(minInterval)
+	}
+	rows := d.Len()
+	span := int64(d.MaxTS())
+	if rows == 0 || span == 0 {
+		// No data yet: a quiet relation gets the widest interval — its
+		// windows will mostly be empty and elided anyway.
+		return relalg.CSN(maxInterval)
+	}
+	// rows/span changes per commit; interval = target / density.
+	interval := int64(targetRows) * span / int64(rows)
+	if interval < int64(minInterval) {
+		interval = int64(minInterval)
+	}
+	if interval > int64(maxInterval) {
+		interval = int64(maxInterval)
+	}
+	return relalg.CSN(interval)
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// Apply-side errors.
+var (
+	// ErrBeyondHWM is returned when a refresh target lies past the view
+	// delta high-water mark: the delta for that window is not yet complete.
+	ErrBeyondHWM = errors.New("core: refresh target beyond the view delta high-water mark")
+	// ErrBackward is returned when a refresh target precedes the view's
+	// current materialization time.
+	ErrBackward = errors.New("core: refresh target precedes the materialized state")
+	// ErrNegativeCount indicates a delta drove some view tuple's
+	// multiplicity negative — an invariant violation that means the delta
+	// was not a correct timed delta table.
+	ErrNegativeCount = errors.New("core: view tuple count went negative")
+)
+
+// MaterializedView stores a view's tuples in net-effect form (one entry per
+// distinct tuple with its multiplicity) together with the materialization
+// time: the CSN whose committed database state the contents reflect.
+type MaterializedView struct {
+	name   string
+	schema *tuple.Schema
+
+	mu      sync.RWMutex
+	rows    map[string]*mvEntry // ordered key encoding -> entry
+	matTime relalg.CSN
+}
+
+type mvEntry struct {
+	t     tuple.Tuple
+	count int64
+}
+
+// NewMaterializedView creates an empty materialized view at time t.
+func NewMaterializedView(name string, schema *tuple.Schema, t relalg.CSN) *MaterializedView {
+	return &MaterializedView{name: name, schema: schema, rows: make(map[string]*mvEntry), matTime: t}
+}
+
+// Name returns the view name.
+func (mv *MaterializedView) Name() string { return mv.name }
+
+// Schema returns the view's output schema.
+func (mv *MaterializedView) Schema() *tuple.Schema { return mv.schema }
+
+// MatTime returns the current materialization time.
+func (mv *MaterializedView) MatTime() relalg.CSN {
+	mv.mu.RLock()
+	defer mv.mu.RUnlock()
+	return mv.matTime
+}
+
+// Cardinality returns the total multiset cardinality.
+func (mv *MaterializedView) Cardinality() int64 {
+	mv.mu.RLock()
+	defer mv.mu.RUnlock()
+	var n int64
+	for _, e := range mv.rows {
+		n += e.count
+	}
+	return n
+}
+
+// DistinctTuples returns the number of distinct tuples.
+func (mv *MaterializedView) DistinctTuples() int {
+	mv.mu.RLock()
+	defer mv.mu.RUnlock()
+	return len(mv.rows)
+}
+
+// AsRelation materializes the view contents in net-effect canonical form,
+// sorted by tuple.
+func (mv *MaterializedView) AsRelation() *relalg.Relation {
+	mv.mu.RLock()
+	defer mv.mu.RUnlock()
+	keys := make([]string, 0, len(mv.rows))
+	for k := range mv.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := relalg.NewRelation(mv.schema)
+	for _, k := range keys {
+		e := mv.rows[k]
+		out.Add(e.t, e.count, relalg.NullTS)
+	}
+	return out
+}
+
+// load replaces the contents (initial materialization).
+func (mv *MaterializedView) load(rel *relalg.Relation, t relalg.CSN) error {
+	mv.mu.Lock()
+	defer mv.mu.Unlock()
+	mv.rows = make(map[string]*mvEntry, rel.Len())
+	for _, r := range relalg.NetEffect(rel).Rows {
+		if r.Count < 0 {
+			return fmt.Errorf("%w: %s = %d at load", ErrNegativeCount, r.Tuple, r.Count)
+		}
+		mv.rows[string(tuple.EncodeKey(nil, r.Tuple))] = &mvEntry{t: r.Tuple, count: r.Count}
+	}
+	mv.matTime = t
+	return nil
+}
+
+// applyRows folds delta rows into the stored state and advances the
+// materialization time. It is all-or-nothing: on a negative-count violation
+// the state is left unchanged.
+func (mv *MaterializedView) applyRows(rows []relalg.Row, t relalg.CSN) error {
+	mv.mu.Lock()
+	defer mv.mu.Unlock()
+	// Consolidate first so transient negatives inside a window don't trip
+	// the invariant check.
+	net := make(map[string]*mvEntry, len(rows))
+	for _, r := range rows {
+		k := string(tuple.EncodeKey(nil, r.Tuple))
+		e := net[k]
+		if e == nil {
+			e = &mvEntry{t: r.Tuple}
+			net[k] = e
+		}
+		e.count += r.Count
+	}
+	for k, d := range net {
+		var cur int64
+		if e := mv.rows[k]; e != nil {
+			cur = e.count
+		}
+		if cur+d.count < 0 {
+			return fmt.Errorf("%w: %s would become %d", ErrNegativeCount, d.t, cur+d.count)
+		}
+	}
+	for k, d := range net {
+		if d.count == 0 {
+			continue
+		}
+		e := mv.rows[k]
+		if e == nil {
+			mv.rows[k] = &mvEntry{t: d.t, count: d.count}
+			continue
+		}
+		e.count += d.count
+		if e.count == 0 {
+			delete(mv.rows, k)
+		}
+	}
+	mv.matTime = t
+	return nil
+}
+
+// Materialize computes the view's contents from the current base tables in
+// a single transaction and returns the loaded materialized view; its
+// materialization time is the transaction's commit CSN.
+func Materialize(db *engine.DB, view *ViewDef) (*MaterializedView, error) {
+	schema, err := view.Schema(db)
+	if err != nil {
+		return nil, err
+	}
+	tx := db.Begin()
+	rel, err := tx.EvalQuery(AllBase(view).EngineQuery())
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	csn, err := tx.Commit()
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	mv := NewMaterializedView(view.Name, schema, csn)
+	if err := mv.load(rel, csn); err != nil {
+		return nil, err
+	}
+	return mv, nil
+}
+
+// Applier is the apply driver of Figure 11: it rolls a materialized view
+// forward by applying timestamped view delta windows, independently of the
+// propagation process.
+type Applier struct {
+	mv    *MaterializedView
+	delta *engine.DeltaTable
+	hwm   func() relalg.CSN
+
+	rowsApplied  int64
+	refreshCount int64
+}
+
+// NewApplier creates an apply driver over the view delta. hwm reports the
+// propagation process's current high-water mark.
+func NewApplier(mv *MaterializedView, delta *engine.DeltaTable, hwm func() relalg.CSN) *Applier {
+	return &Applier{mv: mv, delta: delta, hwm: hwm}
+}
+
+// View returns the materialized view.
+func (a *Applier) View() *MaterializedView { return a.mv }
+
+// RowsApplied returns the cumulative number of delta rows applied.
+func (a *Applier) RowsApplied() int64 { return a.rowsApplied }
+
+// Refreshes returns the number of completed refresh operations.
+func (a *Applier) Refreshes() int64 { return a.refreshCount }
+
+// RollTo performs point-in-time refresh: it advances the materialized view
+// from its current materialization time to target, which may be any CSN up
+// to the high-water mark ("roll the materialized view forward to any time
+// point up to the view delta's high-water mark").
+func (a *Applier) RollTo(target relalg.CSN) error {
+	cur := a.mv.MatTime()
+	if target < cur {
+		return fmt.Errorf("%w: at %d, asked for %d", ErrBackward, cur, target)
+	}
+	if target == cur {
+		return nil
+	}
+	if hwm := a.hwm(); target > hwm {
+		return fmt.Errorf("%w: hwm %d, asked for %d", ErrBeyondHWM, hwm, target)
+	}
+	win := a.delta.Window(cur, target)
+	if err := a.mv.applyRows(win.Rows, target); err != nil {
+		return err
+	}
+	a.rowsApplied += int64(win.Len())
+	a.refreshCount++
+	return nil
+}
+
+// RollToHWM refreshes the view to the current high-water mark and returns
+// the time reached.
+func (a *Applier) RollToHWM() (relalg.CSN, error) {
+	hwm := a.hwm()
+	if hwm < a.mv.MatTime() {
+		return a.mv.MatTime(), nil
+	}
+	return hwm, a.RollTo(hwm)
+}
+
+// PruneApplied discards view delta rows at or below the materialization
+// time; they can never be needed again. Returns the number pruned.
+func (a *Applier) PruneApplied() int {
+	return a.delta.PruneThrough(a.mv.MatTime())
+}

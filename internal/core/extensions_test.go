@@ -1,0 +1,311 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/engine"
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// unionEnv builds a database with three tables and a two-branch union view:
+// (r1 ⋈ r2) + (r1 ⋈ r3), both projected to the same schema.
+func unionEnv(t *testing.T) (*engine.DB, *capture.LogCapture, *UnionView, func(table string, k int64) relalg.CSN) {
+	t.Helper()
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for _, name := range []string{"r1", "r2", "r3"} {
+		if _, err := db.CreateTable(name, kvSchema()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateDelta(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := capture.NewLogCapture(db)
+	c.Start()
+
+	branch := func(name, right string) *ViewDef {
+		return &ViewDef{
+			Name:      name,
+			Relations: []string{"r1", right},
+			Conds:     []engine.JoinCond{{A: engine.ColRef{Input: 0, Col: 0}, B: engine.ColRef{Input: 1, Col: 0}}},
+			Project:   []engine.ColRef{{Input: 0, Col: 0}, {Input: 1, Col: 1}},
+		}
+	}
+	uv, err := NewUnionView(db, c, "u", 0, PerRelationIntervals(3, 5), branch("b12", "r2"), branch("b13", "r3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insert := func(table string, k int64) relalg.CSN {
+		tx := db.Begin()
+		if err := tx.Insert(table, tupleFor(k)); err != nil {
+			tx.Abort()
+			t.Fatal(err)
+		}
+		csn, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return csn
+	}
+	return db, c, uv, insert
+}
+
+func drainUnion(t *testing.T, uv *UnionView, target relalg.CSN) {
+	t.Helper()
+	for uv.HWM() < target {
+		if err := uv.Step(); err != nil && !errors.Is(err, ErrNoProgress) {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnionViewMaintenance(t *testing.T) {
+	db, _, uv, insert := unionEnv(t)
+	r := rand.New(rand.NewSource(81))
+	var last relalg.CSN
+	tables := []string{"r1", "r2", "r3"}
+	for i := 0; i < 60; i++ {
+		last = insert(tables[r.Intn(3)], int64(r.Intn(4)))
+	}
+	drainUnion(t, uv, last)
+
+	// Oracle: recompute both branches and union them.
+	schema, _ := uv.Branches[0].Schema(db)
+	mv := NewMaterializedView("u", schema, 0)
+	applier := NewApplier(mv, uv.Dest(), uv.HWM)
+	if err := applier.RollTo(last); err != nil {
+		t.Fatal(err)
+	}
+	full1, _, err := FullRefresh(db, uv.Branches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	full2, _, err := FullRefresh(db, uv.Branches[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relalg.Union(full1, full2)
+	if !relalg.Equivalent(mv.AsRelation(), want) {
+		t.Fatalf("union view diverged:\n%s\nvs\n%s", mv.AsRelation(), relalg.NetEffect(want))
+	}
+}
+
+func TestUnionViewPointInTime(t *testing.T) {
+	db, _, uv, insert := unionEnv(t)
+	insert("r2", 1)
+	mid := insert("r1", 1)  // joins r2 branch
+	last := insert("r3", 1) // joins r3 branch too
+	drainUnion(t, uv, last)
+
+	schema, err := uv.Branches[0].Schema(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := NewMaterializedView("u", schema, 0)
+	applier := NewApplier(mv, uv.Dest(), uv.HWM)
+	if err := applier.RollTo(mid); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Cardinality() != 1 {
+		t.Fatalf("at mid: %d tuples", mv.Cardinality())
+	}
+	if err := applier.RollTo(last); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Cardinality() != 2 {
+		t.Fatalf("at last: %d tuples", mv.Cardinality())
+	}
+}
+
+func TestUnionViewValidation(t *testing.T) {
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.CreateTable("a", kvSchema())
+	db.CreateDelta("a")
+	c := capture.NewLogCapture(db)
+
+	if _, err := NewUnionView(db, c, "empty", 0, FixedInterval(1)); err == nil {
+		t.Fatal("no branches should fail")
+	}
+	v1 := &ViewDef{Name: "v1", Relations: []string{"a"}}
+	v2 := &ViewDef{Name: "v2", Relations: []string{"a"},
+		Project: []engine.ColRef{{Input: 0, Col: 0}}}
+	if _, err := NewUnionView(db, c, "mismatch", 0, FixedInterval(1), v1, v2); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+}
+
+func TestSummaryViewAggregates(t *testing.T) {
+	env := newEnv(t, chainView("v", 2))
+	r := rand.New(rand.NewSource(91))
+	last := env.randomHistory(r, 60, 3)
+	rp := NewRollingPropagator(env.exec, 0, FixedInterval(8))
+	drainRolling(t, rp, last)
+
+	// Group by r1.k (column 0), SUM over r2.v (column 3).
+	sv, err := NewSummaryView("sum", env.dest, rp.HWM, []int{0}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.RollToHWM(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: aggregate the recomputed view.
+	full, _, err := FullRefresh(env.db, env.view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type agg struct {
+		count int64
+		sum   float64
+	}
+	want := map[int64]*agg{}
+	for _, row := range full.Rows {
+		k := row.Tuple[0].AsInt()
+		if want[k] == nil {
+			want[k] = &agg{}
+		}
+		want[k].count += row.Count
+		want[k].sum += float64(row.Count) * float64(row.Tuple[3].AsInt())
+	}
+	for k, a := range want {
+		if a.count == 0 {
+			delete(want, k)
+		}
+	}
+
+	rows := sv.Rows()
+	if len(rows) != len(want) {
+		t.Fatalf("groups: got %d want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		k := row.Key[0].AsInt()
+		w := want[k]
+		if w == nil || row.Count != w.count || row.Sums[0] != w.sum {
+			t.Fatalf("group %d: got (%d, %.0f) want %+v", k, row.Count, row.Sums[0], w)
+		}
+	}
+	if sv.Groups() != len(want) || sv.MatTime() != rp.HWM() {
+		t.Fatal("metadata")
+	}
+}
+
+func TestSummaryViewPointInTime(t *testing.T) {
+	env := newEnv(t, chainView("v", 2))
+	env.insert("r2", 1)
+	t1 := env.insert("r1", 1)
+	env.insert("r1", 1) // second copy: count 2
+	t3 := env.delete("r1", 1)
+
+	rp := NewRollingPropagator(env.exec, 0, FixedInterval(4))
+	drainRolling(t, rp, t3)
+
+	sv, err := NewSummaryView("s", env.dest, rp.HWM, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.RollTo(t1); err != nil {
+		t.Fatal(err)
+	}
+	rows := sv.Rows()
+	if len(rows) != 1 || rows[0].Count != 1 {
+		t.Fatalf("at t1: %+v", rows)
+	}
+	if err := sv.RollTo(t3); err != nil {
+		t.Fatal(err)
+	}
+	rows = sv.Rows()
+	if len(rows) != 1 || rows[0].Count != 1 {
+		t.Fatalf("at t3 (2 inserts, 1 delete): %+v", rows)
+	}
+	// Backward and beyond-HWM both refused.
+	if err := sv.RollTo(t1); !errors.Is(err, ErrBackward) {
+		t.Fatal("backward should fail")
+	}
+	if err := sv.RollTo(rp.HWM() + 100); !errors.Is(err, ErrBeyondHWM) {
+		t.Fatal("beyond hwm should fail")
+	}
+}
+
+func TestSummaryViewValidation(t *testing.T) {
+	env := newEnv(t, chainView("v", 2))
+	if _, err := NewSummaryView("bad", env.dest, func() relalg.CSN { return 0 }, []int{99}, nil); err == nil {
+		t.Fatal("bad column should fail")
+	}
+}
+
+func TestAdaptiveIntervalOracle(t *testing.T) {
+	// Rolling propagation driven by the adaptive policy must still satisfy
+	// Theorem 4.3, and the policy must assign the quiet relation a wider
+	// interval than the busy one.
+	env := newEnv(t, chainView("v", 2))
+	r := rand.New(rand.NewSource(95))
+	var last relalg.CSN
+	for i := 0; i < 80; i++ {
+		// r1 gets ~7x the traffic of r2.
+		if r.Intn(8) == 0 {
+			last = env.insert("r2", int64(r.Intn(4)))
+		} else {
+			last = env.insert("r1", int64(r.Intn(4)))
+		}
+	}
+	if err := env.cap.WaitProgress(last); err != nil {
+		t.Fatal(err)
+	}
+	policy := AdaptiveInterval(env.db, env.view, 16)
+	if d1, d2 := policy(0), policy(1); d1 >= d2 {
+		t.Fatalf("busy relation should get the narrower interval: δ=[%d, %d]", d1, d2)
+	}
+	rp := NewRollingPropagator(env.exec, 0, policy)
+	drainRolling(t, rp, last)
+	env.checkTimedDelta(0, last)
+}
+
+func TestAdaptiveIntervalEdgeCases(t *testing.T) {
+	env := newEnv(t, chainView("v", 2))
+	// No data at all: widest interval.
+	p := AdaptiveInterval(env.db, env.view, 0)
+	if p(0) != 1<<16 {
+		t.Fatalf("empty delta should widen: %d", p(0))
+	}
+	if p(-1) != 1<<16 {
+		t.Fatal("negative index defaults to relation 0")
+	}
+	// Unknown relation: minimum interval.
+	bogus := &ViewDef{Name: "x", Relations: []string{"ghost"}}
+	pb := AdaptiveInterval(env.db, bogus, 10)
+	if pb(0) != 1 {
+		t.Fatalf("unknown relation should narrow: %d", pb(0))
+	}
+}
+
+func TestNumericCoercion(t *testing.T) {
+	cases := []struct {
+		v    tuple.Value
+		want float64
+	}{
+		{tuple.Int(7), 7},
+		{tuple.Float(2.5), 2.5},
+		{tuple.Bool(true), 1},
+		{tuple.Bool(false), 0},
+		{tuple.Null(), 0},
+		{tuple.String_("x"), 0},
+	}
+	for _, c := range cases {
+		if got := numeric(c.v); got != c.want {
+			t.Errorf("numeric(%v) = %v want %v", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/capture"
+	"repro/internal/engine"
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// This file implements the marker-table technique of Section 5: the
+// paper's external propagate driver cannot observe commit sequence numbers
+// directly, so it determines a propagation query's execution time by
+// forcing the query's transaction to write a unique value into a special
+// global table. The capture process picks the marker up from the log, and
+// joining it with the unit-of-work table yields the transaction's CSN.
+//
+// The embedded engine returns the CSN from Commit directly, so the drivers
+// do not need this machinery — it exists to reproduce the prototype's
+// architecture faithfully and is exercised by tests and the demo.
+
+// MarkerTableName is the special global table's name.
+const MarkerTableName = "__rolling_marker"
+
+// MarkerProbe issues marker writes and resolves their commit CSNs through
+// the capture process's unit-of-work table.
+type MarkerProbe struct {
+	db   *engine.DB
+	cap  *capture.LogCapture
+	next int64
+}
+
+// NewMarkerProbe creates the marker table (with its delta table, so the
+// capture process records marker writes) and returns a probe.
+func NewMarkerProbe(db *engine.DB, cap *capture.LogCapture) (*MarkerProbe, error) {
+	schema := tuple.NewSchema(tuple.Column{Name: "marker", Kind: tuple.KindInt})
+	if _, err := db.CreateTable(MarkerTableName, schema); err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateDelta(MarkerTableName); err != nil {
+		return nil, err
+	}
+	return &MarkerProbe{db: db, cap: cap}, nil
+}
+
+// Mark writes a unique marker row inside tx. The returned resolve function
+// must be called after the transaction commits; it blocks until the capture
+// process has consumed the commit record and then returns the transaction's
+// CSN as recovered from the unit-of-work table.
+func (m *MarkerProbe) Mark(tx *engine.Tx) (resolve func() (relalg.CSN, error), err error) {
+	m.next++
+	val := m.next
+	if err := tx.Insert(MarkerTableName, tuple.Tuple{tuple.Int(val)}); err != nil {
+		return nil, err
+	}
+	txid := tx.ID()
+	return func() (relalg.CSN, error) {
+		// Wait until capture has processed this transaction's commit: its
+		// entry appears in the unit-of-work table. Capture progress is a
+		// CSN, which we do not know yet — that is the whole point — so poll
+		// the UOW by transaction id, advancing with capture progress.
+		for {
+			if e, ok := m.cap.UOW().ByTx(txid); ok {
+				return e.CSN, nil
+			}
+			// Wait for at least one more commit to be captured.
+			if err := m.cap.WaitProgress(m.cap.Progress() + 1); err != nil {
+				return 0, fmt.Errorf("marker for tx %d never captured: %w", txid, err)
+			}
+		}
+	}, nil
+}

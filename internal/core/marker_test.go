@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestMarkerProbeRecoversCSN(t *testing.T) {
+	env := newEnv(t, chainView("v", 2))
+	probe, err := NewMarkerProbe(env.db, env.cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tx := env.db.Begin()
+		// A propagation-style transaction that also does regular work.
+		if err := tx.Insert("r1", tuple.Tuple{tuple.Int(int64(i)), tuple.Int(int64(i))}); err != nil {
+			tx.Abort()
+			t.Fatal(err)
+		}
+		resolve, err := probe.Mark(tx)
+		if err != nil {
+			tx.Abort()
+			t.Fatal(err)
+		}
+		want, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("marker recovered CSN %d, engine reported %d", got, want)
+		}
+	}
+}
+
+func TestMarkerProbeConcurrentTraffic(t *testing.T) {
+	env := newEnv(t, chainView("v", 2))
+	probe, err := NewMarkerProbe(env.db, env.cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave marker transactions with unrelated traffic so the UOW
+	// lookup has to skip other transactions' entries.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			env.insert("r2", int64(i%3))
+		}
+	}()
+	tx := env.db.Begin()
+	resolve, err := probe.Mark(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resolve()
+	if err != nil || got != want {
+		t.Fatalf("marker under traffic: got %d want %d err %v", got, want, err)
+	}
+	<-done
+}

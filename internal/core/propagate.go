@@ -1,0 +1,117 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/relalg"
+)
+
+// ErrNoProgress is returned by single-step drivers when capture has not
+// advanced far enough to propagate anything new.
+var ErrNoProgress = errors.New("core: no captured changes to propagate")
+
+// IntervalPolicy chooses the propagation interval length (in CSN units) for
+// relation i. Propagate (Figure 5) consults it once per iteration with
+// i == -1; RollingPropagate (Figure 10) consults it per relation. The
+// interval is the paper's contention-tuning knob: smaller intervals mean
+// smaller, shorter propagation transactions.
+type IntervalPolicy func(i int) relalg.CSN
+
+// FixedInterval returns a policy using the same interval for every relation.
+func FixedInterval(d relalg.CSN) IntervalPolicy {
+	return func(int) relalg.CSN { return d }
+}
+
+// PerRelationIntervals returns a policy with one interval per relation; a
+// call with i == -1 returns the first entry.
+func PerRelationIntervals(ds ...relalg.CSN) IntervalPolicy {
+	return func(i int) relalg.CSN {
+		if i < 0 {
+			i = 0
+		}
+		return ds[i]
+	}
+}
+
+// Propagator is the continuous asynchronous propagation process of
+// Figure 5: each iteration calls ComputeDelta over the next propagation
+// interval, advancing the view delta high-water mark.
+type Propagator struct {
+	exec     *Executor
+	interval IntervalPolicy
+
+	mu   sync.Mutex
+	tCur relalg.CSN
+}
+
+// NewPropagator creates a Propagate process starting at tInitial (the
+// view's materialization time).
+func NewPropagator(exec *Executor, tInitial relalg.CSN, interval IntervalPolicy) *Propagator {
+	return &Propagator{exec: exec, interval: interval, tCur: tInitial}
+}
+
+// HWM returns the view delta high-water mark: the view delta is complete
+// from the initial time through this point. Safe to call concurrently with
+// Step (the apply process reads it).
+func (p *Propagator) HWM() relalg.CSN {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tCur
+}
+
+// Step performs one iteration: it propagates the interval
+// (tCur, min(tCur+δ, captureProgress)] and advances the high-water mark.
+// It returns ErrNoProgress if capture has nothing new.
+func (p *Propagator) Step() error {
+	cur := p.HWM()
+	delta := p.interval(-1)
+	if delta <= 0 {
+		delta = 1
+	}
+	target := cur + delta
+	if progress := p.exec.src.Progress(); target > progress {
+		target = progress
+	}
+	if target <= cur {
+		return ErrNoProgress
+	}
+	tauOld := make([]relalg.CSN, p.exec.view.N())
+	for i := range tauOld {
+		tauOld[i] = cur
+	}
+	if err := p.exec.ComputeDelta(AllBase(p.exec.view), tauOld, target); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.tCur = target
+	p.mu.Unlock()
+	return nil
+}
+
+// Run loops Step until stop is closed, idling briefly whenever capture has
+// no new work. Either the propagation or the apply process "can be
+// suspended during periods of high system load" (Section 1); Run simply
+// returns when stopped and can be restarted later from the same state.
+func (p *Propagator) Run(stop <-chan struct{}) error {
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		err := p.Step()
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrNoProgress):
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(time.Millisecond):
+			}
+		default:
+			return err
+		}
+	}
+}

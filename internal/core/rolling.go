@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/relalg"
+)
+
+// qentry records a forward query that has not been fully compensated: the
+// delta interval it covered on its relation's axis and its execution time.
+// This is one element of the paper's querylist[i].
+type qentry struct {
+	lo, hi relalg.CSN // forward query's delta window (lo, hi]
+	exec   relalg.CSN // execution (commit) time t_e
+}
+
+// RollingPropagator is the rolling join propagation process of Figure 10.
+// Unlike Propagate it allows a different propagation interval per relation
+// (n tuning knobs instead of one) and defers compensation for forward
+// queries, merging it into the compensation work of later queries.
+//
+// Step is intended for a single driver goroutine; HWM, TFwd, and Steps may
+// be called concurrently from the apply process (the two processes are
+// independent, Section 1).
+type RollingPropagator struct {
+	exec     *Executor
+	interval IntervalPolicy
+
+	mu        sync.Mutex
+	tfwd      []relalg.CSN // progress of forward queries per relation
+	querylist [][]qentry   // uncompensated forward queries per relation
+	steps     int64
+}
+
+// NewRollingPropagator creates a RollingPropagate process starting at
+// tInitial for every relation.
+func NewRollingPropagator(exec *Executor, tInitial relalg.CSN, interval IntervalPolicy) *RollingPropagator {
+	n := exec.view.N()
+	r := &RollingPropagator{
+		exec:      exec,
+		interval:  interval,
+		tfwd:      make([]relalg.CSN, n),
+		querylist: make([][]qentry, n),
+	}
+	for i := range r.tfwd {
+		r.tfwd[i] = tInitial
+	}
+	return r
+}
+
+// TFwd returns a copy of the per-relation forward-query progress.
+func (r *RollingPropagator) TFwd() []relalg.CSN {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]relalg.CSN, len(r.tfwd))
+	copy(out, r.tfwd)
+	return out
+}
+
+// tcompLocked returns the compensation progress for relation i: tfwd[i] if
+// no forward query awaits compensation, else the start of the oldest one
+// (PruneQueryLists' bookkeeping in Figure 10). Caller holds mu.
+func (r *RollingPropagator) tcompLocked(i int) relalg.CSN {
+	if len(r.querylist[i]) == 0 {
+		return r.tfwd[i]
+	}
+	return r.querylist[i][0].lo
+}
+
+// HWM returns the view delta high-water mark: min over relations of
+// tcomp[i]. The view delta restricted to (tInitial, HWM] is a timed delta
+// table (Theorem 4.3).
+func (r *RollingPropagator) HWM() relalg.CSN {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hwm := r.tcompLocked(0)
+	for i := 1; i < len(r.tfwd); i++ {
+		if t := r.tcompLocked(i); t < hwm {
+			hwm = t
+		}
+	}
+	return hwm
+}
+
+// Steps returns the number of completed forward steps.
+func (r *RollingPropagator) Steps() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.steps
+}
+
+// pruneQueryListsLocked drops forward queries whose execution time is at or
+// below t: no future forward query can overlap them, so their compensation
+// is complete. Caller holds mu.
+func (r *RollingPropagator) pruneQueryListsLocked(t relalg.CSN) {
+	for i := range r.querylist {
+		ql := r.querylist[i]
+		k := 0
+		for k < len(ql) && ql[k].exec <= t {
+			k++
+		}
+		r.querylist[i] = ql[k:]
+	}
+}
+
+// compIntervalLocked implements ComInterval: the widest span starting at t
+// over which the compensation region for relation i stays rectangular — it
+// ends at the next execution time among the uncompensated forward queries
+// of relations 1..i-1. Zero means unbounded. Caller holds mu.
+func (r *RollingPropagator) compIntervalLocked(i int, t relalg.CSN) relalg.CSN {
+	var next relalg.CSN
+	for j := 0; j < i; j++ {
+		for _, q := range r.querylist[j] {
+			if q.exec > t && (next == 0 || q.exec < next) {
+				next = q.exec
+			}
+		}
+	}
+	if next == 0 {
+		return 0
+	}
+	return next - t
+}
+
+// compTimeLocked implements CompTime: how far back a compensation at slice
+// t must reach on relation j's axis — the start of the earliest
+// uncompensated forward query of R^j that covers slice t (execution time >
+// t), or tfwd[j] if none does. Caller holds mu.
+func (r *RollingPropagator) compTimeLocked(j int, t relalg.CSN) relalg.CSN {
+	best := relalg.CSN(0)
+	var bestExec relalg.CSN
+	for _, q := range r.querylist[j] {
+		if q.exec > t && (bestExec == 0 || q.exec < bestExec) {
+			bestExec = q.exec
+			best = q.lo
+		}
+	}
+	if bestExec == 0 {
+		return r.tfwd[j]
+	}
+	return best
+}
+
+// Step performs one iteration of Figure 10: a forward query for the
+// relation with the smallest tfwd, followed by the compensation calls for
+// its overlap with earlier relations' forward queries. It returns
+// ErrNoProgress when capture has nothing new for that relation.
+func (r *RollingPropagator) Step() error {
+	r.mu.Lock()
+	// Choose the base relation with the smallest tfwd (lowest index on ties).
+	i := 0
+	for j := 1; j < len(r.tfwd); j++ {
+		if r.tfwd[j] < r.tfwd[i] {
+			i = j
+		}
+	}
+	r.pruneQueryListsLocked(r.tfwd[i])
+	delta := r.interval(i)
+	if delta <= 0 {
+		delta = 1
+	}
+	w := r.tfwd[i]
+	hi := w + delta
+	r.mu.Unlock()
+
+	if progress := r.exec.src.Progress(); hi > progress {
+		hi = progress
+	}
+	if hi <= w {
+		return ErrNoProgress
+	}
+
+	// If the window is empty, the forward query and all compensation for it
+	// vanish identically; just advance.
+	if r.exec.SkipEmptyWindows {
+		if err := r.exec.src.WaitProgress(hi); err != nil {
+			return err
+		}
+		if r.exec.windowEmpty(i, w, hi) {
+			r.exec.noteSkipped()
+			r.mu.Lock()
+			r.tfwd[i] = hi
+			r.steps++
+			r.mu.Unlock()
+			return nil
+		}
+	}
+
+	// Forward query: R^1 ... R^{i-1} Δ^i_{(w,hi]} R^{i+1} ... R^n.
+	fq := AllBase(r.exec.view).WithDelta(i, w, hi)
+	tExec, err := r.exec.execute(fq, KindForward, 0)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if i < len(r.tfwd)-1 {
+		r.querylist[i] = append(r.querylist[i], qentry{lo: w, hi: hi, exec: tExec})
+	}
+	if i == 0 {
+		// No compensation for R^1's forward queries.
+		r.tfwd[0] = hi
+		r.steps++
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+
+	// Compensate the forward query's overlap with forward queries of
+	// relations 1..i-1, splitting the (w, hi] span into rectangular
+	// sub-regions at their execution-time breakpoints.
+	for {
+		r.mu.Lock()
+		lo := r.tfwd[i]
+		if lo >= hi {
+			r.steps++
+			r.mu.Unlock()
+			return nil
+		}
+		span := hi - lo
+		if ci := r.compIntervalLocked(i, lo); ci > 0 && ci < span {
+			span = ci
+		}
+		sub := lo + span
+		tauD := make([]relalg.CSN, len(r.tfwd))
+		for j := range tauD {
+			if j < i {
+				tauD[j] = r.compTimeLocked(j, lo)
+			} else {
+				tauD[j] = tExec
+			}
+		}
+		r.mu.Unlock()
+
+		if r.exec.SkipEmptyWindows && r.exec.windowEmpty(i, lo, sub) {
+			// The sub-rectangle's delta factor is empty, so the whole
+			// compensation region is identically empty.
+			r.exec.noteSkipped()
+		} else {
+			cq := AllBase(r.exec.view).WithDelta(i, lo, sub).Negated()
+			if err := r.exec.computeDelta(cq, tauD, tExec, 1); err != nil {
+				return err
+			}
+		}
+		r.mu.Lock()
+		r.tfwd[i] = sub
+		r.mu.Unlock()
+	}
+}
+
+// Run loops Step until stop is closed, idling briefly when capture has no
+// new work.
+func (r *RollingPropagator) Run(stop <-chan struct{}) error {
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		err := r.Step()
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrNoProgress):
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(time.Millisecond):
+			}
+		default:
+			return err
+		}
+	}
+}

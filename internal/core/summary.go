@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// SummaryView maintains an aggregation over an SPJ view using the
+// summary-delta method the paper cites ([8], Section 2): the timestamped
+// SPJ view delta doubles as a summary delta. Each delta row (tuple, count,
+// ts) contributes to its group: COUNT(*) moves by count, and each SUM(col)
+// moves by count × value. Applying the delta window (t_mat, target] rolls
+// the aggregates to exactly the target time — point-in-time refresh works
+// for aggregates the same way it does for tuples.
+//
+// Supported aggregates: COUNT(*) (implicit) and SUM over numeric columns.
+// AVG is derivable as SUM/COUNT. MIN/MAX are not maintainable from deltas
+// alone (deletions need the base data) and are out of scope, as in [8].
+type SummaryView struct {
+	name    string
+	groupBy []int // column indexes of the underlying view's output schema
+	sums    []int // columns to SUM
+
+	delta *engine.DeltaTable
+	hwm   func() relalg.CSN
+
+	mu      sync.RWMutex
+	groups  map[string]*summaryGroup
+	matTime relalg.CSN
+}
+
+type summaryGroup struct {
+	key   tuple.Tuple
+	count int64
+	sums  []float64
+}
+
+// SummaryRow is one result row of the summary view.
+type SummaryRow struct {
+	Key   tuple.Tuple
+	Count int64
+	Sums  []float64
+}
+
+// NewSummaryView creates a summary view over the SPJ view delta. groupBy
+// and sums are column indexes into the underlying view's output schema.
+func NewSummaryView(name string, delta *engine.DeltaTable, hwm func() relalg.CSN, groupBy, sums []int) (*SummaryView, error) {
+	arity := delta.Schema().Arity()
+	for _, c := range append(append([]int{}, groupBy...), sums...) {
+		if c < 0 || c >= arity {
+			return nil, fmt.Errorf("core: summary %q: column %d out of range", name, c)
+		}
+	}
+	return &SummaryView{
+		name:    name,
+		groupBy: groupBy,
+		sums:    sums,
+		delta:   delta,
+		hwm:     hwm,
+		groups:  make(map[string]*summaryGroup),
+	}, nil
+}
+
+// MatTime returns the time the aggregates currently reflect.
+func (sv *SummaryView) MatTime() relalg.CSN {
+	sv.mu.RLock()
+	defer sv.mu.RUnlock()
+	return sv.matTime
+}
+
+// RollTo advances the aggregates to target (point-in-time refresh for
+// aggregates). Like the tuple-level applier it refuses to move backward or
+// past the high-water mark.
+func (sv *SummaryView) RollTo(target relalg.CSN) error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if target < sv.matTime {
+		return fmt.Errorf("%w: at %d, asked for %d", ErrBackward, sv.matTime, target)
+	}
+	if target == sv.matTime {
+		return nil
+	}
+	if h := sv.hwm(); target > h {
+		return fmt.Errorf("%w: hwm %d, asked for %d", ErrBeyondHWM, h, target)
+	}
+	// Net the window per group first: individual delta rows (e.g.
+	// compensations) may transiently drive a group negative even though the
+	// window nets out, exactly as with tuple-level apply.
+	win := sv.delta.Window(sv.matTime, target)
+	net := make(map[string]*summaryGroup, len(win.Rows))
+	for _, row := range win.Rows {
+		key := row.Tuple.Project(sv.groupBy)
+		ks := string(tuple.EncodeKey(nil, key))
+		g := net[ks]
+		if g == nil {
+			g = &summaryGroup{key: key, sums: make([]float64, len(sv.sums))}
+			net[ks] = g
+		}
+		g.count += row.Count
+		for i, c := range sv.sums {
+			g.sums[i] += float64(row.Count) * numeric(row.Tuple[c])
+		}
+	}
+	for ks, d := range net {
+		var cur int64
+		if g := sv.groups[ks]; g != nil {
+			cur = g.count
+		}
+		if cur+d.count < 0 {
+			return fmt.Errorf("%w: group %s would become %d", ErrNegativeCount, d.key, cur+d.count)
+		}
+	}
+	for ks, d := range net {
+		g := sv.groups[ks]
+		if g == nil {
+			if d.count == 0 {
+				continue
+			}
+			sv.groups[ks] = d
+			continue
+		}
+		g.count += d.count
+		for i := range g.sums {
+			g.sums[i] += d.sums[i]
+		}
+		if g.count == 0 {
+			delete(sv.groups, ks)
+		}
+	}
+	sv.matTime = target
+	return nil
+}
+
+// RollToHWM refreshes to the current high-water mark.
+func (sv *SummaryView) RollToHWM() (relalg.CSN, error) {
+	h := sv.hwm()
+	if h < sv.MatTime() {
+		return sv.MatTime(), nil
+	}
+	return h, sv.RollTo(h)
+}
+
+// Rows returns the groups sorted by key.
+func (sv *SummaryView) Rows() []SummaryRow {
+	sv.mu.RLock()
+	defer sv.mu.RUnlock()
+	keys := make([]string, 0, len(sv.groups))
+	for k := range sv.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]SummaryRow, 0, len(keys))
+	for _, k := range keys {
+		g := sv.groups[k]
+		out = append(out, SummaryRow{Key: g.key, Count: g.count, Sums: append([]float64(nil), g.sums...)})
+	}
+	return out
+}
+
+// Groups returns the number of groups.
+func (sv *SummaryView) Groups() int {
+	sv.mu.RLock()
+	defer sv.mu.RUnlock()
+	return len(sv.groups)
+}
+
+// numeric coerces a value to float64 for SUM (NULL contributes 0).
+func numeric(v tuple.Value) float64 {
+	switch v.Kind() {
+	case tuple.KindInt:
+		return float64(v.AsInt())
+	case tuple.KindFloat:
+		return v.AsFloat()
+	case tuple.KindBool:
+		if v.AsBool() {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// DeltaTable is Δ^R: the timestamped change table for a base table or view.
+// Rows carry the base schema plus the count and timestamp attributes of
+// Section 2 of the paper, stored ordered by (timestamp, sequence) so that
+// the window selection σ_{a,b} is a range scan.
+//
+// Base-table delta tables are appended by the capture process; view delta
+// tables are appended by propagation-query transactions.
+type DeltaTable struct {
+	base   string
+	schema *tuple.Schema
+
+	latch sync.RWMutex
+	tree  *btree.Tree // (ts 8B BE, seq 8B BE) -> (count varint, row)
+	seq   uint64
+}
+
+func newDeltaTable(base string, schema *tuple.Schema) *DeltaTable {
+	return &DeltaTable{base: base, schema: schema, tree: btree.New()}
+}
+
+// Base returns the name of the table this delta describes.
+func (d *DeltaTable) Base() string { return d.base }
+
+// Schema returns the schema of the described table (count and timestamp are
+// implicit, carried by the relation rows).
+func (d *DeltaTable) Schema() *tuple.Schema { return d.schema }
+
+// Len returns the number of stored delta rows.
+func (d *DeltaTable) Len() int {
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	return d.tree.Len()
+}
+
+func deltaKey(ts relalg.CSN, seq uint64) []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(ts))
+	binary.BigEndian.PutUint64(b[8:16], seq)
+	return b[:]
+}
+
+func encodeDeltaVal(count int64, row tuple.Tuple) []byte {
+	out := binary.AppendVarint(nil, count)
+	return tuple.EncodeRow(out, row)
+}
+
+func decodeDeltaVal(b []byte) (int64, tuple.Tuple) {
+	count, n := binary.Varint(b)
+	if n <= 0 {
+		panic("engine: corrupt delta value")
+	}
+	row, _, err := tuple.DecodeRow(b[n:])
+	if err != nil {
+		panic("engine: corrupt delta row: " + err.Error())
+	}
+	return count, row
+}
+
+// Append adds one change record with the given timestamp and count. It
+// returns a handle that Remove accepts (for transactional undo).
+func (d *DeltaTable) Append(ts relalg.CSN, count int64, row tuple.Tuple) (handle []byte) {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	d.seq++
+	k := deltaKey(ts, d.seq)
+	d.tree.Put(k, encodeDeltaVal(count, row))
+	return k
+}
+
+// Remove deletes a previously appended record by handle (undo path).
+func (d *DeltaTable) Remove(handle []byte) {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	d.tree.Delete(handle)
+}
+
+// Window materializes σ_{lo,hi}: all rows with lo < ts <= hi, in timestamp
+// order. The caller is responsible for ensuring the window is closed (the
+// capture process has progressed past hi) so the result is immutable.
+func (d *DeltaTable) Window(lo, hi relalg.CSN) *relalg.Relation {
+	out := relalg.NewRelation(d.schema)
+	if hi <= lo {
+		return out
+	}
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	start := deltaKey(lo+1, 0)
+	end := deltaKey(hi+1, 0)
+	d.tree.Ascend(start, end, func(k, v []byte) bool {
+		ts := relalg.CSN(binary.BigEndian.Uint64(k[0:8]))
+		count, row := decodeDeltaVal(v)
+		out.Add(row, count, ts)
+		return true
+	})
+	return out
+}
+
+// All materializes the entire delta table in timestamp order.
+func (d *DeltaTable) All() *relalg.Relation {
+	out := relalg.NewRelation(d.schema)
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	d.tree.Ascend(nil, nil, func(k, v []byte) bool {
+		ts := relalg.CSN(binary.BigEndian.Uint64(k[0:8]))
+		count, row := decodeDeltaVal(v)
+		out.Add(row, count, ts)
+		return true
+	})
+	return out
+}
+
+// PruneThrough deletes all rows with ts <= hi and returns how many were
+// removed. The apply process prunes view deltas it has applied; capture
+// checkpoints prune base deltas below every view's materialization point.
+func (d *DeltaTable) PruneThrough(hi relalg.CSN) int {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	var doomed [][]byte
+	end := deltaKey(hi+1, 0)
+	d.tree.Ascend(nil, end, func(k, _ []byte) bool {
+		doomed = append(doomed, k)
+		return true
+	})
+	for _, k := range doomed {
+		d.tree.Delete(k)
+	}
+	return len(doomed)
+}
+
+// MaxTS returns the largest timestamp present (NullTS if empty).
+func (d *DeltaTable) MaxTS() relalg.CSN {
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	it := d.tree.Last()
+	if !it.Valid() {
+		return relalg.NullTS
+	}
+	return relalg.CSN(binary.BigEndian.Uint64(it.Key()[0:8]))
+}

@@ -1,0 +1,260 @@
+// Package engine implements the embedded multiset relational engine that
+// plays the role of DB2 in the paper's prototype (Section 5, Figure 11):
+// heap tables behind a strict-2PL lock manager, a write-ahead log consumed
+// by the capture process, timestamp-ordered delta tables, and an executor
+// for select-project-join propagation queries.
+//
+// Locking protocol: writers take IX on the table plus X on each touched
+// row; scans take S on the table. A long-running propagation query
+// therefore blocks base-table writers for its duration — precisely the
+// contention the rolling propagation algorithm bounds by shrinking
+// propagation intervals.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Common engine errors.
+var (
+	ErrNoSuchTable = errors.New("engine: no such table")
+	ErrNoSuchDelta = errors.New("engine: no delta table registered")
+	ErrExists      = errors.New("engine: object already exists")
+)
+
+// Write describes one base-table change made by a transaction; it is fed to
+// the trigger sink (trigger-based capture) at commit.
+type Write struct {
+	Table string
+	Row   tuple.Tuple
+	Count int64 // +1 insert, -1 delete
+}
+
+// TriggerSink receives a committed transaction's writes synchronously inside
+// the commit critical section. It models the paper's trigger-based capture
+// alternative, including its cost: the work expands the writer's commit
+// path.
+type TriggerSink interface {
+	OnCommit(writes []Write, csn relalg.CSN, wall time.Time)
+}
+
+// Config configures an engine instance.
+type Config struct {
+	// Device backs the write-ahead log. Nil means an in-memory device.
+	Device wal.Device
+	// SyncOnCommit forces a log sync inside every commit.
+	SyncOnCommit bool
+}
+
+// DB is an embedded database instance.
+type DB struct {
+	tm  *txn.Manager
+	log *wal.Log
+
+	mu     sync.RWMutex // guards the catalog maps
+	tables map[string]*Table
+	deltas map[string]*DeltaTable // keyed by base-table name
+
+	sinkMu      sync.RWMutex
+	triggerSink TriggerSink
+
+	cfg Config
+
+	statsMu      sync.Mutex
+	rowsScanned  int64
+	rowsJoined   int64
+	queriesRun   int64
+	rowsInserted int64
+	rowsDeleted  int64
+	indexProbes  int64
+}
+
+// Open creates a database instance, recovering the log end if the device
+// has prior content.
+func Open(cfg Config) (*DB, error) {
+	dev := cfg.Device
+	if dev == nil {
+		dev = wal.NewMemDevice()
+	}
+	log, err := wal.NewLog(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		tm:     txn.NewManager(),
+		log:    log,
+		tables: make(map[string]*Table),
+		deltas: make(map[string]*DeltaTable),
+		cfg:    cfg,
+	}, nil
+}
+
+// Close closes the log; in-flight blocking readers are woken.
+func (db *DB) Close() error { return db.log.Close() }
+
+// TM exposes the transaction manager (for stats and advanced callers).
+func (db *DB) TM() *txn.Manager { return db.tm }
+
+// Log exposes the write-ahead log (the capture process tails it).
+func (db *DB) Log() *wal.Log { return db.log }
+
+// SetTriggerSink installs or clears the trigger-based capture sink.
+func (db *DB) SetTriggerSink(s TriggerSink) {
+	db.sinkMu.Lock()
+	db.triggerSink = s
+	db.sinkMu.Unlock()
+}
+
+// CreateTable registers a new base table.
+func (db *DB) CreateTable(name string, schema *tuple.Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("%w: table %q", ErrExists, name)
+	}
+	t := newTable(name, schema)
+	db.tables[name] = t
+	return t, nil
+}
+
+// CreateDelta registers a delta table Δ^R for the named base table. The
+// capture process populates it.
+func (db *DB) CreateDelta(base string) (*DeltaTable, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	bt, ok := db.tables[base]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, base)
+	}
+	if _, ok := db.deltas[base]; ok {
+		return nil, fmt.Errorf("%w: delta for %q", ErrExists, base)
+	}
+	d := newDeltaTable(base, bt.schema)
+	db.deltas[base] = d
+	return d, nil
+}
+
+// CreateStandaloneDelta creates a delta table not tied to a registered base
+// table (used for view delta tables, whose "base" is the view itself).
+func (db *DB) CreateStandaloneDelta(name string, schema *tuple.Schema) (*DeltaTable, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.deltas[name]; ok {
+		return nil, fmt.Errorf("%w: delta %q", ErrExists, name)
+	}
+	d := newDeltaTable(name, schema)
+	db.deltas[name] = d
+	return d, nil
+}
+
+// Table looks up a base table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Delta looks up a delta table by its base name.
+func (db *DB) Delta(base string) (*DeltaTable, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	d, ok := db.deltas[base]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDelta, base)
+	}
+	return d, nil
+}
+
+// HasDelta reports whether a delta table is registered for base.
+func (db *DB) HasDelta(base string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.deltas[base]
+	return ok
+}
+
+// TableNames returns the registered base-table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LastCSN returns the most recent commit sequence number.
+func (db *DB) LastCSN() relalg.CSN { return db.tm.LastCSN() }
+
+// Stats is a snapshot of engine activity counters.
+type Stats struct {
+	RowsScanned  int64
+	RowsJoined   int64
+	QueriesRun   int64
+	RowsInserted int64
+	RowsDeleted  int64
+	IndexProbes  int64
+	Txn          txn.Stats
+}
+
+// Stats returns a snapshot of engine counters.
+func (db *DB) Stats() Stats {
+	db.statsMu.Lock()
+	s := Stats{
+		RowsScanned:  db.rowsScanned,
+		RowsJoined:   db.rowsJoined,
+		QueriesRun:   db.queriesRun,
+		RowsInserted: db.rowsInserted,
+		RowsDeleted:  db.rowsDeleted,
+		IndexProbes:  db.indexProbes,
+	}
+	db.statsMu.Unlock()
+	s.Txn = db.tm.Stats()
+	return s
+}
+
+func (db *DB) addScanned(n int64) {
+	db.statsMu.Lock()
+	db.rowsScanned += n
+	db.statsMu.Unlock()
+}
+
+func (db *DB) addJoined(n int64) {
+	db.statsMu.Lock()
+	db.rowsJoined += n
+	db.statsMu.Unlock()
+}
+
+func (db *DB) addQuery() {
+	db.statsMu.Lock()
+	db.queriesRun++
+	db.statsMu.Unlock()
+}
+
+func (db *DB) addProbes(n int64) {
+	db.statsMu.Lock()
+	db.indexProbes += n
+	db.statsMu.Unlock()
+}
+
+func (db *DB) addWrites(ins, del int64) {
+	db.statsMu.Lock()
+	db.rowsInserted += ins
+	db.rowsDeleted += del
+	db.statsMu.Unlock()
+}

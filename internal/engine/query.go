@@ -1,0 +1,440 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// InputKind distinguishes the three sources a propagation-query position can
+// read from.
+type InputKind uint8
+
+// The input kinds.
+const (
+	// InputBase reads the current committed state of a base table (R^i seen
+	// at the query's commit time).
+	InputBase InputKind = iota
+	// InputDelta reads a timestamp window of a delta table (R^i_{lo,hi}).
+	InputDelta
+	// InputRelation reads a pre-materialized relation (testing and the
+	// apply path).
+	InputRelation
+)
+
+// Input is one position of an SPJ query: a base table, a delta window, or a
+// materialized relation, with an optional pushdown predicate evaluated
+// against the input's own schema.
+type Input struct {
+	Kind InputKind
+	// Table is the base-table name (InputBase) or the delta table's base
+	// name (InputDelta).
+	Table string
+	// Lo and Hi bound the half-open window (Lo, Hi] for InputDelta.
+	Lo, Hi relalg.CSN
+	// Rel is the materialized relation for InputRelation.
+	Rel *relalg.Relation
+	// Pred is an optional pushdown predicate over this input's schema.
+	Pred relalg.Predicate
+}
+
+// String renders the input in the paper's notation.
+func (in Input) String() string {
+	switch in.Kind {
+	case InputBase:
+		return in.Table
+	case InputDelta:
+		return fmt.Sprintf("Δ%s(%d,%d]", in.Table, in.Lo, in.Hi)
+	default:
+		return "<rel>"
+	}
+}
+
+// ColRef names a column by input position and column index within that
+// input's schema.
+type ColRef struct {
+	Input int
+	Col   int
+}
+
+// JoinCond is an equi-join condition between two column references.
+type JoinCond struct {
+	A, B ColRef
+}
+
+// Query is a select-project-join query over a list of inputs, in the shape
+// of the paper's propagation queries π(σ(Q[1] ⋈ Q[2] ⋈ ... ⋈ Q[n])).
+type Query struct {
+	Inputs []Input
+	Conds  []JoinCond
+	// Residual is an optional predicate over the concatenated schema,
+	// evaluated after all joins (column positions are global offsets).
+	Residual relalg.Predicate
+	// Project optionally projects the result onto these columns; nil keeps
+	// the full concatenation.
+	Project []ColRef
+}
+
+// String renders the query's join list in the paper's notation.
+func (q *Query) String() string {
+	parts := make([]string, len(q.Inputs))
+	for i, in := range q.Inputs {
+		parts[i] = in.String()
+	}
+	return strings.Join(parts, " ⋈ ")
+}
+
+// ErrNotRealizable marks queries that reference a delta window that the
+// capture process has not fully populated yet.
+var ErrNotRealizable = errors.New("engine: delta window not yet captured")
+
+// arities returns the arity of each input and the global offset of each.
+func (db *DB) arities(q *Query) ([]int, []int, error) {
+	ar := make([]int, len(q.Inputs))
+	off := make([]int, len(q.Inputs))
+	pos := 0
+	for i, in := range q.Inputs {
+		var n int
+		switch in.Kind {
+		case InputBase:
+			t, err := db.Table(in.Table)
+			if err != nil {
+				return nil, nil, err
+			}
+			n = t.schema.Arity()
+		case InputDelta:
+			d, err := db.Delta(in.Table)
+			if err != nil {
+				return nil, nil, err
+			}
+			n = d.schema.Arity()
+		case InputRelation:
+			n = in.Rel.Schema.Arity()
+		}
+		ar[i] = n
+		off[i] = pos
+		pos += n
+	}
+	return ar, off, nil
+}
+
+// EvalQuery evaluates q inside the transaction: base inputs are scanned
+// under table S locks (pre-acquired in sorted name order to keep the lock
+// graph acyclic among propagation queries), delta inputs are materialized
+// from their windows, and the inputs are joined left-deep with hash joins.
+// Counts multiply and timestamps combine by minimum per the paper's rule.
+func (tx *Tx) EvalQuery(q *Query) (*relalg.Relation, error) {
+	db := tx.db
+	db.addQuery()
+	arities, offsets, err := db.arities(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-lock base tables in sorted order.
+	var baseNames []string
+	for _, in := range q.Inputs {
+		if in.Kind == InputBase {
+			baseNames = append(baseNames, in.Table)
+		}
+	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
+		if err := tx.LockTableS(name); err != nil {
+			return nil, err
+		}
+	}
+
+	// Materialize the non-base inputs; base inputs stay lazy so the join
+	// step can choose between a full scan (hash join) and index probing.
+	rels := make([]*relalg.Relation, len(q.Inputs))
+	for i, in := range q.Inputs {
+		switch in.Kind {
+		case InputDelta:
+			d, err := db.Delta(in.Table)
+			if err != nil {
+				return nil, err
+			}
+			rel := d.Window(in.Lo, in.Hi)
+			if in.Pred != nil {
+				rel = relalg.Select(rel, in.Pred)
+			}
+			db.addScanned(int64(rel.Len()))
+			rels[i] = rel
+		case InputRelation:
+			rel := in.Rel
+			if in.Pred != nil {
+				rel = relalg.Select(rel, in.Pred)
+			}
+			rels[i] = rel
+		}
+	}
+	materialize := func(i int) (*relalg.Relation, error) {
+		if rels[i] != nil {
+			return rels[i], nil
+		}
+		rel, err := tx.Scan(q.Inputs[i].Table, q.Inputs[i].Pred)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = rel
+		return rel, nil
+	}
+
+	// Left-deep joins in a chosen order: start from a delta (or
+	// materialized) input when there is one — propagation queries have
+	// small delta sides — then greedily add inputs connected to the prefix
+	// by a join condition. A base input reachable through a single
+	// equi-join condition with an index on the joined column is read by
+	// index nested-loop probes instead of a full scan. Conditions not
+	// consumed by the pipeline are evaluated as residuals afterwards, and
+	// the result columns are restored to declaration order at the end.
+	n := len(q.Inputs)
+	order := make([]int, 0, n)
+	chosen := make([]bool, n)
+	pick := func(i int) { order = append(order, i); chosen[i] = true }
+	start := 0
+	for i, in := range q.Inputs {
+		if in.Kind != InputBase {
+			start = i
+			break
+		}
+	}
+	pick(start)
+	for len(order) < n {
+		// Prefer a connected non-base input, then any connected input,
+		// then fall back to the lowest unchosen (cross product).
+		best := -1
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			connected := false
+			for _, c := range q.Conds {
+				a, b := c.A.Input, c.B.Input
+				if (a == i && chosen[b]) || (b == i && chosen[a]) {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				continue
+			}
+			if q.Inputs[i].Kind != InputBase {
+				best = i
+				break
+			}
+			if best == -1 {
+				best = i
+			}
+		}
+		if best == -1 {
+			for i := 0; i < n; i++ {
+				if !chosen[i] {
+					best = i
+					break
+				}
+			}
+		}
+		pick(best)
+	}
+
+	// placed[i] reports whether input i is already in the joined prefix;
+	// joinedOff[i] is its column offset within the joined tuple.
+	placed := make([]bool, n)
+	joinedOff := make([]int, n)
+
+	result, err := materialize(order[0])
+	if err != nil {
+		return nil, err
+	}
+	placed[order[0]] = true
+	joinedOff[order[0]] = 0
+	joinedWidth := arities[order[0]]
+	used := make([]bool, len(q.Conds))
+	for step := 1; step < n; step++ {
+		i := order[step]
+		var on []relalg.JoinOn
+		for ci, c := range q.Conds {
+			if used[ci] {
+				continue
+			}
+			a, b := c.A, c.B
+			if a.Input == i && placed[b.Input] {
+				a, b = b, a
+			}
+			if b.Input == i && placed[a.Input] {
+				on = append(on, relalg.JoinOn{
+					LeftCol:  joinedOff[a.Input] + a.Col,
+					RightCol: b.Col,
+				})
+				used[ci] = true
+			}
+		}
+		if rels[i] == nil && len(on) == 1 {
+			t, err := db.Table(q.Inputs[i].Table)
+			if err != nil {
+				return nil, err
+			}
+			if ix := t.indexOn(on[0].RightCol); ix != nil {
+				result = indexJoin(db, result, t, ix, on[0].LeftCol, q.Inputs[i].Pred)
+				db.addJoined(int64(result.Len()))
+				joinedOff[i] = joinedWidth
+				joinedWidth += arities[i]
+				placed[i] = true
+				continue
+			}
+		}
+		rel, err := materialize(i)
+		if err != nil {
+			return nil, err
+		}
+		result = relalg.Join(result, rel, on)
+		db.addJoined(int64(result.Len()))
+		joinedOff[i] = joinedWidth
+		joinedWidth += arities[i]
+		placed[i] = true
+	}
+
+	// Restore declaration order so residuals, projection, and the output
+	// schema see the documented column layout.
+	if !inDeclarationOrder(order) {
+		perm := make([]int, 0, joinedWidth)
+		for i := 0; i < n; i++ {
+			for c := 0; c < arities[i]; c++ {
+				perm = append(perm, joinedOff[i]+c)
+			}
+		}
+		cs, err := db.concatSchema(q)
+		if err != nil {
+			return nil, err
+		}
+		restored := relalg.NewRelation(cs)
+		restored.Rows = make([]relalg.Row, len(result.Rows))
+		for ri, row := range result.Rows {
+			restored.Rows[ri] = relalg.Row{Tuple: row.Tuple.Project(perm), Count: row.Count, TS: row.TS}
+		}
+		result = restored
+	}
+
+	// Residual conditions (including any join conditions not consumed by
+	// the left-deep pipeline, e.g. both sides in the same input).
+	var residuals relalg.And
+	for ci, c := range q.Conds {
+		if used[ci] {
+			continue
+		}
+		residuals = append(residuals, relalg.ColCol{
+			ColA: offsets[c.A.Input] + c.A.Col,
+			Op:   relalg.OpEQ,
+			ColB: offsets[c.B.Input] + c.B.Col,
+		})
+	}
+	if q.Residual != nil {
+		residuals = append(residuals, q.Residual)
+	}
+	if len(residuals) > 0 {
+		result = relalg.Select(result, residuals)
+	}
+
+	if q.Project != nil {
+		idx := make([]int, len(q.Project))
+		for i, ref := range q.Project {
+			idx[i] = offsets[ref.Input] + ref.Col
+		}
+		result = relalg.Project(result, idx, nil)
+	}
+	return result, nil
+}
+
+// inDeclarationOrder reports whether the join order is the identity.
+func inDeclarationOrder(order []int) bool {
+	for i, v := range order {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// concatSchema builds the declaration-order concatenated schema of the
+// query's inputs (duplicate names from later inputs prefixed with "r_",
+// matching relalg.Join's convention).
+func (db *DB) concatSchema(q *Query) (*tuple.Schema, error) {
+	var cs *tuple.Schema
+	for _, in := range q.Inputs {
+		var s *tuple.Schema
+		switch in.Kind {
+		case InputBase:
+			t, err := db.Table(in.Table)
+			if err != nil {
+				return nil, err
+			}
+			s = t.schema
+		case InputDelta:
+			d, err := db.Delta(in.Table)
+			if err != nil {
+				return nil, err
+			}
+			s = d.schema
+		case InputRelation:
+			s = in.Rel.Schema
+		}
+		if cs == nil {
+			cs = s
+		} else {
+			cs = tuple.ConcatSchemas(cs, s, "r_")
+		}
+	}
+	return cs, nil
+}
+
+// indexJoin joins the accumulated left relation against a base table via
+// index probes on a single equi-join column. Base rows have count 1 and
+// null timestamps, so the combined row keeps the left row's count and
+// timestamp (product and min rules respectively).
+func indexJoin(db *DB, left *relalg.Relation, t *Table, ix *Index, leftCol int, pred relalg.Predicate) *relalg.Relation {
+	out := relalg.NewRelation(tuple.ConcatSchemas(left.Schema, t.schema, "r_"))
+	for _, lr := range left.Rows {
+		db.addProbes(1)
+		for _, m := range t.probe(ix, lr.Tuple[leftCol], pred) {
+			out.Rows = append(out.Rows, relalg.Row{
+				Tuple: tuple.Concat(lr.Tuple, m),
+				Count: lr.Count,
+				TS:    lr.TS,
+			})
+		}
+	}
+	return out
+}
+
+// ExecutePropagation runs q as its own transaction, multiplies the result
+// counts by sign, appends the rows to the destination delta table, and
+// commits. It returns the commit CSN (the paper's query execution time t_e)
+// and the number of rows appended. This is the Execute primitive of
+// Figures 4 and 10.
+func (db *DB) ExecutePropagation(q *Query, sign int64, dest *DeltaTable) (relalg.CSN, int, error) {
+	tx := db.Begin()
+	rel, err := tx.EvalQuery(q)
+	if err != nil {
+		tx.Abort()
+		return 0, 0, err
+	}
+	for _, row := range rel.Rows {
+		if row.TS == relalg.NullTS {
+			tx.Abort()
+			return 0, 0, fmt.Errorf("engine: propagation query %s produced a null-timestamp row", q)
+		}
+		tx.AppendDelta(dest, row.TS, sign*row.Count, row.Tuple)
+	}
+	csn, err := tx.Commit()
+	if err != nil {
+		tx.Abort()
+		return 0, 0, err
+	}
+	return csn, rel.Len(), nil
+}

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// Table is a heap base table: rows keyed by an auto-assigned rowid in a
+// B+ tree. The latch protects physical structure only; transactional
+// isolation comes from the lock manager.
+type Table struct {
+	name   string
+	schema *tuple.Schema
+
+	latch   sync.RWMutex
+	heap    *btree.Tree // rowid (8B big-endian) -> row encoding
+	nextRow uint64
+	indexes []*Index
+}
+
+// rowidFromKey decodes a heap key back to its rowid.
+func rowidFromKey(k []byte) uint64 { return binary.BigEndian.Uint64(k) }
+
+func newTable(name string, schema *tuple.Schema) *Table {
+	return &Table{name: name, schema: schema, heap: btree.New()}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *tuple.Schema { return t.schema }
+
+// Len returns the current number of rows (committed plus in-flight).
+func (t *Table) Len() int {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	return t.heap.Len()
+}
+
+// lockName is the table-level lock resource.
+func (t *Table) lockName() string { return "T/" + t.name }
+
+// rowLockName is the row-level lock resource for a rowid.
+func (t *Table) rowLockName(rowid uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], rowid)
+	return "R/" + t.name + "/" + string(b[:])
+}
+
+func rowKey(rowid uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], rowid)
+	return b[:]
+}
+
+// put inserts a row at a fresh rowid and returns it. Latch-only; the caller
+// holds the appropriate locks.
+func (t *Table) put(row tuple.Tuple) uint64 {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	t.nextRow++
+	id := t.nextRow
+	t.heap.Put(rowKey(id), tuple.EncodeRow(nil, row))
+	for _, ix := range t.indexes {
+		ix.insert(row[ix.column], id)
+	}
+	return id
+}
+
+// putAt reinstates a row at a specific rowid (undo of a delete).
+func (t *Table) putAt(rowid uint64, row tuple.Tuple) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	t.heap.Put(rowKey(rowid), tuple.EncodeRow(nil, row))
+	for _, ix := range t.indexes {
+		ix.insert(row[ix.column], rowid)
+	}
+}
+
+// remove deletes the row at rowid, returning it (nil if absent).
+func (t *Table) remove(rowid uint64) tuple.Tuple {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	v, ok := t.heap.Get(rowKey(rowid))
+	if !ok {
+		return nil
+	}
+	row, _, err := tuple.DecodeRow(v)
+	if err != nil {
+		panic("engine: corrupt heap row: " + err.Error())
+	}
+	t.heap.Delete(rowKey(rowid))
+	for _, ix := range t.indexes {
+		ix.remove(row[ix.column], rowid)
+	}
+	return row
+}
+
+// get returns the row at rowid, or nil.
+func (t *Table) get(rowid uint64) tuple.Tuple {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	v, ok := t.heap.Get(rowKey(rowid))
+	if !ok {
+		return nil
+	}
+	row, _, err := tuple.DecodeRow(v)
+	if err != nil {
+		panic("engine: corrupt heap row: " + err.Error())
+	}
+	return row
+}
+
+// scan materializes the table as a relation (count=+1, null timestamps),
+// applying the optional pushdown predicate. Latch-only; the caller holds a
+// table S lock.
+func (t *Table) scan(pred relalg.Predicate) *relalg.Relation {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	out := relalg.NewRelation(t.schema)
+	it := t.heap.First()
+	for ; it.Valid(); it.Next() {
+		row, _, err := tuple.DecodeRow(it.Value())
+		if err != nil {
+			panic("engine: corrupt heap row: " + err.Error())
+		}
+		if pred != nil && !pred.Eval(row) {
+			continue
+		}
+		out.Add(row, 1, relalg.NullTS)
+	}
+	return out
+}
+
+// matchRowIDs returns the rowids whose rows satisfy pred, up to limit
+// (limit <= 0 means no limit). Latch-only snapshot; callers must re-check
+// under row locks.
+func (t *Table) matchRowIDs(pred relalg.Predicate, limit int) []uint64 {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	var ids []uint64
+	it := t.heap.First()
+	for ; it.Valid(); it.Next() {
+		row, _, err := tuple.DecodeRow(it.Value())
+		if err != nil {
+			panic("engine: corrupt heap row: " + err.Error())
+		}
+		if pred == nil || pred.Eval(row) {
+			ids = append(ids, binary.BigEndian.Uint64(it.Key()))
+			if limit > 0 && len(ids) >= limit {
+				break
+			}
+		}
+	}
+	return ids
+}

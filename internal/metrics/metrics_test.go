@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatal("count")
+	}
+	if h.Mean() != 50500*time.Microsecond {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	if h.Quantile(0.5) != 50*time.Millisecond {
+		t.Fatalf("p50 %v", h.Quantile(0.5))
+	}
+	if h.Quantile(0.99) != 99*time.Millisecond {
+		t.Fatalf("p99 %v", h.Quantile(0.99))
+	}
+	if h.Quantile(1.0) != 100*time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatal("max")
+	}
+	if h.Sum() != 5050*time.Millisecond {
+		t.Fatal("sum")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Experiment E1", "algo", "time", "ratio")
+	tb.AddRow("full", 120*time.Millisecond, 1.0)
+	tb.AddRow("incremental", 3*time.Millisecond, 0.025)
+	if tb.Rows() != 2 {
+		t.Fatal("rows")
+	}
+	out := tb.String()
+	if !strings.Contains(out, "Experiment E1") || !strings.Contains(out, "incremental") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and row share the column start offsets.
+	if strings.Index(lines[1], "time") != strings.Index(lines[1], "time") {
+		t.Fatal("alignment")
+	}
+	if !strings.Contains(out, "0.03") && !strings.Contains(out, "0.02") {
+		t.Fatal("float formatting")
+	}
+}

@@ -1,0 +1,86 @@
+package relalg
+
+import (
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// NetEffect computes φ(r) per Definition 4.1: group on all attributes except
+// count and timestamp, sum counts within each group, null the timestamps,
+// and drop zero-count groups. The result is in canonical form: rows sorted
+// by tuple, one row per distinct tuple.
+func NetEffect(r *Relation) *Relation {
+	type group struct {
+		t     tuple.Tuple
+		count int64
+	}
+	groups := make(map[uint64][]*group, len(r.Rows))
+	order := make([]*group, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		h := row.Tuple.Hash()
+		var g *group
+		for _, cand := range groups[h] {
+			if cand.t.Equal(row.Tuple) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &group{t: row.Tuple}
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
+		}
+		g.count += row.Count
+	}
+	out := NewRelation(r.Schema)
+	for _, g := range order {
+		if g.count != 0 {
+			out.Rows = append(out.Rows, Row{Tuple: g.t, Count: g.count, TS: NullTS})
+		}
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		return out.Rows[i].Tuple.Compare(out.Rows[j].Tuple) < 0
+	})
+	return out
+}
+
+// Equivalent reports whether φ(a) == φ(b): the two relations represent the
+// same multiset once counts are consolidated. This is the correctness
+// relation used throughout the paper's Section 4.
+func Equivalent(a, b *Relation) bool {
+	na, nb := NetEffect(a), NetEffect(b)
+	if len(na.Rows) != len(nb.Rows) {
+		return false
+	}
+	for i := range na.Rows {
+		if na.Rows[i].Count != nb.Rows[i].Count || !na.Rows[i].Tuple.Equal(nb.Rows[i].Tuple) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTimedDeltaTable checks Definition 4.2 against an oracle: states[t] must
+// give the true state of the view at CSN t for every t in [lo, hi]. It
+// verifies that for all lo <= a < b <= hi, φ(σ_{a,b}(delta) + states[a]) ==
+// φ(states[b]). It returns the first violated (a, b) pair, or ok == true.
+//
+// This is the workhorse oracle used by the correctness test suites for
+// Theorems 4.1–4.3.
+func IsTimedDeltaTable(delta *Relation, states map[CSN]*Relation, lo, hi CSN) (a, b CSN, ok bool) {
+	for x := lo; x < hi; x++ {
+		for y := x + 1; y <= hi; y++ {
+			sa, oka := states[x]
+			sb, okb := states[y]
+			if !oka || !okb {
+				continue
+			}
+			rolled := Union(Window(delta, x, y), sa)
+			if !Equivalent(rolled, sb) {
+				return x, y, false
+			}
+		}
+	}
+	return 0, 0, true
+}

@@ -1,0 +1,159 @@
+package relalg
+
+import (
+	"repro/internal/tuple"
+)
+
+// Select returns the rows of r satisfying the predicate. Counts and
+// timestamps pass through unchanged, so φ commutes with Select.
+func Select(r *Relation, p Predicate) *Relation {
+	out := NewRelation(r.Schema)
+	for _, row := range r.Rows {
+		if p.Eval(row.Tuple) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Project returns the multiset projection of r onto the columns at idx,
+// optionally renaming them. Duplicates are preserved (counts are not
+// merged); apply NetEffect for set-like semantics.
+func Project(r *Relation, idx []int, names []string) *Relation {
+	out := NewRelation(r.Schema.Project(idx, names))
+	for _, row := range r.Rows {
+		out.Rows = append(out.Rows, Row{Tuple: row.Tuple.Project(idx), Count: row.Count, TS: row.TS})
+	}
+	return out
+}
+
+// Union returns the multiset union r + s. The schemas must have equal arity;
+// the left schema is kept.
+func Union(r, s *Relation) *Relation {
+	out := NewRelation(r.Schema)
+	out.Rows = append(out.Rows, r.Rows...)
+	out.Rows = append(out.Rows, s.Rows...)
+	return out
+}
+
+// Negate returns −r: every count flipped (Section 2's negation operator).
+func Negate(r *Relation) *Relation {
+	out := NewRelation(r.Schema)
+	out.Rows = make([]Row, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = Row{Tuple: row.Tuple, Count: -row.Count, TS: row.TS}
+	}
+	return out
+}
+
+// Scale multiplies every count by k (k == -1 is Negate; other factors are
+// used by tests exercising net-effect equivalences).
+func Scale(r *Relation, k int64) *Relation {
+	out := NewRelation(r.Schema)
+	out.Rows = make([]Row, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = Row{Tuple: row.Tuple, Count: k * row.Count, TS: row.TS}
+	}
+	return out
+}
+
+// Window returns σ_{a,b}(r): the rows with timestamps in the half-open
+// interval (a, b]. Per Section 2, this selects the changes committed after
+// t_a and at or before t_b.
+func Window(r *Relation, a, b CSN) *Relation {
+	out := NewRelation(r.Schema)
+	for _, row := range r.Rows {
+		if row.TS > a && row.TS <= b {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// JoinOn is an equi-join condition between column LeftCol of the left input
+// and column RightCol of the right input.
+type JoinOn struct {
+	LeftCol  int
+	RightCol int
+}
+
+// Join computes the equi-join of l and r on the given conditions, applying
+// the paper's combination rule: result count = product of counts, result
+// timestamp = min of non-null timestamps. With no conditions it degenerates
+// to a cross product. The result schema is the concatenation of the input
+// schemas (right-side duplicate names prefixed with "r_").
+//
+// The implementation is a hash join building on the right input.
+func Join(l, r *Relation, on []JoinOn) *Relation {
+	out := NewRelation(tuple.ConcatSchemas(l.Schema, r.Schema, "r_"))
+	if len(l.Rows) == 0 || len(r.Rows) == 0 {
+		return out
+	}
+	if len(on) == 0 {
+		for _, lr := range l.Rows {
+			for _, rr := range r.Rows {
+				out.Rows = append(out.Rows, combine(lr, rr))
+			}
+		}
+		return out
+	}
+	// Build side: hash the right input on its join columns.
+	type bucket struct {
+		rows []Row
+	}
+	table := make(map[uint64]*bucket, len(r.Rows))
+	rightCols := make([]int, len(on))
+	leftCols := make([]int, len(on))
+	for i, c := range on {
+		rightCols[i] = c.RightCol
+		leftCols[i] = c.LeftCol
+	}
+	for _, rr := range r.Rows {
+		h := hashCols(rr.Tuple, rightCols)
+		b := table[h]
+		if b == nil {
+			b = &bucket{}
+			table[h] = b
+		}
+		b.rows = append(b.rows, rr)
+	}
+	// Probe side.
+	for _, lr := range l.Rows {
+		h := hashCols(lr.Tuple, leftCols)
+		b := table[h]
+		if b == nil {
+			continue
+		}
+		for _, rr := range b.rows {
+			if matches(lr.Tuple, rr.Tuple, on) {
+				out.Rows = append(out.Rows, combine(lr, rr))
+			}
+		}
+	}
+	return out
+}
+
+func hashCols(t tuple.Tuple, cols []int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range cols {
+		h = t[c].Hash(h)
+	}
+	return h
+}
+
+func matches(l, r tuple.Tuple, on []JoinOn) bool {
+	for _, c := range on {
+		if !tuple.Equal(l[c.LeftCol], r[c.RightCol]) {
+			return false
+		}
+	}
+	return true
+}
+
+func combine(l, r Row) Row {
+	return Row{
+		Tuple: tuple.Concat(l.Tuple, r.Tuple),
+		Count: l.Count * r.Count,
+		TS:    MinTS(l.TS, r.TS),
+	}
+}

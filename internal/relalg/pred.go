@@ -1,0 +1,174 @@
+package relalg
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// CmpOp is a comparison operator for predicates.
+type CmpOp uint8
+
+// The supported comparison operators.
+const (
+	OpEQ CmpOp = iota
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "<>"
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+func (op CmpOp) eval(c int) bool {
+	switch op {
+	case OpEQ:
+		return c == 0
+	case OpNE:
+		return c != 0
+	case OpLT:
+		return c < 0
+	case OpLE:
+		return c <= 0
+	case OpGT:
+		return c > 0
+	case OpGE:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Predicate evaluates a boolean condition over a tuple. Predicates must be
+// deterministic and must not examine the count or timestamp attributes,
+// matching the paper's requirement for σ in the φ-commutation properties.
+type Predicate interface {
+	Eval(t tuple.Tuple) bool
+	String() string
+}
+
+// ColConst compares the column at index Col with a constant.
+type ColConst struct {
+	Col int
+	Op  CmpOp
+	Val tuple.Value
+}
+
+// Eval implements Predicate.
+func (p ColConst) Eval(t tuple.Tuple) bool {
+	return p.Op.eval(tuple.Compare(t[p.Col], p.Val))
+}
+
+func (p ColConst) String() string {
+	return fmt.Sprintf("col%d %s %s", p.Col, p.Op, p.Val)
+}
+
+// ColCol compares two columns of the same tuple.
+type ColCol struct {
+	ColA int
+	Op   CmpOp
+	ColB int
+}
+
+// Eval implements Predicate.
+func (p ColCol) Eval(t tuple.Tuple) bool {
+	return p.Op.eval(tuple.Compare(t[p.ColA], t[p.ColB]))
+}
+
+func (p ColCol) String() string {
+	return fmt.Sprintf("col%d %s col%d", p.ColA, p.Op, p.ColB)
+}
+
+// And is the conjunction of its children. An empty And is true.
+type And []Predicate
+
+// Eval implements Predicate.
+func (p And) Eval(t tuple.Tuple) bool {
+	for _, c := range p {
+		if !c.Eval(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p And) String() string {
+	if len(p) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(p))
+	for i, c := range p {
+		parts[i] = c.String()
+	}
+	return "(" + join(parts, " AND ") + ")"
+}
+
+// Or is the disjunction of its children. An empty Or is false.
+type Or []Predicate
+
+// Eval implements Predicate.
+func (p Or) Eval(t tuple.Tuple) bool {
+	for _, c := range p {
+		if c.Eval(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p Or) String() string {
+	if len(p) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(p))
+	for i, c := range p {
+		parts[i] = c.String()
+	}
+	return "(" + join(parts, " OR ") + ")"
+}
+
+// Not negates its child.
+type Not struct{ P Predicate }
+
+// Eval implements Predicate.
+func (p Not) Eval(t tuple.Tuple) bool { return !p.P.Eval(t) }
+
+func (p Not) String() string { return "NOT " + p.P.String() }
+
+// True is the always-true predicate.
+type True struct{}
+
+// Eval implements Predicate.
+func (True) Eval(tuple.Tuple) bool { return true }
+
+func (True) String() string { return "true" }
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

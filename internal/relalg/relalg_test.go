@@ -1,0 +1,346 @@
+package relalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func schemaAB() *tuple.Schema {
+	return tuple.NewSchema(tuple.Column{Name: "a", Kind: tuple.KindInt}, tuple.Column{Name: "b", Kind: tuple.KindInt})
+}
+
+func rel(rows ...Row) *Relation {
+	r := NewRelation(schemaAB())
+	r.Rows = append(r.Rows, rows...)
+	return r
+}
+
+func row(a, b, count int64, ts CSN) Row {
+	return Row{Tuple: tuple.Tuple{tuple.Int(a), tuple.Int(b)}, Count: count, TS: ts}
+}
+
+// randRelation builds a random small relation over (a, b) int columns with
+// counts in [-2, 2]\{0} and timestamps in [0, 5].
+func randRelation(r *rand.Rand, maxRows int) *Relation {
+	out := NewRelation(schemaAB())
+	n := r.Intn(maxRows + 1)
+	for i := 0; i < n; i++ {
+		c := int64(r.Intn(4)) - 2
+		if c >= 0 {
+			c++
+		}
+		out.Add(tuple.Tuple{tuple.Int(int64(r.Intn(4))), tuple.Int(int64(r.Intn(4)))}, c, CSN(r.Intn(6)))
+	}
+	return out
+}
+
+func TestMinTS(t *testing.T) {
+	cases := []struct{ a, b, want CSN }{
+		{NullTS, NullTS, NullTS},
+		{NullTS, 5, 5},
+		{5, NullTS, 5},
+		{3, 7, 3},
+		{7, 3, 3},
+	}
+	for _, c := range cases {
+		if got := MinTS(c.a, c.b); got != c.want {
+			t.Errorf("MinTS(%d,%d)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSelectProjectBasics(t *testing.T) {
+	r := rel(row(1, 10, 1, 0), row(2, 20, 1, 0), row(3, 30, -1, 4))
+	s := Select(r, ColConst{Col: 0, Op: OpGE, Val: tuple.Int(2)})
+	if s.Len() != 2 {
+		t.Fatalf("select len %d", s.Len())
+	}
+	p := Project(r, []int{1}, []string{"bb"})
+	if p.Schema.Names()[0] != "bb" || p.Len() != 3 {
+		t.Fatal("project")
+	}
+	if p.Rows[2].Count != -1 || p.Rows[2].TS != 4 {
+		t.Fatal("project must carry count and ts")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	tp := tuple.Tuple{tuple.Int(5), tuple.Int(5)}
+	if !(ColCol{ColA: 0, Op: OpEQ, ColB: 1}).Eval(tp) {
+		t.Fatal("colcol eq")
+	}
+	if (ColConst{Col: 0, Op: OpLT, Val: tuple.Int(5)}).Eval(tp) {
+		t.Fatal("lt")
+	}
+	if !(And{True{}, ColConst{Col: 0, Op: OpLE, Val: tuple.Int(5)}}).Eval(tp) {
+		t.Fatal("and")
+	}
+	if (Or{}).Eval(tp) {
+		t.Fatal("empty or is false")
+	}
+	if !(And{}).Eval(tp) {
+		t.Fatal("empty and is true")
+	}
+	if !(Not{P: Or{}}).Eval(tp) {
+		t.Fatal("not")
+	}
+	for _, op := range []CmpOp{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE} {
+		if op.String() == "?" {
+			t.Fatal("op string")
+		}
+	}
+	_ = And{ColConst{Col: 0, Op: OpEQ, Val: tuple.Int(1)}, ColCol{ColA: 0, Op: OpNE, ColB: 1}, Not{P: True{}}, Or{True{}}}.String()
+}
+
+func TestUnionNegateScaleWindow(t *testing.T) {
+	r := rel(row(1, 1, 1, 1), row(2, 2, 2, 2), row(3, 3, 3, 3))
+	s := rel(row(4, 4, -1, 4))
+	u := Union(r, s)
+	if u.Len() != 4 || u.Cardinality() != 5 {
+		t.Fatal("union")
+	}
+	n := Negate(r)
+	if n.Cardinality() != -6 {
+		t.Fatal("negate")
+	}
+	if Scale(r, 3).Cardinality() != 18 {
+		t.Fatal("scale")
+	}
+	w := Window(r, 1, 2)
+	if w.Len() != 1 || w.Rows[0].TS != 2 {
+		t.Fatalf("window (1,2] should pick only ts=2, got %d rows", w.Len())
+	}
+	w = Window(r, 0, 3)
+	if w.Len() != 3 {
+		t.Fatal("window (0,3] should pick all")
+	}
+}
+
+func TestJoinCountProductMinTS(t *testing.T) {
+	l := rel(row(1, 10, -2, 5), row(2, 20, 1, 0))
+	rsch := tuple.NewSchema(tuple.Column{Name: "a", Kind: tuple.KindInt}, tuple.Column{Name: "c", Kind: tuple.KindInt})
+	r := NewRelation(rsch)
+	r.Add(tuple.Tuple{tuple.Int(1), tuple.Int(100)}, 3, 2)
+	r.Add(tuple.Tuple{tuple.Int(2), tuple.Int(200)}, 1, NullTS)
+
+	j := Join(l, r, []JoinOn{{LeftCol: 0, RightCol: 0}})
+	if j.Len() != 2 {
+		t.Fatalf("join len %d", j.Len())
+	}
+	for _, jr := range j.Rows {
+		switch jr.Tuple[0].AsInt() {
+		case 1:
+			if jr.Count != -6 {
+				t.Fatalf("count product: %d", jr.Count)
+			}
+			if jr.TS != 2 {
+				t.Fatalf("min ts: %d", jr.TS)
+			}
+		case 2:
+			if jr.Count != 1 || jr.TS != NullTS {
+				t.Fatal("base-base join keeps null ts")
+			}
+		}
+	}
+	// Result schema: duplicate "a" from right is prefixed.
+	names := j.Schema.Names()
+	if names[0] != "a" || names[1] != "b" || names[2] != "r_a" || names[3] != "c" {
+		t.Fatalf("join schema: %v", names)
+	}
+}
+
+func TestJoinCrossProduct(t *testing.T) {
+	l := rel(row(1, 1, 1, 0), row(2, 2, 1, 0))
+	r := rel(row(3, 3, 2, 0))
+	j := Join(l, r, nil)
+	if j.Len() != 2 || j.Cardinality() != 4 {
+		t.Fatal("cross product")
+	}
+	if Join(l, NewRelation(schemaAB()), nil).Len() != 0 {
+		t.Fatal("cross with empty")
+	}
+}
+
+func TestJoinMultiCondition(t *testing.T) {
+	l := rel(row(1, 10, 1, 0), row(1, 11, 1, 0))
+	r := rel(row(1, 10, 1, 0), row(1, 99, 1, 0))
+	j := Join(l, r, []JoinOn{{LeftCol: 0, RightCol: 0}, {LeftCol: 1, RightCol: 1}})
+	if j.Len() != 1 {
+		t.Fatalf("multi-cond join len %d", j.Len())
+	}
+}
+
+func TestNetEffectCanonicalization(t *testing.T) {
+	r := rel(
+		row(1, 1, 2, 3),
+		row(1, 1, -1, 4),
+		row(2, 2, 1, 1),
+		row(2, 2, -1, 2),
+		row(3, 3, 5, 0),
+	)
+	ne := NetEffect(r)
+	if ne.Len() != 2 {
+		t.Fatalf("net effect len %d: %s", ne.Len(), ne)
+	}
+	if ne.Rows[0].Count != 1 || ne.Rows[0].TS != NullTS {
+		t.Fatal("net effect should sum counts and null timestamps")
+	}
+	if ne.Rows[1].Count != 5 {
+		t.Fatal("count 5 group")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := rel(row(1, 1, 1, 1), row(1, 1, 1, 2))
+	b := rel(row(1, 1, 2, 9))
+	if !Equivalent(a, b) {
+		t.Fatal("should be φ-equivalent")
+	}
+	c := rel(row(1, 1, 3, 0))
+	if Equivalent(a, c) {
+		t.Fatal("should differ")
+	}
+	d := rel(row(1, 2, 2, 0))
+	if Equivalent(b, d) {
+		t.Fatal("different tuples should differ")
+	}
+}
+
+// --- φ properties (Section 4), as property-based tests ---
+
+func TestPhiIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		rel := randRelation(r, 20)
+		if !Equivalent(NetEffect(NetEffect(rel)), NetEffect(rel)) {
+			t.Fatalf("φ(φ(R)) != φ(R) for\n%s", rel)
+		}
+	}
+}
+
+func TestPhiDistributesOverUnion(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		a, b := randRelation(r, 20), randRelation(r, 20)
+		lhs := NetEffect(Union(a, b))
+		rhs := NetEffect(Union(NetEffect(a), NetEffect(b)))
+		if !Equivalent(lhs, rhs) {
+			t.Fatalf("φ(R+S) != φ(φ(R)+φ(S))")
+		}
+	}
+}
+
+func TestPhiDistributesOverJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	on := []JoinOn{{LeftCol: 0, RightCol: 0}}
+	for i := 0; i < 300; i++ {
+		a, b := randRelation(r, 15), randRelation(r, 15)
+		lhs := NetEffect(Join(a, b, on))
+		rhs := NetEffect(Join(NetEffect(a), NetEffect(b), on))
+		if !Equivalent(lhs, rhs) {
+			t.Fatalf("φ(RS) != φ(R)φ(S)")
+		}
+	}
+}
+
+func TestPhiCommutesWithSelect(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	p := ColConst{Col: 0, Op: OpLE, Val: tuple.Int(2)}
+	for i := 0; i < 300; i++ {
+		rel := randRelation(r, 20)
+		if !Equivalent(NetEffect(Select(rel, p)), Select(NetEffect(rel), p)) {
+			t.Fatalf("φ(σ(R)) != σ(φ(R))")
+		}
+	}
+}
+
+func TestPhiCommutesWithProject(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	idx := []int{1}
+	for i := 0; i < 300; i++ {
+		rel := randRelation(r, 20)
+		lhs := NetEffect(Project(rel, idx, nil))
+		rhs := NetEffect(Project(NetEffect(rel), idx, nil))
+		if !Equivalent(lhs, rhs) {
+			t.Fatalf("φ(π(R)) != φ(π(φ(R)))")
+		}
+	}
+}
+
+func TestJoinDistributesOverUnionQuick(t *testing.T) {
+	// (A + B) ⋈ C ≡ A⋈C + B⋈C under φ — multilinearity of the join in the
+	// count algebra, the property underlying the box model of propagation
+	// queries.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randRelation(r, 10), randRelation(r, 10), randRelation(r, 10)
+		on := []JoinOn{{LeftCol: 0, RightCol: 0}}
+		lhs := Join(Union(a, b), c, on)
+		rhs := Union(Join(a, c, on), Join(b, c, on))
+		return Equivalent(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowPartitionQuick(t *testing.T) {
+	// σ_{a,c} = σ_{a,b} + σ_{b,c} for a <= b <= c (Lemma 4.1 splitting at
+	// the delta-table level).
+	f := func(seed int64, aRaw, bRaw, cRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randRelation(r, 25)
+		ts := []CSN{CSN(aRaw % 7), CSN(bRaw % 7), CSN(cRaw % 7)}
+		a, b, c := ts[0], ts[1], ts[2]
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		lhs := Window(rel, a, c)
+		rhs := Union(Window(rel, a, b), Window(rel, b, c))
+		return Equivalent(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsTimedDeltaTable(t *testing.T) {
+	// Build a tiny history by hand: state at CSN 0 is empty; at 1, (1,1)
+	// inserted; at 2, (2,2) inserted; at 3, (1,1) deleted.
+	empty := rel()
+	s1 := rel(row(1, 1, 1, 0))
+	s2 := rel(row(1, 1, 1, 0), row(2, 2, 1, 0))
+	s3 := rel(row(2, 2, 1, 0))
+	states := map[CSN]*Relation{0: empty, 1: s1, 2: s2, 3: s3}
+	delta := rel(row(1, 1, 1, 1), row(2, 2, 1, 2), row(1, 1, -1, 3))
+	if _, _, ok := IsTimedDeltaTable(delta, states, 0, 3); !ok {
+		t.Fatal("valid timed delta rejected")
+	}
+	bad := rel(row(1, 1, 1, 2), row(2, 2, 1, 2), row(1, 1, -1, 3))
+	if a, b, ok := IsTimedDeltaTable(bad, states, 0, 3); ok {
+		t.Fatal("invalid timed delta accepted")
+	} else if a != 0 || b != 1 {
+		t.Fatalf("first violation should be (0,1), got (%d,%d)", a, b)
+	}
+}
+
+func TestRelationHelpers(t *testing.T) {
+	r := rel(row(1, 1, 2, 1))
+	c := r.Clone()
+	c.Add(tuple.Tuple{tuple.Int(9), tuple.Int(9)}, 1, 2)
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Fatal("clone should not alias rows slice")
+	}
+	if r.String() == "" {
+		t.Fatal("string")
+	}
+}

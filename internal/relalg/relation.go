@@ -1,0 +1,101 @@
+// Package relalg implements the multiset relational algebra of Salem et
+// al.'s rolling-join paper: relations whose rows carry a signed count and a
+// commit timestamp, the operators select, project, join, multiset union (+)
+// and negation (−), the timestamp-window selection σ_{a,b}, and the
+// net-effect operator φ (Definition 4.1).
+//
+// The join operator implements the paper's delta-combination rule: the count
+// of a result row is the product of the input counts, and its timestamp is
+// the minimum of the non-null input timestamps (Section 3.3).
+package relalg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/tuple"
+)
+
+// CSN is a commit sequence number. CSNs are the system's internal notion of
+// time: they are assigned in commit order, so they are consistent with the
+// serialization order of transactions (Section 2 of the paper). The zero
+// CSN is the null timestamp carried by base-table rows.
+type CSN int64
+
+// NullTS is the implicit timestamp of base-table rows. Only non-null
+// timestamps participate in the min-timestamp rule.
+const NullTS CSN = 0
+
+// Row is one multiset element: a tuple plus the count and timestamp
+// attributes of Section 2. Base-table rows have Count == +1 and TS ==
+// NullTS; delta rows have Count == ±n and the commit CSN of the change.
+type Row struct {
+	Tuple tuple.Tuple
+	Count int64
+	TS    CSN
+}
+
+// Relation is a materialized multiset relation: a schema plus rows. The
+// count and timestamp attributes are carried alongside the tuple rather
+// than inside it, mirroring the paper's "implicit attributes" convention.
+type Relation struct {
+	Schema *tuple.Schema
+	Rows   []Row
+}
+
+// NewRelation returns an empty relation with the given schema.
+func NewRelation(schema *tuple.Schema) *Relation {
+	return &Relation{Schema: schema}
+}
+
+// Add appends a row. It does not validate against the schema; use the
+// engine's write path for validated inserts.
+func (r *Relation) Add(t tuple.Tuple, count int64, ts CSN) {
+	r.Rows = append(r.Rows, Row{Tuple: t, Count: count, TS: ts})
+}
+
+// Len returns the number of stored rows (not the multiset cardinality).
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Cardinality returns the sum of counts: the multiset cardinality under the
+// net-effect interpretation.
+func (r *Relation) Cardinality() int64 {
+	var n int64
+	for _, row := range r.Rows {
+		n += row.Count
+	}
+	return n
+}
+
+// Clone returns a shallow copy of the relation (rows copied, tuples shared).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Schema: r.Schema, Rows: make([]Row, len(r.Rows))}
+	copy(out.Rows, r.Rows)
+	return out
+}
+
+// String renders the relation for debugging: one row per line, sorted.
+func (r *Relation) String() string {
+	rows := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = fmt.Sprintf("%s count=%+d ts=%d", row.Tuple, row.Count, row.TS)
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// MinTS combines two timestamps under the paper's rule: null timestamps are
+// ignored; otherwise the minimum wins.
+func MinTS(a, b CSN) CSN {
+	if a == NullTS {
+		return b
+	}
+	if b == NullTS {
+		return a
+	}
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements two encodings:
+//
+//  1. Ordered key encoding (EncodeKey/DecodeKey): byte-comparable, i.e.
+//     bytes.Compare of encodings agrees with Tuple.Compare. Used as B+ tree
+//     keys for indexes and delta-table timestamp ordering.
+//  2. Row encoding (EncodeRow/DecodeRow): compact length-prefixed encoding
+//     used for heap rows and WAL payloads. Not order-preserving.
+
+// Key-encoding tag bytes, chosen so tags order like Kind order.
+const (
+	tagNull   byte = 0x01
+	tagBool   byte = 0x02
+	tagInt    byte = 0x03
+	tagFloat  byte = 0x04
+	tagString byte = 0x05
+	tagBytes  byte = 0x06
+)
+
+// EncodeKey appends a byte-comparable encoding of the tuple to dst.
+func EncodeKey(dst []byte, t Tuple) []byte {
+	for _, v := range t {
+		dst = EncodeKeyValue(dst, v)
+	}
+	return dst
+}
+
+// EncodeKeyValue appends a byte-comparable encoding of one value to dst.
+func EncodeKeyValue(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, tagNull)
+	case KindBool:
+		if v.i != 0 {
+			return append(dst, tagBool, 1)
+		}
+		return append(dst, tagBool, 0)
+	case KindInt:
+		dst = append(dst, tagInt)
+		var buf [8]byte
+		// Flip the sign bit so negative ints order before positive ones.
+		binary.BigEndian.PutUint64(buf[:], uint64(v.i)^(1<<63))
+		return append(dst, buf[:]...)
+	case KindFloat:
+		dst = append(dst, tagFloat)
+		bits := math.Float64bits(v.f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative floats: flip all bits
+		} else {
+			bits |= 1 << 63 // positive floats: flip sign bit
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], bits)
+		return append(dst, buf[:]...)
+	case KindString:
+		dst = append(dst, tagString)
+		return encodeKeyBytes(dst, []byte(v.s))
+	case KindBytes:
+		dst = append(dst, tagBytes)
+		return encodeKeyBytes(dst, v.b)
+	default:
+		panic("tuple: unknown kind in EncodeKeyValue")
+	}
+}
+
+// encodeKeyBytes escapes 0x00 as 0x00 0xFF and terminates with 0x00 0x00 so
+// that prefixes order correctly.
+func encodeKeyBytes(dst, b []byte) []byte {
+	for _, c := range b {
+		if c == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, 0x00, 0x00)
+}
+
+// ErrCorrupt is returned when a decoder encounters malformed input.
+var ErrCorrupt = errors.New("tuple: corrupt encoding")
+
+// DecodeKeyValue decodes one key-encoded value from b, returning the value
+// and the remaining bytes.
+func DecodeKeyValue(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Value{}, nil, ErrCorrupt
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case tagNull:
+		return Null(), b, nil
+	case tagBool:
+		if len(b) < 1 {
+			return Value{}, nil, ErrCorrupt
+		}
+		return Bool(b[0] != 0), b[1:], nil
+	case tagInt:
+		if len(b) < 8 {
+			return Value{}, nil, ErrCorrupt
+		}
+		u := binary.BigEndian.Uint64(b[:8]) ^ (1 << 63)
+		return Int(int64(u)), b[8:], nil
+	case tagFloat:
+		if len(b) < 8 {
+			return Value{}, nil, ErrCorrupt
+		}
+		bits := binary.BigEndian.Uint64(b[:8])
+		if bits&(1<<63) != 0 {
+			bits &^= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		return Float(math.Float64frombits(bits)), b[8:], nil
+	case tagString:
+		raw, rest, err := decodeKeyBytes(b)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return String_(string(raw)), rest, nil
+	case tagBytes:
+		raw, rest, err := decodeKeyBytes(b)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return Bytes(raw), rest, nil
+	default:
+		return Value{}, nil, fmt.Errorf("%w: bad key tag 0x%02x", ErrCorrupt, tag)
+	}
+}
+
+func decodeKeyBytes(b []byte) (out, rest []byte, err error) {
+	for i := 0; i < len(b); i++ {
+		if b[i] != 0x00 {
+			out = append(out, b[i])
+			continue
+		}
+		if i+1 >= len(b) {
+			return nil, nil, ErrCorrupt
+		}
+		switch b[i+1] {
+		case 0xFF:
+			out = append(out, 0x00)
+			i++
+		case 0x00:
+			return out, b[i+2:], nil
+		default:
+			return nil, nil, ErrCorrupt
+		}
+	}
+	return nil, nil, ErrCorrupt
+}
+
+// DecodeKey decodes exactly n key-encoded values from b.
+func DecodeKey(b []byte, n int) (Tuple, error) {
+	t := make(Tuple, 0, n)
+	var v Value
+	var err error
+	for i := 0; i < n; i++ {
+		v, b, err = DecodeKeyValue(b)
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, v)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
+	}
+	return t, nil
+}
+
+// EncodeRow appends a compact (non-ordered) encoding of the tuple to dst.
+// Layout: uvarint arity, then per value a kind byte followed by the payload.
+func EncodeRow(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindNull:
+		case KindBool, KindInt:
+			dst = binary.AppendVarint(dst, v.i)
+		case KindFloat:
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
+			dst = append(dst, buf[:]...)
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		case KindBytes:
+			dst = binary.AppendUvarint(dst, uint64(len(v.b)))
+			dst = append(dst, v.b...)
+		}
+	}
+	return dst
+}
+
+// DecodeRow decodes a tuple encoded by EncodeRow, returning the tuple and
+// the remaining bytes.
+func DecodeRow(b []byte) (Tuple, []byte, error) {
+	arity, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, ErrCorrupt
+	}
+	b = b[n:]
+	t := make(Tuple, 0, arity)
+	for i := uint64(0); i < arity; i++ {
+		if len(b) == 0 {
+			return nil, nil, ErrCorrupt
+		}
+		kind := Kind(b[0])
+		b = b[1:]
+		switch kind {
+		case KindNull:
+			t = append(t, Null())
+		case KindBool, KindInt:
+			v, n := binary.Varint(b)
+			if n <= 0 {
+				return nil, nil, ErrCorrupt
+			}
+			b = b[n:]
+			if kind == KindBool {
+				t = append(t, Bool(v != 0))
+			} else {
+				t = append(t, Int(v))
+			}
+		case KindFloat:
+			if len(b) < 8 {
+				return nil, nil, ErrCorrupt
+			}
+			t = append(t, Float(math.Float64frombits(binary.LittleEndian.Uint64(b[:8]))))
+			b = b[8:]
+		case KindString, KindBytes:
+			ln, n := binary.Uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < ln {
+				return nil, nil, ErrCorrupt
+			}
+			payload := b[n : n+int(ln)]
+			b = b[n+int(ln):]
+			if kind == KindString {
+				t = append(t, String_(string(payload)))
+			} else {
+				t = append(t, Bytes(append([]byte(nil), payload...)))
+			}
+		default:
+			return nil, nil, fmt.Errorf("%w: bad row kind 0x%02x", ErrCorrupt, byte(kind))
+		}
+	}
+	return t, b, nil
+}

@@ -1,0 +1,197 @@
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is an ordered list of values conforming to some Schema.
+type Tuple []Value
+
+// Clone returns a copy of the tuple. Value payloads are shared (values are
+// immutable by convention).
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether two tuples have the same length and pairwise equal
+// values.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !Equal(t[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(t[i], o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	}
+	return 0
+}
+
+// Hash returns a hash of the whole tuple, consistent with Equal.
+func (t Tuple) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range t {
+		h = v.Hash(h)
+	}
+	return h
+}
+
+// Project returns a new tuple containing the values at the given indexes.
+func (t Tuple) Project(idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// Concat returns the concatenation of two tuples as a new tuple.
+func Concat(a, b Tuple) Tuple {
+	out := make(Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of named, typed columns.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from columns. Column names must be unique.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.byName[c.Name]; dup {
+			panic(fmt.Sprintf("tuple: duplicate column %q", c.Name))
+		}
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// Index returns the position of the named column, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustIndex returns the position of the named column and panics if absent.
+func (s *Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("tuple: no column %q in schema %v", name, s.Names()))
+	}
+	return i
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Validate checks that a tuple conforms to the schema: correct arity and
+// each non-NULL value matching its column kind.
+func (s *Schema) Validate(t Tuple) error {
+	if len(t) != len(s.Columns) {
+		return fmt.Errorf("tuple: arity %d does not match schema arity %d", len(t), len(s.Columns))
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != s.Columns[i].Kind {
+			return fmt.Errorf("tuple: column %q expects %s, got %s",
+				s.Columns[i].Name, s.Columns[i].Kind, v.Kind())
+		}
+	}
+	return nil
+}
+
+// Project returns the schema obtained by keeping the columns at idx, with
+// optional renaming (names[i] == "" keeps the original name).
+func (s *Schema) Project(idx []int, names []string) *Schema {
+	cols := make([]Column, len(idx))
+	for i, j := range idx {
+		cols[i] = s.Columns[j]
+		if names != nil && names[i] != "" {
+			cols[i].Name = names[i]
+		}
+	}
+	return NewSchema(cols...)
+}
+
+// ConcatSchemas returns the schema of the concatenation of tuples from a and
+// b, prefixing duplicate names from b with the given prefix.
+func ConcatSchemas(a, b *Schema, prefix string) *Schema {
+	cols := make([]Column, 0, len(a.Columns)+len(b.Columns))
+	cols = append(cols, a.Columns...)
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		seen[c.Name] = true
+	}
+	for _, c := range b.Columns {
+		if seen[c.Name] {
+			c.Name = prefix + c.Name
+		}
+		for seen[c.Name] {
+			c.Name = "_" + c.Name
+		}
+		seen[c.Name] = true
+		cols = append(cols, c)
+	}
+	return NewSchema(cols...)
+}

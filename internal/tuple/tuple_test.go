@@ -1,0 +1,295 @@
+package tuple
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Fatal("Null() not null")
+	}
+	if Bool(true).AsBool() != true || Bool(false).AsBool() != false {
+		t.Fatal("bool roundtrip")
+	}
+	if Int(-42).AsInt() != -42 {
+		t.Fatal("int roundtrip")
+	}
+	if Float(3.5).AsFloat() != 3.5 {
+		t.Fatal("float roundtrip")
+	}
+	if String_("hi").AsString() != "hi" {
+		t.Fatal("string roundtrip")
+	}
+	if !bytes.Equal(Bytes([]byte{1, 2}).AsBytes(), []byte{1, 2}) {
+		t.Fatal("bytes roundtrip")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Int(1).AsString()
+}
+
+func TestCompareOrdering(t *testing.T) {
+	ordered := []Value{
+		Null(),
+		Bool(false), Bool(true),
+		Int(math.MinInt64), Int(-1), Int(0), Int(7), Int(math.MaxInt64),
+		Float(-1e300), Float(-0.5), Float(0), Float(2.25), Float(1e300),
+		String_(""), String_("a"), String_("ab"), String_("b"),
+		Bytes(nil), Bytes([]byte{0}), Bytes([]byte{0, 1}), Bytes([]byte{1}),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	a := String_("hello")
+	b := String_("hello")
+	if a.Hash(1) != b.Hash(1) {
+		t.Fatal("equal values must hash equally")
+	}
+	if a.Hash(1) == a.Hash(2) {
+		t.Fatal("seed should perturb hash")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Bool(true), "true"},
+		{Int(-9), "-9"},
+		{Float(1.5), "1.5"},
+		{String_("x"), "x"},
+		{Bytes([]byte{0xab}), "x'ab'"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func randValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63() - r.Int63())
+	case 3:
+		return Float(r.NormFloat64() * 1e6)
+	case 4:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return String_(string(b))
+	default:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		r.Read(b)
+		return Bytes(b)
+	}
+}
+
+func randTuple(r *rand.Rand, n int) Tuple {
+	t := make(Tuple, n)
+	for i := range t {
+		t[i] = randValue(r)
+	}
+	return t
+}
+
+func TestKeyEncodingOrderPreserving(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		a := randTuple(r, 1+r.Intn(3))
+		b := randTuple(r, 1+r.Intn(3))
+		ka := EncodeKey(nil, a)
+		kb := EncodeKey(nil, b)
+		want := a.Compare(b)
+		got := bytes.Compare(ka, kb)
+		if (want < 0) != (got < 0) || (want > 0) != (got > 0) {
+			t.Fatalf("order mismatch: %v vs %v: tuple %d key %d", a, b, want, got)
+		}
+	}
+}
+
+func TestKeyEncodingRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + r.Intn(4)
+		in := randTuple(r, n)
+		out, err := DecodeKey(EncodeKey(nil, in), n)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !in.Equal(out) {
+			t.Fatalf("roundtrip: %v != %v", in, out)
+		}
+	}
+}
+
+func TestKeyEncodingEmbeddedZeros(t *testing.T) {
+	in := Tuple{Bytes([]byte{0, 0, 1, 0}), String_("a\x00b")}
+	out, err := DecodeKey(EncodeKey(nil, in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(out) {
+		t.Fatalf("roundtrip: %v != %v", in, out)
+	}
+}
+
+func TestRowEncodingRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 1000; trial++ {
+		in := randTuple(r, r.Intn(6))
+		out, rest, err := DecodeRow(EncodeRow(nil, in))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("trailing bytes: %d", len(rest))
+		}
+		if !in.Equal(out) {
+			t.Fatalf("roundtrip: %v != %v", in, out)
+		}
+	}
+}
+
+func TestRowEncodingQuick(t *testing.T) {
+	f := func(i int64, s string, b []byte, fl float64, ok bool) bool {
+		in := Tuple{Int(i), String_(s), Bytes(b), Float(fl), Bool(ok), Null()}
+		out, rest, err := DecodeRow(EncodeRow(nil, in))
+		return err == nil && len(rest) == 0 && in.Equal(out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, _, err := DecodeKeyValue(nil); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if _, _, err := DecodeKeyValue([]byte{0x7F}); err == nil {
+		t.Fatal("want error on bad tag")
+	}
+	if _, err := DecodeKey([]byte{tagInt, 1, 2}, 1); err == nil {
+		t.Fatal("want error on short int")
+	}
+	if _, _, err := DecodeRow([]byte{}); err == nil {
+		t.Fatal("want error on empty row")
+	}
+	if _, _, err := DecodeRow([]byte{1, 0x7F}); err == nil {
+		t.Fatal("want error on bad row kind")
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema(Column{"id", KindInt}, Column{"name", KindString})
+	if s.Arity() != 2 {
+		t.Fatal("arity")
+	}
+	if s.Index("name") != 1 || s.Index("missing") != -1 {
+		t.Fatal("index")
+	}
+	if s.MustIndex("id") != 0 {
+		t.Fatal("must index")
+	}
+	if err := s.Validate(Tuple{Int(1), String_("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(Tuple{Int(1), Null()}); err != nil {
+		t.Fatal("null should validate:", err)
+	}
+	if err := s.Validate(Tuple{Int(1)}); err == nil {
+		t.Fatal("want arity error")
+	}
+	if err := s.Validate(Tuple{String_("x"), String_("a")}); err == nil {
+		t.Fatal("want kind error")
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSchema(Column{"a", KindInt}, Column{"a", KindInt})
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	s := NewSchema(Column{"a", KindInt})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.MustIndex("b")
+}
+
+func TestSchemaProjectAndConcat(t *testing.T) {
+	a := NewSchema(Column{"id", KindInt}, Column{"x", KindString})
+	b := NewSchema(Column{"id", KindInt}, Column{"y", KindFloat})
+	c := ConcatSchemas(a, b, "r2_")
+	if got := c.Names(); got[0] != "id" || got[2] != "r2_id" || got[3] != "y" {
+		t.Fatalf("concat names: %v", got)
+	}
+	p := c.Project([]int{3, 0}, []string{"", "left_id"})
+	if p.Names()[0] != "y" || p.Names()[1] != "left_id" {
+		t.Fatalf("project names: %v", p.Names())
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	a := Tuple{Int(1), String_("x")}
+	b := a.Clone()
+	b[0] = Int(2)
+	if a[0].AsInt() != 1 {
+		t.Fatal("clone aliased")
+	}
+	if !Concat(a, b).Equal(Tuple{Int(1), String_("x"), Int(2), String_("x")}) {
+		t.Fatal("concat")
+	}
+	if got := a.Project([]int{1}); !got.Equal(Tuple{String_("x")}) {
+		t.Fatal("project")
+	}
+	if a.Compare(b) >= 0 {
+		t.Fatal("compare")
+	}
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash should differ for differing tuples (overwhelmingly)")
+	}
+	if a.String() != "(1, x)" {
+		t.Fatalf("string: %s", a.String())
+	}
+}

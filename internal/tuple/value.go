@@ -1,0 +1,241 @@
+// Package tuple provides the value, tuple, and schema primitives shared by
+// every layer of the rolling-join view maintenance system: typed scalar
+// values, fixed-schema tuples, ordered binary key encoding, and row
+// (de)serialization used by the storage engine and the write-ahead log.
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBytes:
+		return "BLOB"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64 // bool (0/1) and int payload
+	f    float64
+	s    string // string payload
+	b    []byte // bytes payload
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Int returns a 64-bit integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a 64-bit floating point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. (Named with a trailing underscore so the
+// Stringer method keeps the conventional name.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bytes returns a byte-slice value. The slice is not copied.
+func Bytes(v []byte) Value { return Value{kind: KindBytes, b: v} }
+
+// Kind reports the value's dynamic type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean payload; it panics if the kind is not bool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("tuple: AsBool on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// AsInt returns the integer payload; it panics if the kind is not int.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("tuple: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload; it panics if the kind is not float.
+func (v Value) AsFloat() float64 {
+	if v.kind != KindFloat {
+		panic("tuple: AsFloat on " + v.kind.String())
+	}
+	return v.f
+}
+
+// AsString returns the string payload; it panics if the kind is not string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("tuple: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsBytes returns the bytes payload; it panics if the kind is not bytes.
+func (v Value) AsBytes() []byte {
+	if v.kind != KindBytes {
+		panic("tuple: AsBytes on " + v.kind.String())
+	}
+	return v.b
+}
+
+// String renders the value for debugging and table output.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBytes:
+		return fmt.Sprintf("x'%x'", v.b)
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values. NULL sorts before every non-NULL value; values
+// of different kinds order by kind. It returns -1, 0, or +1.
+func Compare(a, b Value) int {
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindBool, KindInt:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		}
+		return 0
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		}
+		return 0
+	case KindBytes:
+		return compareBytes(a.b, b.b)
+	default:
+		return 0
+	}
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether two values are identical in kind and payload.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash mixes the value into an FNV-1a hash and returns the result. It is
+// consistent with Equal: equal values hash equally.
+func (v Value) Hash(seed uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	h.Write(buf[:])
+	buf[0] = byte(v.kind)
+	h.Write(buf[:1])
+	switch v.kind {
+	case KindBool, KindInt:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.i))
+		h.Write(buf[:8])
+	case KindFloat:
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		h.Write(buf[:8])
+	case KindString:
+		h.Write([]byte(v.s))
+	case KindBytes:
+		h.Write(v.b)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,319 @@
+// Package txn provides the transaction substrate the paper assumes: strict
+// two-phase locking with multi-granularity locks (IS/IX/S/X), waits-for
+// deadlock detection, and commit sequence numbers (CSNs) assigned in commit
+// order. Under strict 2PL the commit order is consistent with the
+// serialization order, which is exactly the assumption of Section 2 of the
+// paper and what makes CSNs usable as the propagation time axis.
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LockMode is a multi-granularity lock mode.
+type LockMode uint8
+
+// The lock modes, in increasing strength order along the upgrade lattice.
+const (
+	LockNone LockMode = iota
+	LockIS            // intention shared (table, before row S)
+	LockIX            // intention exclusive (table, before row X)
+	LockS             // shared (table scan or row read)
+	LockX             // exclusive
+)
+
+// String names the lock mode.
+func (m LockMode) String() string {
+	switch m {
+	case LockNone:
+		return "-"
+	case LockIS:
+		return "IS"
+	case LockIX:
+		return "IX"
+	case LockS:
+		return "S"
+	case LockX:
+		return "X"
+	default:
+		return "?"
+	}
+}
+
+// compatible reports whether two modes may be held simultaneously by
+// different transactions (the classical multi-granularity matrix, without
+// SIX).
+func compatible(a, b LockMode) bool {
+	switch a {
+	case LockIS:
+		return b != LockX
+	case LockIX:
+		return b == LockIS || b == LockIX
+	case LockS:
+		return b == LockIS || b == LockS
+	case LockX:
+		return false
+	default:
+		return true
+	}
+}
+
+// supremum returns the weakest mode at least as strong as both inputs.
+// Holding S and requesting IX (or vice versa) escalates to X since SIX is
+// not modeled.
+func supremum(a, b LockMode) LockMode {
+	if a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == LockNone:
+		return b
+	case a == LockIS:
+		return b
+	case a == LockIX && b == LockS:
+		return LockX
+	default: // (IX,X), (S,X)
+		return LockX
+	}
+}
+
+// ErrDeadlock is returned to a lock requester chosen as the deadlock victim.
+var ErrDeadlock = errors.New("txn: deadlock detected, transaction chosen as victim")
+
+// ErrTxnDone is returned when operating on a committed or aborted
+// transaction.
+var ErrTxnDone = errors.New("txn: transaction already finished")
+
+type lockRequest struct {
+	txid    uint64
+	mode    LockMode // the full target mode (supremum for upgrades)
+	upgrade bool
+	ready   chan error
+}
+
+type lockState struct {
+	granted map[uint64]LockMode
+	queue   []*lockRequest
+}
+
+// lockManager implements the lock table. All state is protected by mu;
+// waiters block on per-request channels outside the mutex.
+type lockManager struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+
+	// Metrics, updated atomically.
+	waits      atomic.Int64 // number of lock waits
+	waitNanos  atomic.Int64 // total time spent blocked
+	deadlocks  atomic.Int64
+	acquires   atomic.Int64
+	escalation atomic.Int64 // upgrade requests
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{locks: make(map[string]*lockState)}
+}
+
+// acquire obtains resource in at least the given mode for tx, blocking as
+// needed. It returns ErrDeadlock if granting would create a waits-for cycle
+// (the requester is the victim).
+func (lm *lockManager) acquire(tx *Txn, resource string, mode LockMode) error {
+	lm.acquires.Add(1)
+	lm.mu.Lock()
+	st := lm.locks[resource]
+	if st == nil {
+		st = &lockState{granted: make(map[uint64]LockMode)}
+		lm.locks[resource] = st
+	}
+	held := st.granted[tx.id]
+	target := supremum(held, mode)
+	if held == target {
+		lm.mu.Unlock()
+		return nil // already strong enough
+	}
+	upgrade := held != LockNone
+	if upgrade {
+		lm.escalation.Add(1)
+	}
+	if lm.grantable(st, tx.id, target, upgrade) {
+		st.granted[tx.id] = target
+		tx.held[resource] = target
+		lm.mu.Unlock()
+		return nil
+	}
+	// Must wait. Check for a deadlock with this wait added.
+	req := &lockRequest{txid: tx.id, mode: target, upgrade: upgrade, ready: make(chan error, 1)}
+	if upgrade {
+		// Upgrades go to the front so readers-turned-writers are not
+		// starved by later arrivals.
+		st.queue = append([]*lockRequest{req}, st.queue...)
+	} else {
+		st.queue = append(st.queue, req)
+	}
+	if lm.wouldDeadlock(tx.id) {
+		lm.removeRequest(st, req)
+		lm.mu.Unlock()
+		lm.deadlocks.Add(1)
+		return ErrDeadlock
+	}
+	lm.mu.Unlock()
+
+	lm.waits.Add(1)
+	start := time.Now()
+	err := <-req.ready
+	lm.waitNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return err
+	}
+	tx.held[resource] = req.mode
+	return nil
+}
+
+// grantable reports whether txid may hold resource in mode given the
+// current granted set and FIFO queue. The caller holds lm.mu.
+func (lm *lockManager) grantable(st *lockState, txid uint64, mode LockMode, upgrade bool) bool {
+	for other, m := range st.granted {
+		if other == txid {
+			continue
+		}
+		if !compatible(mode, m) {
+			return false
+		}
+	}
+	if upgrade {
+		return true // upgrades bypass the queue once holders are compatible
+	}
+	// FIFO fairness: a new request must also not overtake waiting requests.
+	return len(st.queue) == 0
+}
+
+// release drops all of tx's locks and wakes newly grantable waiters. The
+// caller must not hold lm.mu.
+func (lm *lockManager) release(tx *Txn) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for resource := range tx.held {
+		st := lm.locks[resource]
+		if st == nil {
+			continue
+		}
+		delete(st.granted, tx.id)
+		lm.wakeWaiters(st)
+		if len(st.granted) == 0 && len(st.queue) == 0 {
+			delete(lm.locks, resource)
+		}
+	}
+	tx.held = make(map[string]LockMode)
+}
+
+// wakeWaiters grants queued requests in FIFO order while they remain
+// compatible. The caller holds lm.mu.
+func (lm *lockManager) wakeWaiters(st *lockState) {
+	for len(st.queue) > 0 {
+		req := st.queue[0]
+		if !lm.grantableQueued(st, req) {
+			return
+		}
+		st.queue = st.queue[1:]
+		st.granted[req.txid] = req.mode
+		req.ready <- nil
+	}
+}
+
+// grantableQueued is grantable for a request already at the queue head.
+func (lm *lockManager) grantableQueued(st *lockState, req *lockRequest) bool {
+	for other, m := range st.granted {
+		if other == req.txid {
+			continue
+		}
+		if !compatible(req.mode, m) {
+			return false
+		}
+	}
+	return true
+}
+
+func (lm *lockManager) removeRequest(st *lockState, req *lockRequest) {
+	for i, r := range st.queue {
+		if r == req {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// wouldDeadlock runs a DFS over the waits-for graph looking for a cycle
+// through start. The caller holds lm.mu.
+func (lm *lockManager) wouldDeadlock(start uint64) bool {
+	// Build waits-for edges: each queued request waits for (a) incompatible
+	// granted holders and (b) incompatible requests ahead of it in line.
+	edges := make(map[uint64]map[uint64]bool)
+	addEdge := func(from, to uint64) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = make(map[uint64]bool)
+		}
+		edges[from][to] = true
+	}
+	for _, st := range lm.locks {
+		for i, req := range st.queue {
+			for holder, m := range st.granted {
+				if holder != req.txid && !compatible(req.mode, m) {
+					addEdge(req.txid, holder)
+				}
+			}
+			for j := 0; j < i; j++ {
+				ahead := st.queue[j]
+				if ahead.txid != req.txid && !compatible(req.mode, ahead.mode) {
+					addEdge(req.txid, ahead.txid)
+				}
+			}
+		}
+	}
+	// DFS from start.
+	seen := make(map[uint64]bool)
+	var stack []uint64
+	for to := range edges[start] {
+		stack = append(stack, to)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == start {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for to := range edges[cur] {
+			stack = append(stack, to)
+		}
+	}
+	return false
+}
+
+// abortWaiters fails any outstanding requests of tx (used when a
+// transaction is torn down while a request is somehow pending; defensive).
+func (lm *lockManager) abortWaiters(tx *Txn) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, st := range lm.locks {
+		for i := 0; i < len(st.queue); i++ {
+			if st.queue[i].txid == tx.id {
+				req := st.queue[i]
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				i--
+				req.ready <- ErrTxnDone
+			}
+		}
+	}
+}

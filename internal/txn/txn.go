@@ -1,0 +1,177 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/relalg"
+)
+
+// State is a transaction's lifecycle state.
+type State uint8
+
+// The transaction states.
+const (
+	StateActive State = iota
+	StateCommitted
+	StateAborted
+)
+
+// Txn is one transaction. It is not goroutine-safe: a transaction belongs
+// to a single worker at a time (the usual session model).
+type Txn struct {
+	id    uint64
+	mgr   *Manager
+	state State
+	held  map[string]LockMode
+	undo  []func() // undo actions, run in reverse order on abort
+	csn   relalg.CSN
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// State returns the lifecycle state.
+func (t *Txn) State() State { return t.state }
+
+// CSN returns the commit sequence number; valid only after Commit.
+func (t *Txn) CSN() relalg.CSN { return t.csn }
+
+// Lock acquires the named resource in at least the given mode, blocking if
+// necessary. It returns ErrDeadlock if the transaction is chosen as a
+// deadlock victim; the caller must then abort.
+func (t *Txn) Lock(resource string, mode LockMode) error {
+	if t.state != StateActive {
+		return ErrTxnDone
+	}
+	return t.mgr.lm.acquire(t, resource, mode)
+}
+
+// HeldMode returns the mode currently held on resource (LockNone if none).
+func (t *Txn) HeldMode(resource string) LockMode { return t.held[resource] }
+
+// OnAbort registers an undo action to run (in reverse order) if the
+// transaction aborts.
+func (t *Txn) OnAbort(fn func()) { t.undo = append(t.undo, fn) }
+
+// Manager creates transactions, assigns CSNs in commit order, and owns the
+// lock manager.
+type Manager struct {
+	lm       *lockManager
+	nextTxID atomic.Uint64
+
+	// commitMu serializes the commit point: CSN assignment and the commit
+	// hook (which writes the WAL commit record) happen atomically, so the
+	// log's commit order, the CSN order, and the serialization order all
+	// agree.
+	commitMu sync.Mutex
+	lastCSN  relalg.CSN
+
+	begun     atomic.Int64
+	committed atomic.Int64
+	aborted   atomic.Int64
+}
+
+// NewManager returns a fresh transaction manager. CSNs start at 1; CSN 0 is
+// the null timestamp.
+func NewManager() *Manager {
+	return &Manager{lm: newLockManager()}
+}
+
+// Begin starts a new transaction.
+func (m *Manager) Begin() *Txn {
+	m.begun.Add(1)
+	return &Txn{
+		id:   m.nextTxID.Add(1),
+		mgr:  m,
+		held: make(map[string]LockMode),
+	}
+}
+
+// Commit finishes the transaction: it assigns the next CSN, invokes hook
+// (if non-nil) with that CSN and the commit wall-clock time while holding
+// the commit mutex, then releases all locks. The hook typically appends the
+// WAL commit record; doing so under the commit mutex guarantees the log
+// reflects commit order.
+func (m *Manager) Commit(t *Txn, hook func(csn relalg.CSN, wall time.Time) error) (relalg.CSN, error) {
+	if t.state != StateActive {
+		return 0, ErrTxnDone
+	}
+	m.commitMu.Lock()
+	csn := m.lastCSN + 1
+	if hook != nil {
+		if err := hook(csn, time.Now()); err != nil {
+			m.commitMu.Unlock()
+			return 0, err
+		}
+	}
+	m.lastCSN = csn
+	m.commitMu.Unlock()
+
+	t.state = StateCommitted
+	t.csn = csn
+	t.undo = nil
+	m.lm.release(t)
+	m.committed.Add(1)
+	return csn, nil
+}
+
+// Abort rolls the transaction back: undo actions run in reverse order, then
+// all locks are released.
+func (m *Manager) Abort(t *Txn) error {
+	if t.state != StateActive {
+		return ErrTxnDone
+	}
+	t.state = StateAborted
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i]()
+	}
+	t.undo = nil
+	m.lm.abortWaiters(t)
+	m.lm.release(t)
+	m.aborted.Add(1)
+	return nil
+}
+
+// LastCSN returns the most recently assigned commit sequence number.
+func (m *Manager) LastCSN() relalg.CSN {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	return m.lastCSN
+}
+
+// Recover fast-forwards the commit-sequence counter past the highest CSN
+// replayed from the log, so post-recovery commits continue the sequence.
+// It never moves the counter backwards.
+func (m *Manager) Recover(last relalg.CSN) {
+	m.commitMu.Lock()
+	if last > m.lastCSN {
+		m.lastCSN = last
+	}
+	m.commitMu.Unlock()
+}
+
+// Stats is a snapshot of lock and transaction counters.
+type Stats struct {
+	Begun, Committed, Aborted int64
+	LockAcquires              int64
+	LockWaits                 int64
+	LockWaitTime              time.Duration
+	Deadlocks                 int64
+	Upgrades                  int64
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Begun:        m.begun.Load(),
+		Committed:    m.committed.Load(),
+		Aborted:      m.aborted.Load(),
+		LockAcquires: m.lm.acquires.Load(),
+		LockWaits:    m.lm.waits.Load(),
+		LockWaitTime: time.Duration(m.lm.waitNanos.Load()),
+		Deadlocks:    m.lm.deadlocks.Load(),
+		Upgrades:     m.lm.escalation.Load(),
+	}
+}

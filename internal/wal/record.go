@@ -1,0 +1,130 @@
+// Package wal implements the transaction log that the capture process (the
+// paper's DPropR analogue, Section 5) reads to populate base-table delta
+// tables. The log is an append-only sequence of CRC-framed binary records:
+// Begin, Insert, Delete, Commit, and Abort. Commit records carry the commit
+// sequence number (CSN) assigned by the transaction manager, so the log
+// encodes the serialization order.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// Type identifies a log record type.
+type Type uint8
+
+// The record types.
+const (
+	TypeBegin Type = iota + 1
+	TypeInsert
+	TypeDelete
+	TypeCommit
+	TypeAbort
+)
+
+// String names the record type.
+func (t Type) String() string {
+	switch t {
+	case TypeBegin:
+		return "BEGIN"
+	case TypeInsert:
+		return "INSERT"
+	case TypeDelete:
+		return "DELETE"
+	case TypeCommit:
+		return "COMMIT"
+	case TypeAbort:
+		return "ABORT"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Record is one transaction log entry. Fields are populated according to
+// the record type:
+//
+//   - Begin:  TxID
+//   - Insert: TxID, Table, Row
+//   - Delete: TxID, Table, Row
+//   - Commit: TxID, CSN, WallNanos
+//   - Abort:  TxID
+type Record struct {
+	Type      Type
+	TxID      uint64
+	Table     string
+	Row       tuple.Tuple
+	CSN       relalg.CSN
+	WallNanos int64
+}
+
+// ErrCorrupt is returned when a record fails to decode.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// encode appends the record payload (without framing) to dst.
+func (r *Record) encode(dst []byte) []byte {
+	dst = append(dst, byte(r.Type))
+	dst = binary.AppendUvarint(dst, r.TxID)
+	switch r.Type {
+	case TypeInsert, TypeDelete:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Table)))
+		dst = append(dst, r.Table...)
+		dst = tuple.EncodeRow(dst, r.Row)
+	case TypeCommit:
+		dst = binary.AppendVarint(dst, int64(r.CSN))
+		dst = binary.AppendVarint(dst, r.WallNanos)
+	}
+	return dst
+}
+
+// decodeRecord parses a record payload produced by encode.
+func decodeRecord(b []byte) (*Record, error) {
+	if len(b) == 0 {
+		return nil, ErrCorrupt
+	}
+	r := &Record{Type: Type(b[0])}
+	b = b[1:]
+	txid, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	r.TxID = txid
+	b = b[n:]
+	switch r.Type {
+	case TypeBegin, TypeAbort:
+	case TypeInsert, TypeDelete:
+		ln, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < ln {
+			return nil, ErrCorrupt
+		}
+		r.Table = string(b[n : n+int(ln)])
+		b = b[n+int(ln):]
+		row, rest, err := tuple.DecodeRow(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, ErrCorrupt
+		}
+		r.Row = row
+	case TypeCommit:
+		csn, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		b = b[n:]
+		wall, n2 := binary.Varint(b)
+		if n2 <= 0 {
+			return nil, ErrCorrupt
+		}
+		r.CSN = relalg.CSN(csn)
+		r.WallNanos = wall
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrCorrupt, r.Type)
+	}
+	return r, nil
+}

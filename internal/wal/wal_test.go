@@ -1,0 +1,267 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+func sampleRecords() []*Record {
+	return []*Record{
+		{Type: TypeBegin, TxID: 1},
+		{Type: TypeInsert, TxID: 1, Table: "orders", Row: tuple.Tuple{tuple.Int(7), tuple.String_("widget")}},
+		{Type: TypeDelete, TxID: 1, Table: "orders", Row: tuple.Tuple{tuple.Int(3), tuple.String_("gadget")}},
+		{Type: TypeCommit, TxID: 1, CSN: 42, WallNanos: 1234567890},
+		{Type: TypeBegin, TxID: 2},
+		{Type: TypeAbort, TxID: 2},
+	}
+}
+
+func recordsEqual(a, b *Record) bool {
+	if a.Type != b.Type || a.TxID != b.TxID || a.Table != b.Table ||
+		a.CSN != b.CSN || a.WallNanos != b.WallNanos {
+		return false
+	}
+	if (a.Row == nil) != (b.Row == nil) {
+		return false
+	}
+	return a.Row == nil || a.Row.Equal(b.Row)
+}
+
+func TestAppendAndRead(t *testing.T) {
+	l, err := NewLog(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, rec := range recs {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := l.NewReader(0)
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !recordsEqual(got, want) {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrNoMore) {
+		t.Fatalf("want ErrNoMore, got %v", err)
+	}
+}
+
+func TestReaderFromOffset(t *testing.T) {
+	l, _ := NewLog(NewMemDevice())
+	var offs []int64
+	for _, rec := range sampleRecords() {
+		off, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	r := l.NewReader(offs[3])
+	got, err := r.Next()
+	if err != nil || got.Type != TypeCommit || got.CSN != 42 {
+		t.Fatalf("reader from offset: %+v %v", got, err)
+	}
+}
+
+func TestRecoveryScansToLastGoodFrame(t *testing.T) {
+	dev := NewMemDevice()
+	l, _ := NewLog(dev)
+	for _, rec := range sampleRecords() {
+		l.Append(rec)
+	}
+	goodSize := l.Size()
+	// Simulate a torn write: append garbage half-frame.
+	dev.Append([]byte{9, 0, 0, 0}) // length header only, no payload
+	l2, err := NewLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Size() != goodSize {
+		t.Fatalf("recovered size %d, want %d", l2.Size(), goodSize)
+	}
+	// All records readable up to the good size.
+	r := l2.NewReader(0)
+	count := 0
+	for {
+		_, err := r.Next()
+		if errors.Is(err, ErrNoMore) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != len(sampleRecords()) {
+		t.Fatalf("recovered %d records", count)
+	}
+}
+
+func TestRecoveryStopsAtCorruptPayload(t *testing.T) {
+	dev := NewMemDevice()
+	l, _ := NewLog(dev)
+	var sizes []int64
+	for _, rec := range sampleRecords() {
+		l.Append(rec)
+		sizes = append(sizes, l.Size())
+	}
+	// Corrupt a byte inside the 4th record's payload.
+	dev.Corrupt(sizes[2] + frameHeader)
+	l2, err := NewLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Size() != sizes[2] {
+		t.Fatalf("recovered size %d, want %d", l2.Size(), sizes[2])
+	}
+}
+
+func TestBlockingReader(t *testing.T) {
+	l, _ := NewLog(NewMemDevice())
+	r := l.NewReader(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got *Record
+	var err error
+	go func() {
+		defer wg.Done()
+		got, err = r.NextBlocking()
+	}()
+	l.Append(&Record{Type: TypeBegin, TxID: 9})
+	wg.Wait()
+	if err != nil || got.TxID != 9 {
+		t.Fatalf("blocking read: %+v %v", got, err)
+	}
+	// After close, a blocked reader must return ErrClosed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err = r.NextBlocking()
+	}()
+	l.Close()
+	wg.Wait()
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	l, _ := NewLog(NewMemDevice())
+	l.Close()
+	if _, err := l.Append(&Record{Type: TypeBegin, TxID: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestCloseWithPendingDataDrainsFirst(t *testing.T) {
+	l, _ := NewLog(NewMemDevice())
+	l.Append(&Record{Type: TypeBegin, TxID: 5})
+	l.Close()
+	r := l.NewReader(0)
+	rec, err := r.NextBlocking()
+	if err != nil || rec.TxID != 5 {
+		t.Fatalf("drain after close: %v %v", rec, err)
+	}
+	if _, err := r.NextBlocking(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after drain, got %v", err)
+	}
+}
+
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	dev, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, rec := range recs {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Reopen and verify recovery finds everything.
+	dev2, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	l2, err := NewLog(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := l2.NewReader(0)
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !recordsEqual(got, want) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeCorruptRecord(t *testing.T) {
+	if _, err := decodeRecord(nil); err == nil {
+		t.Fatal("empty payload should fail")
+	}
+	if _, err := decodeRecord([]byte{99, 1}); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+	if _, err := decodeRecord([]byte{byte(TypeInsert), 1, 50}); err == nil {
+		t.Fatal("short insert should fail")
+	}
+	if _, err := decodeRecord([]byte{byte(TypeCommit), 1}); err == nil {
+		t.Fatal("short commit should fail")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, typ := range []Type{TypeBegin, TypeInsert, TypeDelete, TypeCommit, TypeAbort} {
+		if typ.String() == "" {
+			t.Fatal("empty name")
+		}
+	}
+	if Type(200).String() != "Type(200)" {
+		t.Fatal("unknown type formatting")
+	}
+}
+
+func TestCommitCSNRoundTrip(t *testing.T) {
+	l, _ := NewLog(NewMemDevice())
+	l.Append(&Record{Type: TypeCommit, TxID: 3, CSN: relalg.CSN(-1), WallNanos: -5})
+	rec, err := l.NewReader(0).Next()
+	if err != nil || rec.CSN != -1 || rec.WallNanos != -5 {
+		t.Fatalf("negative varint roundtrip: %+v %v", rec, err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	l, _ := NewLog(NewMemDevice())
+	rec := &Record{Type: TypeInsert, TxID: 1, Table: "orders", Row: tuple.Tuple{tuple.Int(7), tuple.String_("widget")}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(rec)
+	}
+}

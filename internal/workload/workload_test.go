@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/engine"
+)
+
+func TestZipfSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50]*2 {
+		t.Fatalf("zipf not skewed: head %d vs mid %d", counts[0], counts[50])
+	}
+	// Uniform case: roughly flat.
+	u := NewZipf(rand.New(rand.NewSource(2)), 10, 0)
+	flat := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		flat[u.Next()]++
+	}
+	for _, c := range flat {
+		if math.Abs(float64(c)-2000) > 400 {
+			t.Fatalf("uniform zipf not flat: %v", flat)
+		}
+	}
+}
+
+func TestChainWorkloadSetupAndRun(t *testing.T) {
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	w := Chain(3, 20, 5)
+	if err := w.Setup(db, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tables) != 3 || w.View.N() != 3 || len(w.View.Conds) != 2 {
+		t.Fatal("chain shape")
+	}
+	for _, spec := range w.Tables {
+		tbl, err := db.Table(spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Len() != spec.InitialRows {
+			t.Fatalf("%s has %d rows, want %d", spec.Name, tbl.Len(), spec.InitialRows)
+		}
+	}
+	d := NewDriver(db, w, 4)
+	last, err := d.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last == 0 || d.Committed() != 50 {
+		t.Fatalf("driver: last=%d committed=%d", last, d.Committed())
+	}
+}
+
+func TestStarSchemaSkew(t *testing.T) {
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	w := StarSchema(2, 50, 10, 20)
+	if err := w.Setup(db, rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tables) != 3 || w.View.N() != 3 {
+		t.Fatal("star shape")
+	}
+	c := capture.NewLogCapture(db)
+	d := NewDriver(db, w, 6)
+	last, err := d.Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if err := c.WaitProgress(last); err != nil {
+		t.Fatal(err)
+	}
+	fact, _ := db.Delta("fact")
+	dim, _ := db.Delta("dim1")
+	if fact.Len() <= dim.Len()*4 {
+		t.Fatalf("fact deltas (%d) should dominate dim deltas (%d)", fact.Len(), dim.Len())
+	}
+	db.Close()
+	c.Wait()
+}
+
+func TestDriverMultiOpTxn(t *testing.T) {
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	w := Chain(2, 10, 4)
+	if err := w.Setup(db, rand.New(rand.NewSource(7))); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(db, w, 8)
+	d.OpsPerTxn = 5
+	before := db.Stats()
+	if _, err := d.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	after := db.Stats()
+	writes := (after.RowsInserted + after.RowsDeleted) - (before.RowsInserted + before.RowsDeleted)
+	if writes < 10 { // deletes can miss, but inserts always land
+		t.Fatalf("expected multi-op transactions, saw %d writes", writes)
+	}
+	if after.Txn.Committed-before.Txn.Committed != 10 {
+		t.Fatal("transaction count")
+	}
+}

@@ -1,0 +1,578 @@
+package rollingjoin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// CaptureMode selects how base-table changes reach the delta tables.
+type CaptureMode uint8
+
+// The capture modes.
+const (
+	// CaptureLog tails the write-ahead log asynchronously (the paper's
+	// DPropR architecture; the default).
+	CaptureLog CaptureMode = iota
+	// CaptureTrigger appends delta rows synchronously inside each writer's
+	// commit — lower capture latency, but every update transaction pays
+	// the expanded footprint.
+	CaptureTrigger
+)
+
+// Options configures a database instance.
+type Options struct {
+	// WALPath, when non-empty, backs the write-ahead log with a file;
+	// otherwise the log lives in memory.
+	WALPath string
+	// SyncOnCommit fsyncs the log inside every commit (file-backed only).
+	SyncOnCommit bool
+	// Capture selects the delta capture architecture.
+	Capture CaptureMode
+}
+
+// DB is an embedded database with incremental view maintenance.
+type DB struct {
+	eng     *engine.DB
+	logCap  *capture.LogCapture
+	trigCap *capture.TriggerCapture
+	src     capture.Source
+
+	captureOnce sync.Once
+
+	mu     sync.Mutex
+	views  map[string]*View
+	unions []*UnionView
+}
+
+// Open creates a database instance and starts its capture process.
+func Open(opts Options) (*DB, error) {
+	cfg := engine.Config{SyncOnCommit: opts.SyncOnCommit}
+	if opts.WALPath != "" {
+		dev, err := wal.OpenFileDevice(opts.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Device = dev
+	}
+	eng, err := engine.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{eng: eng, views: make(map[string]*View)}
+	switch opts.Capture {
+	case CaptureTrigger:
+		db.trigCap = capture.NewTriggerCapture(eng)
+		db.src = db.trigCap
+	default:
+		// The capture goroutine starts lazily (on the first view definition
+		// or Source access) so that a reopened database can re-create its
+		// catalog — and replay the log with Recover — before any log record
+		// is consumed.
+		db.logCap = capture.NewLogCapture(eng)
+		db.src = db.logCap
+	}
+	return db, nil
+}
+
+// ensureCapture starts the log-capture goroutine exactly once (no-op in
+// trigger mode).
+func (db *DB) ensureCapture() {
+	db.captureOnce.Do(func() {
+		if db.logCap != nil {
+			db.logCap.Start()
+		}
+	})
+}
+
+// Recover replays the write-ahead log into the base tables, restoring a
+// previous process's committed state. Call it on a reopened file-backed
+// database after re-creating every table (and index), before any new
+// transactions or view definitions. It returns the highest recovered
+// commit sequence number.
+func (db *DB) Recover() (CSN, error) {
+	return db.eng.Recover()
+}
+
+// Close stops view maintenance, the capture process, and the engine.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	views := make([]*View, 0, len(db.views))
+	for _, v := range db.views {
+		views = append(views, v)
+	}
+	unions := append([]*UnionView(nil), db.unions...)
+	db.mu.Unlock()
+	for _, v := range views {
+		v.StopPropagation()
+	}
+	for _, uv := range unions {
+		uv.StopPropagation()
+	}
+	err := db.eng.Close()
+	if db.logCap != nil {
+		db.logCap.Wait()
+	}
+	if db.trigCap != nil {
+		db.trigCap.Stop()
+	}
+	return err
+}
+
+// Engine exposes the underlying engine for advanced use (benchmarks and
+// experiments).
+func (db *DB) Engine() *engine.DB { return db.eng }
+
+// Source exposes the capture progress watermark.
+func (db *DB) Source() capture.Source {
+	db.ensureCapture()
+	return db.src
+}
+
+// UOW returns the unit-of-work table mapping CSNs to wall-clock commit
+// times (nil in trigger mode before any commit).
+func (db *DB) UOW() *capture.UnitOfWork {
+	db.ensureCapture()
+	if db.logCap != nil {
+		return db.logCap.UOW()
+	}
+	return db.trigCap.UOW()
+}
+
+// LastCSN returns the most recent commit sequence number.
+func (db *DB) LastCSN() CSN { return db.eng.LastCSN() }
+
+// CreateTable registers a base table with a delta table, making it usable
+// in view definitions.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	tcols := make([]tuple.Column, len(cols))
+	for i, c := range cols {
+		tcols[i] = tuple.Column{Name: c.Name, Kind: c.Type}
+	}
+	if _, err := db.eng.CreateTable(name, tuple.NewSchema(tcols...)); err != nil {
+		return err
+	}
+	_, err := db.eng.CreateDelta(name)
+	return err
+}
+
+// CreateIndex builds a hash index on a table column. Propagation queries
+// whose delta side joins the indexed column use index nested-loop probes
+// instead of full table scans. Create indexes right after CreateTable,
+// before concurrent writers start.
+func (db *DB) CreateIndex(table, column string) error {
+	_, err := db.eng.CreateIndex(table, column)
+	return err
+}
+
+// Tx is a read-write transaction.
+type Tx struct {
+	db    *DB
+	inner *engine.Tx
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx { return &Tx{db: db, inner: db.eng.Begin()} }
+
+// Insert adds a row.
+func (tx *Tx) Insert(table string, values ...Value) error {
+	return tx.inner.Insert(table, Tuple(values))
+}
+
+// Delete removes up to limit rows where column op constant holds
+// (limit <= 0 removes all matches). It returns the number removed.
+func (tx *Tx) Delete(table, column string, op CmpOp, v Value, limit int) (int, error) {
+	t, err := tx.db.eng.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	c := t.Schema().Index(column)
+	if c < 0 {
+		return 0, fmt.Errorf("rollingjoin: no column %q in table %q", column, table)
+	}
+	return tx.inner.DeleteWhere(table, relalg.ColConst{Col: c, Op: op, Val: v}, limit)
+}
+
+// DeleteMatching removes up to limit rows satisfying every condition
+// (limit <= 0 removes all matches). Conditions reference columns of the
+// target table; the Filter.Table field is ignored.
+func (tx *Tx) DeleteMatching(table string, conds []Filter, limit int) (int, error) {
+	t, err := tx.db.eng.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	var pred relalg.And
+	for _, f := range conds {
+		c := t.Schema().Index(f.Column)
+		if c < 0 {
+			return 0, fmt.Errorf("rollingjoin: no column %q in table %q", f.Column, table)
+		}
+		pred = append(pred, relalg.ColConst{Col: c, Op: f.Op, Val: f.Value})
+	}
+	return tx.inner.DeleteWhere(table, pred, limit)
+}
+
+// Scan returns the table's committed rows (taking a shared table lock held
+// to commit).
+func (tx *Tx) Scan(table string) ([]Tuple, error) {
+	rel, err := tx.inner.Scan(table, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Tuple, 0, rel.Len())
+	for _, r := range rel.Rows {
+		out = append(out, Tuple(r.Tuple))
+	}
+	return out, nil
+}
+
+// Commit commits the transaction and returns its commit sequence number.
+func (tx *Tx) Commit() (CSN, error) { return tx.inner.Commit() }
+
+// Abort rolls the transaction back.
+func (tx *Tx) Abort() error { return tx.inner.Abort() }
+
+// Update runs fn inside a transaction, committing on success and aborting
+// on error or panic. It retries automatically when the transaction is
+// chosen as a deadlock victim.
+func (db *DB) Update(fn func(tx *Tx) error) (CSN, error) {
+	for {
+		tx := db.Begin()
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					tx.Abort()
+					panic(r)
+				}
+			}()
+			return fn(tx)
+		}()
+		if err != nil {
+			tx.Abort()
+			if errors.Is(err, txn.ErrDeadlock) {
+				continue
+			}
+			return 0, err
+		}
+		csn, err := tx.Commit()
+		if err != nil {
+			return 0, err
+		}
+		return csn, nil
+	}
+}
+
+// ViewSpec declares a select-project-join view over base tables.
+type ViewSpec struct {
+	Name    string
+	Tables  []string
+	Joins   []Join
+	Filters []Filter
+	Output  []OutCol
+}
+
+// resolve lowers the named spec to the core ViewDef.
+func (db *DB) resolve(spec ViewSpec) (*core.ViewDef, error) {
+	return db.resolveChecked(spec, true)
+}
+
+func (db *DB) resolveChecked(spec ViewSpec, requireDeltas bool) (*core.ViewDef, error) {
+	if spec.Name == "" {
+		return nil, errors.New("rollingjoin: view needs a name")
+	}
+	idx := make(map[string]int, len(spec.Tables))
+	for i, t := range spec.Tables {
+		if _, dup := idx[t]; dup {
+			return nil, fmt.Errorf("rollingjoin: table %q appears twice in view %q (self-joins are not supported)", t, spec.Name)
+		}
+		idx[t] = i
+	}
+	colRef := func(table, column string) (engine.ColRef, error) {
+		i, ok := idx[table]
+		if !ok {
+			return engine.ColRef{}, fmt.Errorf("rollingjoin: view %q references table %q not in its FROM list", spec.Name, table)
+		}
+		t, err := db.eng.Table(table)
+		if err != nil {
+			return engine.ColRef{}, err
+		}
+		c := t.Schema().Index(column)
+		if c < 0 {
+			return engine.ColRef{}, fmt.Errorf("rollingjoin: no column %q in table %q", column, table)
+		}
+		return engine.ColRef{Input: i, Col: c}, nil
+	}
+
+	def := &core.ViewDef{Name: spec.Name, Relations: spec.Tables}
+	for _, j := range spec.Joins {
+		a, err := colRef(j.LeftTable, j.LeftColumn)
+		if err != nil {
+			return nil, err
+		}
+		b, err := colRef(j.RightTable, j.RightColumn)
+		if err != nil {
+			return nil, err
+		}
+		def.Conds = append(def.Conds, engine.JoinCond{A: a, B: b})
+	}
+	if len(spec.Filters) > 0 {
+		// Filters become a residual predicate over the concatenated schema.
+		offsets := make([]int, len(spec.Tables))
+		pos := 0
+		for i, name := range spec.Tables {
+			t, err := db.eng.Table(name)
+			if err != nil {
+				return nil, err
+			}
+			offsets[i] = pos
+			pos += t.Schema().Arity()
+		}
+		var conj relalg.And
+		for _, f := range spec.Filters {
+			ref, err := colRef(f.Table, f.Column)
+			if err != nil {
+				return nil, err
+			}
+			conj = append(conj, relalg.ColConst{Col: offsets[ref.Input] + ref.Col, Op: f.Op, Val: f.Value})
+		}
+		def.Residual = conj
+	}
+	for _, o := range spec.Output {
+		ref, err := colRef(o.Table, o.Column)
+		if err != nil {
+			return nil, err
+		}
+		def.Project = append(def.Project, ref)
+	}
+	if requireDeltas {
+		return def, def.Validate(db.eng)
+	}
+	return def, def.ValidateQuery(db.eng)
+}
+
+// QueryResult holds an ad-hoc SELECT result: the output column names and
+// the rows (a tuple with multiplicity m appears m times).
+type QueryResult struct {
+	Columns []string
+	Rows    []Tuple
+}
+
+// Query evaluates a one-shot select-project-join query described by the
+// spec. Unlike DefineView it requires no delta tables and materializes
+// nothing; it simply runs the query transactionally against the current
+// committed state.
+func (db *DB) Query(spec ViewSpec) (*QueryResult, error) {
+	if spec.Name == "" {
+		spec.Name = "adhoc"
+	}
+	def, err := db.resolveChecked(spec, false)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := def.Schema(db.eng)
+	if err != nil {
+		return nil, err
+	}
+	tx := db.eng.Begin()
+	rel, err := tx.EvalQuery(core.AllBase(def).EngineQuery())
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	res := &QueryResult{Columns: schema.Names()}
+	for _, row := range relalg.NetEffect(rel).Rows {
+		for i := int64(0); i < row.Count; i++ {
+			res.Rows = append(res.Rows, Tuple(row.Tuple))
+		}
+	}
+	return res, nil
+}
+
+// ViewNames returns the defined views, sorted.
+func (db *DB) ViewNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.views))
+	for n := range db.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableNames returns the registered base tables, sorted.
+func (db *DB) TableNames() []string { return db.eng.TableNames() }
+
+// Algorithm selects the propagation algorithm for a view.
+type Algorithm uint8
+
+// The propagation algorithms.
+const (
+	// AlgorithmRolling is rolling join propagation (Figure 10): one forward
+	// query per step with per-relation intervals and deferred compensation.
+	AlgorithmRolling Algorithm = iota
+	// AlgorithmStepwise is the simpler Figure 5 process: one ComputeDelta
+	// call per fixed interval.
+	AlgorithmStepwise
+)
+
+// Maintain configures how a view is maintained.
+type Maintain struct {
+	// Algorithm defaults to AlgorithmRolling.
+	Algorithm Algorithm
+	// Interval is the propagation interval (in commits) used for every
+	// relation without a per-relation override. Default 16.
+	Interval CSN
+	// Intervals optionally sets one interval per relation (rolling only).
+	Intervals []CSN
+	// Manual disables the background propagation goroutine; the caller
+	// drives propagation with View.PropagateStep.
+	Manual bool
+	// KeepEmptyWindowQueries disables the empty-window elision
+	// optimization, executing every propagation query the paper's
+	// pseudocode issues.
+	KeepEmptyWindowQueries bool
+	// AdaptiveTargetRows, when positive, replaces the fixed intervals with
+	// the adaptive policy: each relation's interval is sized so a forward
+	// query covers roughly this many delta rows.
+	AdaptiveTargetRows int
+}
+
+// DefineView materializes the view, wires up its delta table and
+// propagation driver, and (unless Manual) starts propagation in the
+// background.
+func (db *DB) DefineView(spec ViewSpec, opt Maintain) (*View, error) {
+	db.ensureCapture()
+	def, err := db.resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := def.Schema(db.eng)
+	if err != nil {
+		return nil, err
+	}
+	dest, err := db.eng.CreateStandaloneDelta("Δ"+def.Name, schema)
+	if err != nil {
+		return nil, err
+	}
+	mv, err := core.Materialize(db.eng, def)
+	if err != nil {
+		return nil, err
+	}
+	exec := core.NewExecutor(db.eng, db.src, def, dest)
+	exec.SkipEmptyWindows = !opt.KeepEmptyWindowQueries
+
+	interval := opt.Interval
+	if interval <= 0 {
+		interval = 16
+	}
+	var policy core.IntervalPolicy
+	switch {
+	case opt.AdaptiveTargetRows > 0:
+		policy = core.AdaptiveInterval(db.eng, def, opt.AdaptiveTargetRows)
+	case len(opt.Intervals) == def.N():
+		policy = core.PerRelationIntervals(opt.Intervals...)
+	default:
+		policy = core.FixedInterval(interval)
+	}
+
+	v := &View{db: db, def: def, exec: exec, mv: mv, dest: dest}
+	switch opt.Algorithm {
+	case AlgorithmStepwise:
+		p := core.NewPropagator(exec, mv.MatTime(), policy)
+		v.stepper = p.Step
+		v.hwm = p.HWM
+		v.runner = p.Run
+	default:
+		rp := core.NewRollingPropagator(exec, mv.MatTime(), policy)
+		v.stepper = rp.Step
+		v.hwm = rp.HWM
+		v.runner = rp.Run
+		v.rolling = rp
+	}
+	v.applier = core.NewApplier(mv, dest, v.hwm)
+
+	db.mu.Lock()
+	if _, dup := db.views[def.Name]; dup {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("rollingjoin: view %q already defined", def.Name)
+	}
+	db.views[def.Name] = v
+	db.mu.Unlock()
+
+	if !opt.Manual {
+		v.StartPropagation()
+	}
+	return v, nil
+}
+
+// View returns a previously defined view.
+func (db *DB) View(name string) (*View, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v, ok := db.views[name]
+	return v, ok
+}
+
+// DropView stops a view's maintenance and removes it from the registry.
+// Its delta table is left for PruneApplied-style cleanup; the view name
+// cannot be redefined in this process (delta table names register once).
+func (db *DB) DropView(name string) error {
+	db.mu.Lock()
+	v, ok := db.views[name]
+	if ok {
+		delete(db.views, name)
+	}
+	db.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rollingjoin: no view %q", name)
+	}
+	return v.StopPropagation()
+}
+
+// CSNAt translates a wall-clock instant to the last CSN committed at or
+// before it, using the unit-of-work table.
+func (db *DB) CSNAt(t time.Time) (CSN, bool) {
+	return db.UOW().CSNAtOrBefore(t)
+}
+
+// PruneBaseDeltas garbage-collects base-table delta rows that no view can
+// ever read again: for each base table, rows at or below the minimum
+// high-water mark of the views that reference it. It returns the number of
+// rows reclaimed. Call it periodically on long-running databases.
+func (db *DB) PruneBaseDeltas() int {
+	db.mu.Lock()
+	// Collect, per base table, the lowest HWM across referencing views.
+	safe := make(map[string]CSN)
+	for _, v := range db.views {
+		hwm := v.hwm()
+		for _, rel := range v.def.Relations {
+			if cur, ok := safe[rel]; !ok || hwm < cur {
+				safe[rel] = hwm
+			}
+		}
+	}
+	db.mu.Unlock()
+	pruned := 0
+	for table, hwm := range safe {
+		d, err := db.eng.Delta(table)
+		if err != nil {
+			continue
+		}
+		pruned += d.PruneThrough(hwm)
+	}
+	return pruned
+}

@@ -1,0 +1,76 @@
+package rollingjoin
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Summary is a maintained aggregation (GROUP BY + COUNT(*)/SUM) over a
+// view, implemented with the summary-delta method: the view's timestamped
+// delta doubles as the aggregate delta, so summaries support the same
+// point-in-time refresh as the views they summarize.
+type Summary struct {
+	inner *core.SummaryView
+}
+
+// SummaryRow is one group of a summary: the group key, COUNT(*), and one
+// running SUM per requested column.
+type SummaryRow struct {
+	Key   Tuple
+	Count int64
+	Sums  []float64
+}
+
+// DefineSummary creates a summary over the view grouped by the named
+// output columns, maintaining SUM for each column in sums. Column names
+// refer to the view's output schema.
+func (v *View) DefineSummary(name string, groupBy, sums []string) (*Summary, error) {
+	resolve := func(names []string) ([]int, error) {
+		out := make([]int, len(names))
+		for i, n := range names {
+			c := v.mv.Schema().Index(n)
+			if c < 0 {
+				return nil, fmt.Errorf("rollingjoin: view %q has no output column %q (have %v)",
+					v.Name(), n, v.mv.Schema().Names())
+			}
+			out[i] = c
+		}
+		return out, nil
+	}
+	g, err := resolve(groupBy)
+	if err != nil {
+		return nil, err
+	}
+	s, err := resolve(sums)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewSummaryView(name, v.dest, v.hwm, g, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{inner: inner}, nil
+}
+
+// Refresh rolls the summary to the view delta high-water mark.
+func (s *Summary) Refresh() (CSN, error) { return s.inner.RollToHWM() }
+
+// RefreshTo rolls the summary to an exact commit (point-in-time refresh).
+func (s *Summary) RefreshTo(t CSN) error { return s.inner.RollTo(t) }
+
+// MatTime returns the commit the aggregates currently reflect.
+func (s *Summary) MatTime() CSN { return s.inner.MatTime() }
+
+// Rows returns the groups sorted by key.
+func (s *Summary) Rows() []SummaryRow {
+	in := s.inner.Rows()
+	out := make([]SummaryRow, len(in))
+	for i, r := range in {
+		out[i] = SummaryRow{Key: Tuple(r.Key), Count: r.Count, Sums: r.Sums}
+	}
+	return out
+}
+
+// Groups returns the number of groups.
+func (s *Summary) Groups() int { return s.inner.Groups() }

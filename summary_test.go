@@ -1,0 +1,97 @@
+package rollingjoin
+
+import (
+	"testing"
+)
+
+func TestSummaryOverView(t *testing.T) {
+	db := newTestDB(t, Options{})
+	db.Update(func(tx *Tx) error {
+		tx.Insert("items", Str("ball"), Int(5))
+		tx.Insert("items", Str("bat"), Int(20))
+		return nil
+	})
+	view, err := db.DefineView(orderPricesSpec(), Maintain{Interval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group order_prices by item, summing price: (orders ⨝ items).
+	sum, err := view.DefineSummary("revenue", []string{"item"}, []string{"price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.DefineSummary("bad", []string{"ghost"}, nil); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+
+	var last CSN
+	for i := 0; i < 6; i++ {
+		item := "ball"
+		if i >= 4 {
+			item = "bat" // 4 balls, 2 bats
+		}
+		last, _ = db.Update(func(tx *Tx) error {
+			return tx.Insert("orders", Int(int64(i)), Str(item))
+		})
+	}
+	view.WaitForHWM(last)
+	if _, err := sum.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rows := sum.Rows()
+	if len(rows) != 2 || sum.Groups() != 2 {
+		t.Fatalf("groups: %+v", rows)
+	}
+	// Sorted by key: ball before bat? "ball" < "bat" lexicographically.
+	if rows[0].Key[0].AsString() != "ball" || rows[0].Count != 4 || rows[0].Sums[0] != 20 {
+		t.Fatalf("ball group: %+v", rows[0])
+	}
+	if rows[1].Key[0].AsString() != "bat" || rows[1].Count != 2 || rows[1].Sums[0] != 40 {
+		t.Fatalf("bat group: %+v", rows[1])
+	}
+
+	// Delete two ball orders; summary follows.
+	last, _ = db.Update(func(tx *Tx) error {
+		_, err := tx.Delete("orders", "id", LE, Int(1), 0)
+		return err
+	})
+	view.WaitForHWM(last)
+	if _, err := sum.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rows = sum.Rows()
+	if rows[0].Count != 2 || rows[0].Sums[0] != 10 {
+		t.Fatalf("ball group after deletes: %+v", rows[0])
+	}
+	if sum.MatTime() < last {
+		t.Fatal("mat time")
+	}
+}
+
+func TestSummaryPointInTime(t *testing.T) {
+	db := newTestDB(t, Options{})
+	db.Update(func(tx *Tx) error { return tx.Insert("items", Str("ball"), Int(5)) })
+	view, err := db.DefineView(orderPricesSpec(), Maintain{Interval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := view.DefineSummary("s", []string{"item"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := db.Update(func(tx *Tx) error { return tx.Insert("orders", Int(1), Str("ball")) })
+	last, _ := db.Update(func(tx *Tx) error { return tx.Insert("orders", Int(2), Str("ball")) })
+	view.WaitForHWM(last)
+	if err := sum.RefreshTo(mid); err != nil {
+		t.Fatal(err)
+	}
+	if rows := sum.Rows(); len(rows) != 1 || rows[0].Count != 1 {
+		t.Fatalf("at mid: %+v", rows)
+	}
+	if err := sum.RefreshTo(last); err != nil {
+		t.Fatal(err)
+	}
+	if rows := sum.Rows(); rows[0].Count != 2 {
+		t.Fatalf("at last: %+v", rows)
+	}
+}

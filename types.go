@@ -1,0 +1,124 @@
+// Package rollingjoin is an embedded Go library for asynchronous
+// incremental maintenance of select-project-join materialized views, a
+// from-scratch implementation of "How To Roll a Join: Asynchronous
+// Incremental View Maintenance" (Salem, Beyer, Lindsay, Cochrane; SIGMOD
+// 2000).
+//
+// The library bundles a small multiset relational engine (strict
+// two-phase locking, write-ahead log), a log-capture process that fills
+// timestamped delta tables, and the paper's rolling join propagation
+// algorithm. Views are refreshed by two independent background concerns:
+// a propagate process that turns base-table deltas into a timestamped view
+// delta in small, tunable transactions, and an apply step that can roll the
+// materialized view to any point up to the propagation high-water mark
+// (point-in-time refresh).
+//
+// Quick start:
+//
+//	db, _ := rollingjoin.Open(rollingjoin.Options{})
+//	defer db.Close()
+//	db.CreateTable("orders", rollingjoin.Col("id", rollingjoin.TypeInt),
+//	    rollingjoin.Col("item", rollingjoin.TypeString))
+//	db.CreateTable("items", rollingjoin.Col("item", rollingjoin.TypeString),
+//	    rollingjoin.Col("price", rollingjoin.TypeInt))
+//	view, _ := db.DefineView(rollingjoin.ViewSpec{
+//	    Name:   "order_prices",
+//	    Tables: []string{"orders", "items"},
+//	    Joins:  []rollingjoin.Join{{"orders", "item", "items", "item"}},
+//	}, rollingjoin.Maintain{})
+//	// ... run update transactions ...
+//	view.Refresh() // roll the materialized view to the high-water mark
+package rollingjoin
+
+import (
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// CSN is a commit sequence number — the library's internal time axis.
+// CSNs are assigned in commit order and are consistent with the
+// serialization order of transactions.
+type CSN = relalg.CSN
+
+// Value is a dynamically typed scalar (integer, float, string, bytes,
+// boolean, or NULL).
+type Value = tuple.Value
+
+// Tuple is an ordered list of values.
+type Tuple = tuple.Tuple
+
+// Type identifies a column type.
+type Type = tuple.Kind
+
+// The available column types.
+const (
+	TypeInt    = tuple.KindInt
+	TypeFloat  = tuple.KindFloat
+	TypeString = tuple.KindString
+	TypeBytes  = tuple.KindBytes
+	TypeBool   = tuple.KindBool
+)
+
+// Int builds an integer value.
+func Int(v int64) Value { return tuple.Int(v) }
+
+// Float builds a floating-point value.
+func Float(v float64) Value { return tuple.Float(v) }
+
+// Str builds a string value.
+func Str(v string) Value { return tuple.String_(v) }
+
+// Bytes builds a byte-slice value.
+func Bytes(v []byte) Value { return tuple.Bytes(v) }
+
+// Bool builds a boolean value.
+func Bool(v bool) Value { return tuple.Bool(v) }
+
+// Null builds the NULL value.
+func Null() Value { return tuple.Null() }
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Col is shorthand for constructing a Column.
+func Col(name string, typ Type) Column { return Column{Name: name, Type: typ} }
+
+// CmpOp is a comparison operator used in filters.
+type CmpOp = relalg.CmpOp
+
+// The comparison operators.
+const (
+	EQ = relalg.OpEQ
+	NE = relalg.OpNE
+	LT = relalg.OpLT
+	LE = relalg.OpLE
+	GT = relalg.OpGT
+	GE = relalg.OpGE
+)
+
+// Join declares an equi-join between two table columns of a view.
+type Join struct {
+	LeftTable   string
+	LeftColumn  string
+	RightTable  string
+	RightColumn string
+}
+
+// Filter restricts a view to rows where a column compares true against a
+// constant. Multiple filters are conjunctive.
+type Filter struct {
+	Table  string
+	Column string
+	Op     CmpOp
+	Value  Value
+}
+
+// OutCol selects one output column of a view. An empty list keeps every
+// column of the join result.
+type OutCol struct {
+	Table  string
+	Column string
+}

@@ -1,0 +1,202 @@
+package rollingjoin
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relalg"
+)
+
+// UnionView is a materialized view defined as the multiset union of several
+// SPJ branches with identical output arity (the paper's union extension).
+// Each branch propagates independently into a shared timestamped view
+// delta; the union's high-water mark is the minimum across branches, and
+// point-in-time refresh works exactly as for plain views.
+type UnionView struct {
+	db    *DB
+	inner *core.UnionView
+	mv    *core.MaterializedView
+	apply *core.Applier
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan error
+	running bool
+}
+
+// DefineUnionView creates and materializes a union view over the branch
+// specs. Maintain options apply to every branch (Intervals is per-relation
+// within each branch and must match each branch's arity if set).
+func (db *DB) DefineUnionView(name string, branches []ViewSpec, opt Maintain) (*UnionView, error) {
+	if len(branches) == 0 {
+		return nil, errors.New("rollingjoin: union view needs at least one branch")
+	}
+	db.ensureCapture()
+	defs := make([]*core.ViewDef, len(branches))
+	for i, spec := range branches {
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("%s#%d", name, i+1)
+		}
+		def, err := db.resolve(spec)
+		if err != nil {
+			return nil, err
+		}
+		defs[i] = def
+	}
+	interval := opt.Interval
+	if interval <= 0 {
+		interval = 16
+	}
+	var policy core.IntervalPolicy
+	if len(opt.Intervals) > 0 {
+		policy = core.PerRelationIntervals(opt.Intervals...)
+	} else {
+		policy = core.FixedInterval(interval)
+	}
+
+	// The union view starts empty at time 0 and replays the full captured
+	// history: every branch propagates from the beginning, so the first
+	// Refresh brings the view up to date regardless of pre-existing data.
+	// (Define union views before bulk loads, or prune with care: unlike
+	// DefineView there is no initial materialization shortcut, keeping all
+	// branches on one consistent time axis.)
+	schema, err := defs[0].Schema(db.eng)
+	if err != nil {
+		return nil, err
+	}
+	mv := core.NewMaterializedView(name, schema, 0)
+
+	inner, err := core.NewUnionView(db.eng, db.src, name, 0, policy, defs...)
+	if err != nil {
+		return nil, err
+	}
+	uv := &UnionView{db: db, inner: inner, mv: mv}
+	uv.apply = core.NewApplier(mv, inner.Dest(), inner.HWM)
+	db.mu.Lock()
+	db.unions = append(db.unions, uv)
+	db.mu.Unlock()
+	if !opt.Manual {
+		uv.StartPropagation()
+	}
+	return uv, nil
+}
+
+// Name returns the union view's name.
+func (uv *UnionView) Name() string { return uv.inner.Name }
+
+// HWM returns the union high-water mark (minimum across branches).
+func (uv *UnionView) HWM() CSN { return uv.inner.HWM() }
+
+// MatTime returns the commit the materialized tuples reflect.
+func (uv *UnionView) MatTime() CSN { return uv.mv.MatTime() }
+
+// Cardinality returns the number of tuples with multiplicity.
+func (uv *UnionView) Cardinality() int64 { return uv.mv.Cardinality() }
+
+// Rows returns the materialized tuples (multiplicity expanded).
+func (uv *UnionView) Rows() []Tuple {
+	rel := uv.mv.AsRelation()
+	out := make([]Tuple, 0, rel.Len())
+	for _, r := range rel.Rows {
+		for i := int64(0); i < r.Count; i++ {
+			out = append(out, Tuple(r.Tuple))
+		}
+	}
+	return out
+}
+
+// Refresh rolls the union view to its high-water mark.
+func (uv *UnionView) Refresh() (CSN, error) { return uv.apply.RollToHWM() }
+
+// RefreshTo rolls the union view to an exact commit.
+func (uv *UnionView) RefreshTo(t CSN) error { return uv.apply.RollTo(t) }
+
+// PropagateStep advances the branch with the lowest high-water mark.
+func (uv *UnionView) PropagateStep() error { return uv.inner.Step() }
+
+// Relation exposes the materialized contents for experiments and the SQL
+// layer.
+func (uv *UnionView) Relation() *relalg.Relation { return uv.mv.AsRelation() }
+
+// CatchUp advances propagation until the high-water mark reaches target,
+// stepping synchronously when no background propagator is running.
+func (uv *UnionView) CatchUp(target CSN) error {
+	for uv.HWM() < target {
+		uv.mu.Lock()
+		running := uv.running
+		uv.mu.Unlock()
+		if running {
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		if err := uv.inner.Step(); err != nil {
+			if errors.Is(err, core.ErrNoProgress) {
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitForHWM blocks until the high-water mark reaches target (propagation
+// must be running or driven concurrently).
+func (uv *UnionView) WaitForHWM(target CSN) {
+	for uv.HWM() < target {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// StartPropagation launches background propagation across the branches.
+func (uv *UnionView) StartPropagation() {
+	uv.mu.Lock()
+	defer uv.mu.Unlock()
+	if uv.running {
+		return
+	}
+	uv.stop = make(chan struct{})
+	uv.done = make(chan error, 1)
+	uv.running = true
+	stop := uv.stop
+	go func() {
+		for {
+			select {
+			case <-stop:
+				uv.done <- nil
+				return
+			default:
+			}
+			if err := uv.inner.Step(); err != nil {
+				if errors.Is(err, core.ErrNoProgress) {
+					select {
+					case <-stop:
+						uv.done <- nil
+						return
+					case <-time.After(time.Millisecond):
+					}
+					continue
+				}
+				uv.done <- err
+				return
+			}
+		}
+	}()
+}
+
+// StopPropagation suspends propagation; it can be restarted.
+func (uv *UnionView) StopPropagation() error {
+	uv.mu.Lock()
+	if !uv.running {
+		uv.mu.Unlock()
+		return nil
+	}
+	close(uv.stop)
+	uv.running = false
+	done := uv.done
+	uv.mu.Unlock()
+	return <-done
+}

@@ -1,0 +1,156 @@
+package rollingjoin
+
+import (
+	"testing"
+)
+
+func TestUnionViewFacade(t *testing.T) {
+	db := newTestDB(t, Options{})
+	// Two branches over the same output shape: cheap orders and pricey
+	// orders, partitioned by price.
+	branch := func(name string, op CmpOp) ViewSpec {
+		return ViewSpec{
+			Name:    name,
+			Tables:  []string{"orders", "items"},
+			Joins:   []Join{{"orders", "item", "items", "item"}},
+			Filters: []Filter{{Table: "items", Column: "price", Op: op, Value: Int(10)}},
+			Output:  []OutCol{{"orders", "id"}, {"items", "price"}},
+		}
+	}
+	uv, err := db.DefineUnionView("all_orders", []ViewSpec{branch("cheap", LT), branch("pricey", GE)}, Maintain{Interval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uv.Name() != "all_orders" {
+		t.Fatal("name")
+	}
+
+	db.Update(func(tx *Tx) error {
+		tx.Insert("items", Str("ball"), Int(5))
+		tx.Insert("items", Str("bat"), Int(20))
+		return nil
+	})
+	var last CSN
+	for i := 0; i < 8; i++ {
+		item := "ball"
+		if i%2 == 1 {
+			item = "bat"
+		}
+		last, _ = db.Update(func(tx *Tx) error {
+			return tx.Insert("orders", Int(int64(i)), Str(item))
+		})
+	}
+	uv.WaitForHWM(last)
+	reached, err := uv.Refresh()
+	if err != nil || reached < last {
+		t.Fatalf("refresh: %d %v", reached, err)
+	}
+	if uv.Cardinality() != 8 {
+		t.Fatalf("union rows: %d", uv.Cardinality())
+	}
+	rows := uv.Rows()
+	if len(rows) != 8 || len(rows[0]) != 2 {
+		t.Fatalf("rows shape: %d", len(rows))
+	}
+	if uv.MatTime() != reached {
+		t.Fatal("mat time")
+	}
+}
+
+func TestUnionViewManualAndPointInTime(t *testing.T) {
+	db := newTestDB(t, Options{})
+	spec := func(name string) ViewSpec {
+		return ViewSpec{
+			Name:   name,
+			Tables: []string{"orders", "items"},
+			Joins:  []Join{{"orders", "item", "items", "item"}},
+			Output: []OutCol{{"orders", "id"}, {"items", "price"}},
+		}
+	}
+	// A degenerate single-branch union still works.
+	uv, err := db.DefineUnionView("u", []ViewSpec{spec("only")}, Maintain{Interval: 4, Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Update(func(tx *Tx) error { return tx.Insert("items", Str("ball"), Int(5)) })
+	mid, _ := db.Update(func(tx *Tx) error { return tx.Insert("orders", Int(1), Str("ball")) })
+	last, _ := db.Update(func(tx *Tx) error { return tx.Insert("orders", Int(2), Str("ball")) })
+	for uv.HWM() < last {
+		if err := uv.PropagateStep(); err != nil && err.Error() != "core: no captured changes to propagate" {
+			t.Fatal(err)
+		}
+	}
+	if err := uv.RefreshTo(mid); err != nil {
+		t.Fatal(err)
+	}
+	if uv.Cardinality() != 1 {
+		t.Fatalf("at mid: %d", uv.Cardinality())
+	}
+	if err := uv.RefreshTo(last); err != nil {
+		t.Fatal(err)
+	}
+	if uv.Cardinality() != 2 {
+		t.Fatalf("at last: %d", uv.Cardinality())
+	}
+	// Restartable propagation.
+	uv.StartPropagation()
+	uv.StartPropagation()
+	if err := uv.StopPropagation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := uv.StopPropagation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionViewValidationFacade(t *testing.T) {
+	db := newTestDB(t, Options{})
+	if _, err := db.DefineUnionView("u", nil, Maintain{}); err == nil {
+		t.Fatal("no branches should fail")
+	}
+	a := ViewSpec{Name: "a", Tables: []string{"orders", "items"},
+		Joins:  []Join{{"orders", "item", "items", "item"}},
+		Output: []OutCol{{"orders", "id"}}}
+	b := ViewSpec{Name: "b", Tables: []string{"orders", "items"},
+		Joins: []Join{{"orders", "item", "items", "item"}}}
+	if _, err := db.DefineUnionView("u", []ViewSpec{a, b}, Maintain{Manual: true}); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+}
+
+func TestPruneBaseDeltas(t *testing.T) {
+	db := newTestDB(t, Options{})
+	view, err := db.DefineView(orderPricesSpec(), Maintain{Interval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Update(func(tx *Tx) error { return tx.Insert("items", Str("ball"), Int(5)) })
+	var last CSN
+	for i := 0; i < 12; i++ {
+		last, _ = db.Update(func(tx *Tx) error {
+			return tx.Insert("orders", Int(int64(i)), Str("ball"))
+		})
+	}
+	view.WaitForHWM(last)
+	d, _ := db.Engine().Delta("orders")
+	before := d.Len()
+	if before == 0 {
+		t.Fatal("expected captured deltas")
+	}
+	pruned := db.PruneBaseDeltas()
+	if pruned == 0 {
+		t.Fatal("expected pruning")
+	}
+	if d.Len() >= before {
+		t.Fatal("orders delta not shrunk")
+	}
+	// Maintenance continues to work after pruning.
+	last, _ = db.Update(func(tx *Tx) error { return tx.Insert("orders", Int(99), Str("ball")) })
+	view.WaitForHWM(last)
+	if _, err := view.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if view.Cardinality() != 13 {
+		t.Fatalf("rows after prune: %d", view.Cardinality())
+	}
+}

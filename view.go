@@ -1,0 +1,207 @@
+package rollingjoin
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/relalg"
+)
+
+// Re-exported apply-side errors.
+var (
+	// ErrBeyondHWM is returned when a refresh target lies past the view
+	// delta high-water mark.
+	ErrBeyondHWM = core.ErrBeyondHWM
+	// ErrBackward is returned when a refresh target precedes the view's
+	// materialized state.
+	ErrBackward = core.ErrBackward
+)
+
+// View is a materialized select-project-join view under asynchronous
+// incremental maintenance. Propagation (computing the timestamped view
+// delta) and application (rolling the materialized tuples forward) are
+// fully decoupled: propagation usually runs in a background goroutine,
+// while Refresh / RefreshTo apply accumulated changes on demand.
+type View struct {
+	db   *DB
+	def  *core.ViewDef
+	exec *core.Executor
+	mv   *core.MaterializedView
+	dest *engine.DeltaTable
+
+	applier *core.Applier
+	stepper func() error
+	hwm     func() CSN
+	runner  func(stop <-chan struct{}) error
+	rolling *core.RollingPropagator // nil for AlgorithmStepwise
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan error
+	running bool
+}
+
+// Name returns the view name.
+func (v *View) Name() string { return v.def.Name }
+
+// HWM returns the view delta high-water mark: the latest CSN the view can
+// currently be rolled to.
+func (v *View) HWM() CSN { return v.hwm() }
+
+// MatTime returns the CSN whose database state the materialized tuples
+// currently reflect.
+func (v *View) MatTime() CSN { return v.mv.MatTime() }
+
+// Rows returns the materialized tuples in net-effect form; a tuple with
+// multiplicity m appears m times.
+func (v *View) Rows() []Tuple {
+	rel := v.mv.AsRelation()
+	out := make([]Tuple, 0, rel.Len())
+	for _, r := range rel.Rows {
+		for i := int64(0); i < r.Count; i++ {
+			out = append(out, Tuple(r.Tuple))
+		}
+	}
+	return out
+}
+
+// Cardinality returns the number of tuples (with multiplicity).
+func (v *View) Cardinality() int64 { return v.mv.Cardinality() }
+
+// Relation exposes the materialized contents for experiments.
+func (v *View) Relation() *relalg.Relation { return v.mv.AsRelation() }
+
+// Refresh rolls the materialized view to the current high-water mark and
+// returns the CSN reached.
+func (v *View) Refresh() (CSN, error) { return v.applier.RollToHWM() }
+
+// RefreshTo performs point-in-time refresh: it rolls the view to exactly
+// the given CSN, which must lie between the current materialization time
+// and the high-water mark.
+func (v *View) RefreshTo(t CSN) error { return v.applier.RollTo(t) }
+
+// RefreshToTime rolls the view to the last transaction committed at or
+// before the given wall-clock instant ("refresh the view to its 5:00 pm
+// state").
+func (v *View) RefreshToTime(t time.Time) (CSN, error) {
+	csn, ok := v.db.CSNAt(t)
+	if !ok {
+		return 0, errors.New("rollingjoin: no commits at or before the requested time")
+	}
+	if csn < v.MatTime() {
+		// The view is already past that instant.
+		return 0, core.ErrBackward
+	}
+	return csn, v.applier.RollTo(csn)
+}
+
+// WaitForHWM blocks until the high-water mark reaches target. Propagation
+// must be running (or driven concurrently via PropagateStep).
+func (v *View) WaitForHWM(target CSN) {
+	for v.hwm() < target {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// PropagateStep runs one propagation step synchronously (Manual mode). It
+// returns core.ErrNoProgress when capture has nothing new.
+func (v *View) PropagateStep() error { return v.stepper() }
+
+// CatchUp advances propagation until the high-water mark reaches target.
+// With a background propagator running it simply waits; otherwise it drives
+// propagation steps synchronously. Refresh(CatchUp(db.LastCSN())) is
+// "refresh the view to now".
+func (v *View) CatchUp(target CSN) error {
+	for v.hwm() < target {
+		v.mu.Lock()
+		running := v.running
+		v.mu.Unlock()
+		if running {
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		if err := v.stepper(); err != nil {
+			if errors.Is(err, core.ErrNoProgress) {
+				time.Sleep(100 * time.Microsecond) // capture catching up
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// StartPropagation launches the background propagation goroutine; it is a
+// no-op if already running.
+func (v *View) StartPropagation() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.running {
+		return
+	}
+	v.stop = make(chan struct{})
+	v.done = make(chan error, 1)
+	v.running = true
+	go func() { v.done <- v.runner(v.stop) }()
+}
+
+// StopPropagation suspends the propagation process (it can be restarted —
+// the paper's "either process can be suspended during periods of high
+// system load"). It returns the propagation loop's terminal error, if any.
+func (v *View) StopPropagation() error {
+	v.mu.Lock()
+	if !v.running {
+		v.mu.Unlock()
+		return nil
+	}
+	close(v.stop)
+	v.running = false
+	done := v.done
+	v.mu.Unlock()
+	return <-done
+}
+
+// PruneApplied discards view delta rows that can no longer be needed
+// (timestamps at or below the materialization time).
+func (v *View) PruneApplied() int { return v.applier.PruneApplied() }
+
+// Stats reports maintenance activity for the view.
+type ViewStats struct {
+	ForwardQueries      int64
+	CompensationQueries int64
+	SkippedEmptyWindows int64
+	DeltaRowsProduced   int64
+	DeltaRowsPending    int
+	RowsApplied         int64
+	Refreshes           int64
+	HWM                 CSN
+	MatTime             CSN
+}
+
+// Stats returns a snapshot of the view's maintenance counters.
+func (v *View) Stats() ViewStats {
+	es := v.exec.Stats()
+	return ViewStats{
+		ForwardQueries:      es.ForwardQueries,
+		CompensationQueries: es.CompensationQueries,
+		SkippedEmptyWindows: es.SkippedEmpty,
+		DeltaRowsProduced:   es.RowsProduced,
+		DeltaRowsPending:    v.dest.Len(),
+		RowsApplied:         v.applier.RowsApplied(),
+		Refreshes:           v.applier.Refreshes(),
+		HWM:                 v.hwm(),
+		MatTime:             v.mv.MatTime(),
+	}
+}
+
+// TFwd exposes the per-relation forward progress (rolling algorithm only;
+// nil otherwise). Used by the demo tool to visualize Figure 9.
+func (v *View) TFwd() []CSN {
+	if v.rolling == nil {
+		return nil
+	}
+	return v.rolling.TFwd()
+}
