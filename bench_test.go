@@ -104,6 +104,15 @@ func BenchmarkA2AdaptiveIntervals(b *testing.B) {
 	runExperiment(b, func() (*metrics.Table, error) { return bench.A2(quick) })
 }
 
+// BenchmarkPipelineAB compares the streaming operator pipeline against the
+// materializing fallback executor on the star-schema workload.
+func BenchmarkPipelineAB(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) {
+		tbl, _, err := bench.PipelineAB(quick)
+		return tbl, err
+	})
+}
+
 // --- micro-benchmarks on the core machinery ---
 
 // BenchmarkPropagationStep measures one rolling forward step (query

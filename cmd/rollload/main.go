@@ -31,17 +31,18 @@ func main() {
 	interval := flag.Int64("interval", 16, "propagation interval (commits)")
 	adaptive := flag.Int("adaptive", 0, "adaptive target rows per query (0 = fixed interval)")
 	indexed := flag.Bool("index", false, "create hash indexes on the join columns")
+	workers := flag.Int("workers", 1, "concurrent propagation queries (worker pool size)")
 	report := flag.Duration("report", time.Second, "live report period")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	flag.Parse()
 
-	if err := run(*kind, *n, *dims, *rows, *updates, *interval, *adaptive, *indexed, *report, *seed); err != nil {
+	if err := run(*kind, *n, *dims, *rows, *updates, *interval, *adaptive, *indexed, *workers, *report, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "rollload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, indexed bool, report time.Duration, seed int64) error {
+func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, indexed bool, workers int, report time.Duration, seed int64) error {
 	var w *workload.Workload
 	switch kind {
 	case "chain":
@@ -79,6 +80,8 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 		return err
 	}
 	exec := core.NewExecutor(db, cap, w.View, dest)
+	exec.SetWorkers(workers)
+	exec.Metrics = core.NewExecMetrics()
 	mv, err := core.Materialize(db, w.View)
 	if err != nil {
 		return err
@@ -103,7 +106,7 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 	lat := metrics.NewHistogram()
 	start := time.Now()
 	lastReport := start
-	var reported int64
+	var reported, reportedPropRows int64
 	var last relalg.CSN
 	for i := 0; i < updates; i++ {
 		s := time.Now()
@@ -117,14 +120,19 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 		if time.Since(lastReport) >= report {
 			es := exec.Stats()
 			done := driver.Committed()
-			rate := float64(done-reported) / time.Since(lastReport).Seconds()
-			fmt.Printf("t=%-6s txns=%-7d rate=%7.0f/s  p99=%-9s hwm=%-7d lag=%-6d fwd=%-5d comp=%-5d skipped=%d\n",
+			since := time.Since(lastReport).Seconds()
+			rate := float64(done-reported) / since
+			propRows := exec.Metrics.Rows.Sum()
+			propRate := float64(propRows-reportedPropRows) / since
+			fmt.Printf("t=%-6s txns=%-7d rate=%7.0f/s  p99=%-9s hwm=%-7d lag=%-6d fwd=%-5d comp=%-5d skipped=%-5d prop=%6.0frows/s q-p99=%s\n",
 				time.Since(start).Round(time.Second), done, rate,
 				lat.Quantile(0.99).Round(time.Microsecond),
 				int64(rp.HWM()), int64(last-rp.HWM()),
-				es.ForwardQueries, es.CompensationQueries, es.SkippedEmpty)
+				es.ForwardQueries, es.CompensationQueries, es.SkippedEmpty,
+				propRate, exec.Metrics.Latency.Quantile(0.99).Round(time.Microsecond))
 			lastReport = time.Now()
 			reported = done
+			reportedPropRows = propRows
 		}
 	}
 	wall := time.Since(start)
@@ -160,9 +168,14 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 	fmt.Printf("updates:              %d in %s (%.0f/s)\n", updates, wall.Round(time.Millisecond), float64(updates)/wall.Seconds())
 	fmt.Printf("writer latency:       mean %s  p99 %s  max %s\n",
 		lat.Mean().Round(time.Microsecond), lat.Quantile(0.99).Round(time.Microsecond), lat.Max().Round(time.Microsecond))
-	fmt.Printf("propagation:          %d forward + %d compensation queries, %d skipped empty\n",
-		es.ForwardQueries, es.CompensationQueries, es.SkippedEmpty)
-	fmt.Printf("delta rows produced:  %d (view now %d tuples)\n", es.RowsProduced, mv.Cardinality())
+	fmt.Printf("propagation:          %d forward + %d compensation queries, %d skipped empty (%d workers)\n",
+		es.ForwardQueries, es.CompensationQueries, es.SkippedEmpty, exec.Workers())
+	fmt.Printf("query latency:        mean %s  p99 %s  max %s\n",
+		exec.Metrics.Latency.Mean().Round(time.Microsecond),
+		exec.Metrics.Latency.Quantile(0.99).Round(time.Microsecond),
+		exec.Metrics.Latency.Max().Round(time.Microsecond))
+	fmt.Printf("delta rows produced:  %d in %d batches (view now %d tuples)\n",
+		es.RowsProduced, es.BatchesProduced, mv.Cardinality())
 	fmt.Printf("engine:               %d rows scanned, %d joined, %d index probes\n",
 		st.RowsScanned, st.RowsJoined, st.IndexProbes)
 	fmt.Printf("locks:                %d waits, %s total wait, %d deadlocks\n",

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/capture"
 	"repro/internal/core"
@@ -15,6 +16,40 @@ import (
 	"repro/internal/relalg"
 	"repro/internal/workload"
 )
+
+// Experiment-level engine counters: every Env.Close folds its database's
+// activity counters into a global accumulator, so a driver (cmd/rollbench)
+// can report rows scanned / joined / queries per experiment even though
+// each experiment opens its own databases.
+var (
+	countersMu sync.Mutex
+	counters   engine.Stats
+)
+
+// ResetCounters clears the accumulated engine counters.
+func ResetCounters() {
+	countersMu.Lock()
+	counters = engine.Stats{}
+	countersMu.Unlock()
+}
+
+// Counters returns the engine counters accumulated since the last reset.
+func Counters() engine.Stats {
+	countersMu.Lock()
+	defer countersMu.Unlock()
+	return counters
+}
+
+func accumulate(s engine.Stats) {
+	countersMu.Lock()
+	counters.RowsScanned += s.RowsScanned
+	counters.RowsJoined += s.RowsJoined
+	counters.QueriesRun += s.QueriesRun
+	counters.RowsInserted += s.RowsInserted
+	counters.RowsDeleted += s.RowsDeleted
+	counters.IndexProbes += s.IndexProbes
+	countersMu.Unlock()
+}
 
 // Env bundles everything one experiment run needs.
 type Env struct {
@@ -57,8 +92,10 @@ func NewEnv(w *workload.Workload, seed int64) (*Env, error) {
 	}, nil
 }
 
-// Close tears the environment down.
+// Close tears the environment down, folding the database's activity
+// counters into the package accumulator.
 func (e *Env) Close() {
+	accumulate(e.DB.Stats())
 	e.DB.Close()
 	e.Cap.Wait()
 }

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/relalg"
+	"repro/internal/workload"
+)
+
+// ABEntry records one pipeline-vs-materialize comparison for the
+// machine-readable benchmark output.
+type ABEntry struct {
+	Benchmark     string  `json:"benchmark"`
+	PipelineNs    int64   `json:"pipeline_ns"`
+	MaterializeNs int64   `json:"materialize_ns"`
+	Speedup       float64 `json:"speedup"`
+	Queries       int64   `json:"queries"`
+	Match         bool    `json:"match"`
+}
+
+// abStyle is one propagation style measured by the A/B experiment.
+type abStyle struct {
+	name  string
+	drain func(env *Env, mat, last relalg.CSN) error
+}
+
+// PipelineAB runs the same star-schema propagation workload through the
+// streaming operator pipeline (EvalQuery) and through the materializing
+// fallback executor (MaterializeExec), in two styles: an E1-style
+// incremental refresh that propagates the whole backlog in one window per
+// position, and an F9-style rolling propagation with small per-relation
+// intervals. Both modes see the identical update history (same seeds) and
+// both results are verified against a full recomputation, so the speedup
+// column is an apples-to-apples measure of what streaming execution buys.
+func PipelineAB(s Scale) (*metrics.Table, []ABEntry, error) {
+	updates := s.pick(400, 1500)
+	factRows := s.pick(1500, 6000)
+	dimRows := s.pick(400, 1500)
+	t := metrics.NewTable(
+		fmt.Sprintf("AB — operator pipeline vs materializing executor (star: fact %d rows + 3 dims x %d rows, %d updates)",
+			factRows, dimRows, updates),
+		"benchmark", "materialize", "pipeline", "speedup", "match")
+
+	styles := []abStyle{
+		{"E1-style incremental refresh", func(env *Env, mat, last relalg.CSN) error {
+			rp := core.NewRollingPropagator(env.Exec, mat, core.FixedInterval(relalg.CSN(updates)*2))
+			return DrainRolling(rp, last)
+		}},
+		{"F9-style rolling propagation", func(env *Env, mat, last relalg.CSN) error {
+			rp := core.NewRollingPropagator(env.Exec, mat, core.PerRelationIntervals(8, 128, 128, 128))
+			return DrainRolling(rp, last)
+		}},
+	}
+
+	var entries []ABEntry
+	for _, st := range styles {
+		var durs [2]time.Duration
+		var queries [2]int64
+		match := true
+		// Index 0 measures the materializing fallback, 1 the pipeline.
+		for mode := 0; mode < 2; mode++ {
+			env, err := NewEnv(workload.StarSchema(3, factRows, dimRows, 20), 71)
+			if err != nil {
+				return t, entries, err
+			}
+			env.DB.SetForceMaterialize(mode == 0)
+			mv, err := core.Materialize(env.DB, env.W.View)
+			if err != nil {
+				env.Close()
+				return t, entries, err
+			}
+			d := workload.NewDriver(env.DB, env.W, 72)
+			last, err := d.Run(updates)
+			if err != nil {
+				env.Close()
+				return t, entries, err
+			}
+			if err := env.Cap.WaitProgress(last); err != nil {
+				env.Close()
+				return t, entries, err
+			}
+
+			start := time.Now()
+			if err := st.drain(env, mv.MatTime(), last); err != nil {
+				env.Close()
+				return t, entries, err
+			}
+			durs[mode] = time.Since(start)
+			es := env.Exec.Stats()
+			queries[mode] = es.ForwardQueries + es.CompensationQueries
+
+			applier := core.NewApplier(mv, env.Dest, func() relalg.CSN { return last })
+			if err := applier.RollTo(last); err != nil {
+				env.Close()
+				return t, entries, err
+			}
+			full, _, err := core.FullRefresh(env.DB, env.W.View)
+			if err != nil {
+				env.Close()
+				return t, entries, err
+			}
+			if !relalg.Equivalent(mv.AsRelation(), full) {
+				match = false
+			}
+			env.Close()
+		}
+		speedup := float64(durs[0]) / float64(durs[1])
+		t.AddRow(st.name, durs[0], durs[1], speedup, pass(match))
+		entries = append(entries, ABEntry{
+			Benchmark:     st.name,
+			PipelineNs:    durs[1].Nanoseconds(),
+			MaterializeNs: durs[0].Nanoseconds(),
+			Speedup:       speedup,
+			Queries:       queries[1],
+			Match:         match,
+		})
+		if !match {
+			return t, entries, fmt.Errorf("pipeline AB: %s diverged from full recomputation", st.name)
+		}
+		if queries[0] != queries[1] {
+			return t, entries, fmt.Errorf("pipeline AB: %s query counts differ (materialize %d, pipeline %d)",
+				st.name, queries[0], queries[1])
+		}
+	}
+	return t, entries, nil
+}

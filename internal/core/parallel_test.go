@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/relalg"
+)
+
+// TestComputeDeltaParallelOracle runs ComputeDelta over randomized update
+// histories with a multi-worker pool and checks the accumulated view delta
+// against the timed-delta-table oracle (Definition 4.2). Independent
+// position subtrees run concurrently; the result must be indistinguishable
+// from sequential execution. Run under -race this also checks the
+// executor's and engine's synchronization.
+func TestComputeDeltaParallelOracle(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(workers)))
+			env := newEnv(t, chainView("vpar", 3))
+			env.exec.SetWorkers(workers)
+			last := env.randomHistory(r, 40, 5)
+			if err := env.cap.WaitProgress(last); err != nil {
+				t.Fatal(err)
+			}
+			if err := env.exec.ComputeDelta(AllBase(env.view), []relalg.CSN{0, 0, 0}, last); err != nil {
+				t.Fatal(err)
+			}
+			env.checkTimedDelta(0, last)
+		})
+	}
+}
+
+// TestRollingParallelOracle drives rolling propagation (Figure 10) with a
+// worker pool while writers keep committing, then checks the oracle over
+// the rolled range.
+func TestRollingParallelOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	env := newEnv(t, chainView("vroll", 3))
+	env.exec.SetWorkers(3)
+	rp := NewRollingPropagator(env.exec, 0, PerRelationIntervals(2, 4, 8))
+	var last relalg.CSN
+	for round := 0; round < 6; round++ {
+		last = env.randomHistory(r, 10, 4)
+		if err := env.cap.WaitProgress(last); err != nil {
+			t.Fatal(err)
+		}
+		drainRolling(t, rp, last)
+	}
+	env.checkTimedDelta(0, rp.HWM())
+}
+
+// starView builds fact ⋈ dim1 ⋈ ... ⋈ dimN on k (all conds against input 0).
+func starView(name string, dims int) *ViewDef {
+	v := &ViewDef{Name: name, Relations: []string{"r1"}}
+	for i := 0; i < dims; i++ {
+		v.Relations = append(v.Relations, fmt.Sprintf("r%d", i+2))
+		v.Conds = append(v.Conds, engine.JoinCond{
+			A: engine.ColRef{Input: 0, Col: 0},
+			B: engine.ColRef{Input: i + 1, Col: 0},
+		})
+	}
+	return v
+}
+
+// TestConcurrentWritersOracle drives rolling propagation over a star view
+// while a writer goroutine keeps committing, then checks the timed-delta
+// oracle over the rolled range — with and without a worker pool.
+func TestConcurrentWritersOracle(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for round := 0; round < 2; round++ {
+			t.Run(fmt.Sprintf("workers=%d/round=%d", workers, round), func(t *testing.T) {
+				r := rand.New(rand.NewSource(int64(round*10 + workers)))
+				env := newEnv(t, starView(fmt.Sprintf("vc%d_%d", workers, round), 2))
+				env.exec.SetWorkers(workers)
+				rp := NewRollingPropagator(env.exec, 0, PerRelationIntervals(2, 5, 5))
+
+				done := make(chan relalg.CSN)
+				go func() {
+					var last relalg.CSN
+					for i := 0; i < 80; i++ {
+						table := env.view.Relations[r.Intn(env.view.N())]
+						k := int64(r.Intn(4))
+						if r.Intn(3) == 0 {
+							last = env.delete(table, k)
+						} else {
+							last = env.insert(table, k)
+						}
+					}
+					done <- last
+				}()
+
+				var last relalg.CSN
+				writerDone := false
+				for !writerDone || rp.HWM() < last {
+					select {
+					case last = <-done:
+						writerDone = true
+					default:
+					}
+					if err := rp.Step(); err != nil && err != ErrNoProgress {
+						t.Fatal(err)
+					}
+				}
+				env.checkTimedDelta(0, rp.HWM())
+			})
+		}
+	}
+}
+
+// TestParallelStatsConsistent checks that the executor's stats add up under
+// a worker pool: every executed query is either forward or compensation,
+// and rows/batches counters are non-negative and consistent with the trace.
+func TestParallelStatsConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	env := newEnv(t, chainView("vstat", 2))
+	env.exec.SetWorkers(4)
+	env.exec.Metrics = NewExecMetrics()
+	var traced int64
+	env.exec.OnQuery = func(TraceEntry) { traced++ }
+	last := env.randomHistory(r, 30, 4)
+	if err := env.cap.WaitProgress(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.exec.ComputeDelta(AllBase(env.view), []relalg.CSN{0, 0}, last); err != nil {
+		t.Fatal(err)
+	}
+	s := env.exec.Stats()
+	executed := s.ForwardQueries + s.CompensationQueries
+	if executed == 0 {
+		t.Fatal("no queries executed")
+	}
+	if traced != executed {
+		t.Fatalf("trace saw %d queries, stats say %d", traced, executed)
+	}
+	m := env.exec.Metrics
+	if int64(m.Latency.Count()) != executed || int64(m.Rows.Count()) != executed {
+		t.Fatalf("metrics samples %d/%d, want %d", m.Latency.Count(), m.Rows.Count(), executed)
+	}
+	if m.Rows.Sum() != s.RowsProduced {
+		t.Fatalf("metrics rows %d != stats rows %d", m.Rows.Sum(), s.RowsProduced)
+	}
+	if m.Batches.Sum() != s.BatchesProduced {
+		t.Fatalf("metrics batches %d != stats batches %d", m.Batches.Sum(), s.BatchesProduced)
+	}
+}

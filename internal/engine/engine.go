@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/relalg"
@@ -69,14 +70,29 @@ type DB struct {
 
 	cfg Config
 
-	statsMu      sync.Mutex
-	rowsScanned  int64
-	rowsJoined   int64
-	queriesRun   int64
-	rowsInserted int64
-	rowsDeleted  int64
-	indexProbes  int64
+	// forceMaterialize routes EvalQuery through the materializing fallback
+	// instead of the operator pipeline (A/B benching and equivalence tests).
+	forceMaterialize atomic.Bool
+
+	// Activity counters are atomics: propagation queries may run on a
+	// worker pool, and the streaming scans report from operator Close.
+	rowsScanned  atomic.Int64
+	rowsJoined   atomic.Int64
+	queriesRun   atomic.Int64
+	rowsInserted atomic.Int64
+	rowsDeleted  atomic.Int64
+	indexProbes  atomic.Int64
 }
+
+// DefaultForceMaterialize seeds every newly opened DB's force-materialize
+// flag, letting a whole experiment be flipped onto the fallback executor
+// without threading the knob through construction sites.
+var DefaultForceMaterialize = false
+
+// SetForceMaterialize toggles between the streaming operator pipeline
+// (false, the default) and the materializing fallback executor (true) for
+// subsequent EvalQuery/StreamQuery calls.
+func (db *DB) SetForceMaterialize(v bool) { db.forceMaterialize.Store(v) }
 
 // Open creates a database instance, recovering the log end if the device
 // has prior content.
@@ -89,13 +105,15 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{
+	db := &DB{
 		tm:     txn.NewManager(),
 		log:    log,
 		tables: make(map[string]*Table),
 		deltas: make(map[string]*DeltaTable),
 		cfg:    cfg,
-	}, nil
+	}
+	db.forceMaterialize.Store(DefaultForceMaterialize)
+	return db, nil
 }
 
 // Close closes the log; in-flight blocking readers are woken.
@@ -214,47 +232,26 @@ type Stats struct {
 
 // Stats returns a snapshot of engine counters.
 func (db *DB) Stats() Stats {
-	db.statsMu.Lock()
-	s := Stats{
-		RowsScanned:  db.rowsScanned,
-		RowsJoined:   db.rowsJoined,
-		QueriesRun:   db.queriesRun,
-		RowsInserted: db.rowsInserted,
-		RowsDeleted:  db.rowsDeleted,
-		IndexProbes:  db.indexProbes,
+	return Stats{
+		RowsScanned:  db.rowsScanned.Load(),
+		RowsJoined:   db.rowsJoined.Load(),
+		QueriesRun:   db.queriesRun.Load(),
+		RowsInserted: db.rowsInserted.Load(),
+		RowsDeleted:  db.rowsDeleted.Load(),
+		IndexProbes:  db.indexProbes.Load(),
+		Txn:          db.tm.Stats(),
 	}
-	db.statsMu.Unlock()
-	s.Txn = db.tm.Stats()
-	return s
 }
 
-func (db *DB) addScanned(n int64) {
-	db.statsMu.Lock()
-	db.rowsScanned += n
-	db.statsMu.Unlock()
-}
+func (db *DB) addScanned(n int64) { db.rowsScanned.Add(n) }
 
-func (db *DB) addJoined(n int64) {
-	db.statsMu.Lock()
-	db.rowsJoined += n
-	db.statsMu.Unlock()
-}
+func (db *DB) addJoined(n int64) { db.rowsJoined.Add(n) }
 
-func (db *DB) addQuery() {
-	db.statsMu.Lock()
-	db.queriesRun++
-	db.statsMu.Unlock()
-}
+func (db *DB) addQuery() { db.queriesRun.Add(1) }
 
-func (db *DB) addProbes(n int64) {
-	db.statsMu.Lock()
-	db.indexProbes += n
-	db.statsMu.Unlock()
-}
+func (db *DB) addProbes(n int64) { db.indexProbes.Add(n) }
 
 func (db *DB) addWrites(ins, del int64) {
-	db.statsMu.Lock()
-	db.rowsInserted += ins
-	db.rowsDeleted += del
-	db.statsMu.Unlock()
+	db.rowsInserted.Add(ins)
+	db.rowsDeleted.Add(del)
 }

@@ -399,7 +399,7 @@ func TestExecutePropagation(t *testing.T) {
 	d.Append(2, 1, tuple.Tuple{tuple.Int(20)})
 
 	q := &Query{Inputs: []Input{{Kind: InputDelta, Table: "r1", Lo: 0, Hi: 2}}}
-	csn, n, err := db.ExecutePropagation(q, -1, dest)
+	csn, n, _, err := db.ExecutePropagation(q, -1, dest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +424,7 @@ func TestExecutePropagationRejectsNullTS(t *testing.T) {
 	tx.Insert("r1", tuple.Tuple{tuple.Int(1)})
 	tx.Commit()
 	q := &Query{Inputs: []Input{{Kind: InputBase, Table: "r1"}}}
-	if _, _, err := db.ExecutePropagation(q, 1, dest); err == nil {
+	if _, _, _, err := db.ExecutePropagation(q, 1, dest); err == nil {
 		t.Fatal("all-base propagation must be rejected (null timestamps)")
 	}
 	if dest.Len() != 0 {

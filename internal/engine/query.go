@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/exec"
 	"repro/internal/relalg"
 	"repro/internal/tuple"
 )
@@ -122,20 +123,65 @@ func (db *DB) arities(q *Query) ([]int, []int, error) {
 	return ar, off, nil
 }
 
-// EvalQuery evaluates q inside the transaction: base inputs are scanned
-// under table S locks (pre-acquired in sorted name order to keep the lock
-// graph acyclic among propagation queries), delta inputs are materialized
-// from their windows, and the inputs are joined left-deep with hash joins.
-// Counts multiply and timestamps combine by minimum per the paper's rule.
-func (tx *Tx) EvalQuery(q *Query) (*relalg.Relation, error) {
-	db := tx.db
-	db.addQuery()
-	arities, offsets, err := db.arities(q)
-	if err != nil {
-		return nil, err
+// joinOrder picks the left-deep join order: start from a delta (or
+// materialized) input when there is one — propagation queries have small
+// delta sides — then greedily add inputs connected to the prefix by a join
+// condition, preferring non-base inputs, falling back to a cross product
+// with the lowest unchosen input.
+func joinOrder(q *Query) []int {
+	n := len(q.Inputs)
+	order := make([]int, 0, n)
+	chosen := make([]bool, n)
+	pick := func(i int) { order = append(order, i); chosen[i] = true }
+	start := 0
+	for i, in := range q.Inputs {
+		if in.Kind != InputBase {
+			start = i
+			break
+		}
 	}
+	pick(start)
+	for len(order) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			connected := false
+			for _, c := range q.Conds {
+				a, b := c.A.Input, c.B.Input
+				if (a == i && chosen[b]) || (b == i && chosen[a]) {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				continue
+			}
+			if q.Inputs[i].Kind != InputBase {
+				best = i
+				break
+			}
+			if best == -1 {
+				best = i
+			}
+		}
+		if best == -1 {
+			for i := 0; i < n; i++ {
+				if !chosen[i] {
+					best = i
+					break
+				}
+			}
+		}
+		pick(best)
+	}
+	return order
+}
 
-	// Pre-lock base tables in sorted order.
+// lockBases takes table S locks on every base input, in sorted name order
+// to keep the lock graph acyclic among concurrent propagation queries.
+func (tx *Tx) lockBases(q *Query) error {
 	var baseNames []string
 	for _, in := range q.Inputs {
 		if in.Kind == InputBase {
@@ -145,8 +191,224 @@ func (tx *Tx) EvalQuery(q *Query) (*relalg.Relation, error) {
 	sort.Strings(baseNames)
 	for _, name := range baseNames {
 		if err := tx.LockTableS(name); err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// buildPlan lowers q to a physical operator tree and returns it with the
+// result schema. Predicates and delta-window bounds are pushed into the
+// leaf scans; each join position is planned as either an index-nested-loop
+// probe (single equi-join condition with an index on the joined base
+// column) or a hash join whose build side is the small delta-anchored
+// prefix when the other side is a streaming base scan.
+func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
+	db := tx.db
+	arities, offsets, err := db.arities(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tx.lockBases(q); err != nil {
+		return nil, nil, err
+	}
+
+	// Leaf scan per input. Base-table leaves are built lazily so the join
+	// step can choose index probing instead.
+	leaf := func(i int) (exec.Operator, error) {
+		in := q.Inputs[i]
+		switch in.Kind {
+		case InputDelta:
+			d, err := db.Delta(in.Table)
+			if err != nil {
+				return nil, err
+			}
+			return &deltaScan{db: db, d: d, lo: in.Lo, hi: in.Hi, pred: in.Pred}, nil
+		case InputRelation:
+			return exec.NewRelationScan(in.Rel, in.Pred), nil
+		default:
+			t, err := db.Table(in.Table)
+			if err != nil {
+				return nil, err
+			}
+			return &tableScan{db: db, t: t, pred: in.Pred}, nil
+		}
+	}
+
+	order := joinOrder(q)
+	n := len(q.Inputs)
+	placed := make([]bool, n)
+	joinedOff := make([]int, n)
+
+	cur, err := leaf(order[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	placed[order[0]] = true
+	joinedOff[order[0]] = 0
+	joinedWidth := arities[order[0]]
+	used := make([]bool, len(q.Conds))
+	for step := 1; step < n; step++ {
+		i := order[step]
+		var on []relalg.JoinOn
+		for ci, c := range q.Conds {
+			if used[ci] {
+				continue
+			}
+			a, b := c.A, c.B
+			if a.Input == i && placed[b.Input] {
+				a, b = b, a
+			}
+			if b.Input == i && placed[a.Input] {
+				on = append(on, relalg.JoinOn{
+					LeftCol:  joinedOff[a.Input] + a.Col,
+					RightCol: b.Col,
+				})
+				used[ci] = true
+			}
+		}
+		var joined exec.Operator
+		if q.Inputs[i].Kind == InputBase && len(on) == 1 {
+			t, err := db.Table(q.Inputs[i].Table)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ix := t.indexOn(on[0].RightCol); ix != nil {
+				pred := q.Inputs[i].Pred
+				joined = &exec.IndexLoopJoin{
+					Left:    cur,
+					LeftCol: on[0].LeftCol,
+					ProbeFn: func(v tuple.Value) []tuple.Tuple {
+						db.addProbes(1)
+						return t.probe(ix, v, pred)
+					},
+				}
+			}
+		}
+		if joined == nil {
+			right, err := leaf(i)
+			if err != nil {
+				return nil, nil, err
+			}
+			joined = &exec.HashJoin{
+				Left:  cur,
+				Right: right,
+				On:    on,
+				// Stream an unmaterialized base scan through the probe
+				// side; hash the already-materialized (delta-sized) input
+				// otherwise, mirroring the build-on-the-small-side rule.
+				BuildLeft: q.Inputs[i].Kind == InputBase,
+			}
+		}
+		cur = &exec.Tap{Child: joined, OnBatch: func(rows int) { db.addJoined(int64(rows)) }}
+		joinedOff[i] = joinedWidth
+		joinedWidth += arities[i]
+		placed[i] = true
+	}
+
+	// Restore declaration order so residuals, projection, and the output
+	// schema see the documented column layout.
+	cs, err := db.concatSchema(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !inDeclarationOrder(order) {
+		perm := make([]int, 0, joinedWidth)
+		for i := 0; i < n; i++ {
+			for c := 0; c < arities[i]; c++ {
+				perm = append(perm, joinedOff[i]+c)
+			}
+		}
+		cur = &exec.Project{Child: cur, Idx: perm}
+	}
+
+	// Residual conditions (including any join conditions not consumed by
+	// the left-deep pipeline, e.g. both sides in the same input).
+	var residuals relalg.And
+	for ci, c := range q.Conds {
+		if used[ci] {
+			continue
+		}
+		residuals = append(residuals, relalg.ColCol{
+			ColA: offsets[c.A.Input] + c.A.Col,
+			Op:   relalg.OpEQ,
+			ColB: offsets[c.B.Input] + c.B.Col,
+		})
+	}
+	if q.Residual != nil {
+		residuals = append(residuals, q.Residual)
+	}
+	if len(residuals) > 0 {
+		cur = &exec.Filter{Child: cur, Pred: residuals}
+	}
+
+	schema := cs
+	if q.Project != nil {
+		idx := make([]int, len(q.Project))
+		for i, ref := range q.Project {
+			idx[i] = offsets[ref.Input] + ref.Col
+		}
+		cur = &exec.Project{Child: cur, Idx: idx}
+		schema = cs.Project(idx, nil)
+	}
+	return cur, schema, nil
+}
+
+// EvalQuery evaluates q inside the transaction through the streaming
+// operator pipeline: base inputs are scanned under table S locks
+// (pre-acquired in sorted name order to keep the lock graph acyclic among
+// propagation queries), delta windows stream straight off their B+ trees,
+// and the root materializes the result as a relation. Counts multiply and
+// timestamps combine by minimum per the paper's rule.
+func (tx *Tx) EvalQuery(q *Query) (*relalg.Relation, error) {
+	if tx.db.forceMaterialize.Load() {
+		return tx.MaterializeExec(q)
+	}
+	tx.db.addQuery()
+	root, schema, err := tx.buildPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(root, schema)
+}
+
+// StreamQuery evaluates q and feeds every result batch to sink instead of
+// materializing the result. The batch is reused between calls; the sink
+// must copy any rows it keeps. It returns the result row and batch counts.
+func (tx *Tx) StreamQuery(q *Query, sink func(*relalg.Batch) error) (rows, batches int64, err error) {
+	if tx.db.forceMaterialize.Load() {
+		rel, err := tx.MaterializeExec(q)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(rel.Rows) == 0 {
+			return 0, 0, nil
+		}
+		return int64(len(rel.Rows)), 1, sink(&relalg.Batch{Rows: rel.Rows})
+	}
+	tx.db.addQuery()
+	root, _, err := tx.buildPlan(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	return exec.Drain(root, sink)
+}
+
+// MaterializeExec is the pre-pipeline evaluation path: every input is
+// materialized as a relation and the inputs are joined left-deep with
+// hash joins built on the right side. It is kept as a build-tag-free
+// fallback so the planner equivalence tests (and the perf A/B in
+// cmd/rollbench) can compare the operator pipeline against it; production
+// callers go through EvalQuery.
+func (tx *Tx) MaterializeExec(q *Query) (*relalg.Relation, error) {
+	db := tx.db
+	db.addQuery()
+	arities, offsets, err := db.arities(q)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.lockBases(q); err != nil {
+		return nil, err
 	}
 
 	// Materialize the non-base inputs; base inputs stay lazy so the join
@@ -185,63 +447,8 @@ func (tx *Tx) EvalQuery(q *Query) (*relalg.Relation, error) {
 		return rel, nil
 	}
 
-	// Left-deep joins in a chosen order: start from a delta (or
-	// materialized) input when there is one — propagation queries have
-	// small delta sides — then greedily add inputs connected to the prefix
-	// by a join condition. A base input reachable through a single
-	// equi-join condition with an index on the joined column is read by
-	// index nested-loop probes instead of a full scan. Conditions not
-	// consumed by the pipeline are evaluated as residuals afterwards, and
-	// the result columns are restored to declaration order at the end.
+	order := joinOrder(q)
 	n := len(q.Inputs)
-	order := make([]int, 0, n)
-	chosen := make([]bool, n)
-	pick := func(i int) { order = append(order, i); chosen[i] = true }
-	start := 0
-	for i, in := range q.Inputs {
-		if in.Kind != InputBase {
-			start = i
-			break
-		}
-	}
-	pick(start)
-	for len(order) < n {
-		// Prefer a connected non-base input, then any connected input,
-		// then fall back to the lowest unchosen (cross product).
-		best := -1
-		for i := 0; i < n; i++ {
-			if chosen[i] {
-				continue
-			}
-			connected := false
-			for _, c := range q.Conds {
-				a, b := c.A.Input, c.B.Input
-				if (a == i && chosen[b]) || (b == i && chosen[a]) {
-					connected = true
-					break
-				}
-			}
-			if !connected {
-				continue
-			}
-			if q.Inputs[i].Kind != InputBase {
-				best = i
-				break
-			}
-			if best == -1 {
-				best = i
-			}
-		}
-		if best == -1 {
-			for i := 0; i < n; i++ {
-				if !chosen[i] {
-					best = i
-					break
-				}
-			}
-		}
-		pick(best)
-	}
 
 	// placed[i] reports whether input i is already in the joined prefix;
 	// joinedOff[i] is its column offset within the joined tuple.
@@ -394,9 +601,10 @@ func (db *DB) concatSchema(q *Query) (*tuple.Schema, error) {
 }
 
 // indexJoin joins the accumulated left relation against a base table via
-// index probes on a single equi-join column. Base rows have count 1 and
-// null timestamps, so the combined row keeps the left row's count and
-// timestamp (product and min rules respectively).
+// index probes on a single equi-join column (the materializing fallback's
+// counterpart of exec.IndexLoopJoin). Base rows have count 1 and null
+// timestamps, so the combined row keeps the left row's count and timestamp
+// (product and min rules respectively).
 func indexJoin(db *DB, left *relalg.Relation, t *Table, ix *Index, leftCol int, pred relalg.Predicate) *relalg.Relation {
 	out := relalg.NewRelation(tuple.ConcatSchemas(left.Schema, t.schema, "r_"))
 	for _, lr := range left.Rows {
@@ -412,29 +620,30 @@ func indexJoin(db *DB, left *relalg.Relation, t *Table, ix *Index, leftCol int, 
 	return out
 }
 
-// ExecutePropagation runs q as its own transaction, multiplies the result
-// counts by sign, appends the rows to the destination delta table, and
-// commits. It returns the commit CSN (the paper's query execution time t_e)
-// and the number of rows appended. This is the Execute primitive of
-// Figures 4 and 10.
-func (db *DB) ExecutePropagation(q *Query, sign int64, dest *DeltaTable) (relalg.CSN, int, error) {
+// ExecutePropagation runs q as its own transaction, streaming the result
+// into the destination delta table: each batch's counts are multiplied by
+// sign and appended, and the transaction commits. It returns the commit CSN
+// (the paper's query execution time t_e) and the number of rows and batches
+// appended. This is the Execute primitive of Figures 4 and 10.
+func (db *DB) ExecutePropagation(q *Query, sign int64, dest *DeltaTable) (relalg.CSN, int, int, error) {
 	tx := db.Begin()
-	rel, err := tx.EvalQuery(q)
+	rows, batches, err := tx.StreamQuery(q, func(b *relalg.Batch) error {
+		for _, row := range b.Rows {
+			if row.TS == relalg.NullTS {
+				return fmt.Errorf("engine: propagation query %s produced a null-timestamp row", q)
+			}
+			tx.AppendDelta(dest, row.TS, sign*row.Count, row.Tuple)
+		}
+		return nil
+	})
 	if err != nil {
 		tx.Abort()
-		return 0, 0, err
-	}
-	for _, row := range rel.Rows {
-		if row.TS == relalg.NullTS {
-			tx.Abort()
-			return 0, 0, fmt.Errorf("engine: propagation query %s produced a null-timestamp row", q)
-		}
-		tx.AppendDelta(dest, row.TS, sign*row.Count, row.Tuple)
+		return 0, 0, 0, err
 	}
 	csn, err := tx.Commit()
 	if err != nil {
 		tx.Abort()
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	return csn, rel.Len(), nil
+	return csn, int(rows), int(batches), nil
 }

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"encoding/binary"
+
+	"repro/internal/btree"
+	"repro/internal/exec"
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// This file provides the engine's leaf operators for the exec pipeline:
+// streaming scans over base-table heaps and delta-table windows. Both hold
+// their structure latch in read mode from Open to Close; that is safe
+// because the planner has already taken the table-level S lock, so no
+// writer of the scanned table can reach the latch while the scan streams,
+// and concurrent propagation queries share the read latch.
+
+// tableScan streams a base table's heap in batches, applying an optional
+// pushdown predicate. Rows carry count +1 and the null timestamp, like
+// Table.scan.
+type tableScan struct {
+	db   *DB
+	t    *Table
+	pred relalg.Predicate
+
+	it      *btree.Iterator
+	latched bool
+	scanned int64
+}
+
+// Open implements exec.Operator.
+func (s *tableScan) Open() error {
+	s.t.latch.RLock()
+	s.latched = true
+	s.it = s.t.heap.First()
+	return nil
+}
+
+// Next implements exec.Operator.
+func (s *tableScan) Next(out *relalg.Batch) (bool, error) {
+	out.Reset()
+	for s.it.Valid() && out.Len() < exec.BatchSize {
+		row, _, err := tuple.DecodeRow(s.it.Value())
+		if err != nil {
+			panic("engine: corrupt heap row: " + err.Error())
+		}
+		s.it.Next()
+		if s.pred != nil && !s.pred.Eval(row) {
+			continue
+		}
+		out.Add(row, 1, relalg.NullTS)
+	}
+	s.scanned += int64(out.Len())
+	return out.Len() > 0, nil
+}
+
+// Close implements exec.Operator.
+func (s *tableScan) Close() error {
+	if s.latched {
+		s.latched = false
+		s.t.latch.RUnlock()
+		s.db.addScanned(s.scanned)
+	}
+	return nil
+}
+
+// deltaScan streams the delta-table window (lo, hi] in timestamp order,
+// with the window bounds and the optional pushdown predicate applied
+// directly at the scan — no intermediate relation is materialized.
+type deltaScan struct {
+	db     *DB
+	d      *DeltaTable
+	lo, hi relalg.CSN
+	pred   relalg.Predicate
+
+	it      *btree.Iterator
+	end     []byte
+	latched bool
+	scanned int64
+}
+
+// Open implements exec.Operator.
+func (s *deltaScan) Open() error {
+	if s.hi <= s.lo {
+		return nil
+	}
+	s.d.latch.RLock()
+	s.latched = true
+	s.it = s.d.tree.Seek(deltaKey(s.lo+1, 0))
+	s.end = deltaKey(s.hi+1, 0)
+	return nil
+}
+
+// Next implements exec.Operator.
+func (s *deltaScan) Next(out *relalg.Batch) (bool, error) {
+	out.Reset()
+	if !s.latched {
+		return false, nil
+	}
+	for s.it.Valid() && out.Len() < exec.BatchSize {
+		k := s.it.Key()
+		if string(k) >= string(s.end) {
+			break
+		}
+		ts := relalg.CSN(binary.BigEndian.Uint64(k[0:8]))
+		count, row := decodeDeltaVal(s.it.Value())
+		s.it.Next()
+		if s.pred != nil && !s.pred.Eval(row) {
+			continue
+		}
+		out.Add(row, count, ts)
+	}
+	s.scanned += int64(out.Len())
+	return out.Len() > 0, nil
+}
+
+// Close implements exec.Operator.
+func (s *deltaScan) Close() error {
+	if s.latched {
+		s.latched = false
+		s.d.latch.RUnlock()
+		s.db.addScanned(s.scanned)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package exec is the physical-plan layer: a batched iterator ("Volcano
+// with vectors") operator protocol over reusable tuple batches. The engine
+// planner lowers each propagation query to a tree of these operators, so
+// deltas stream through the pipeline instead of materializing every input
+// and every intermediate join result as a relalg.Relation — the shape DBSP
+// and DBToaster show is required for incremental maintenance to pay off at
+// scale.
+//
+// Protocol: Open prepares the operator (acquiring latches, building hash
+// tables); Next fills the caller-provided batch and reports whether it
+// produced any rows — a false return means the operator is exhausted, and a
+// true return carries at least one row; Close releases resources and must
+// be idempotent. Operators own the batches they hand to their children, so
+// a pipeline in steady state allocates output tuples but no containers.
+package exec
+
+import (
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// BatchSize is the number of rows operators aim to put in one batch — the
+// pipeline's vectorization knob. Larger batches amortize per-batch overhead;
+// smaller batches keep intermediate working sets cache-resident. Operators
+// may overshoot it when a single probe row fans out to many matches.
+var BatchSize = 256
+
+// Operator is one node of a physical plan.
+type Operator interface {
+	// Open prepares the operator for iteration.
+	Open() error
+	// Next resets out and fills it with the next rows. It returns false
+	// when the operator is exhausted; a true return has >= 1 row in out.
+	Next(out *relalg.Batch) (bool, error)
+	// Close releases the operator's resources. It must be idempotent and
+	// safe to call after a failed Open.
+	Close() error
+}
+
+// Collect drains op into a materialized relation with the given schema —
+// the materialize-at-the-root adapter that keeps the relalg.Relation API
+// (and the correctness oracles built on it) working unchanged.
+func Collect(op Operator, schema *tuple.Schema) (*relalg.Relation, error) {
+	out := relalg.NewRelation(schema)
+	_, _, err := Drain(op, func(b *relalg.Batch) error {
+		out.Rows = append(out.Rows, b.Rows...)
+		return nil
+	})
+	return out, err
+}
+
+// Drain opens op, feeds every batch to sink, and closes it, returning the
+// row and batch counts. The batch passed to sink is reused across calls;
+// the sink must copy rows it wants to keep.
+func Drain(op Operator, sink func(*relalg.Batch) error) (rows, batches int64, err error) {
+	if err := op.Open(); err != nil {
+		op.Close()
+		return 0, 0, err
+	}
+	defer op.Close()
+	b := relalg.NewBatch(BatchSize)
+	for {
+		ok, err := op.Next(b)
+		if err != nil {
+			return rows, batches, err
+		}
+		if !ok {
+			return rows, batches, nil
+		}
+		rows += int64(b.Len())
+		batches++
+		if err := sink(b); err != nil {
+			return rows, batches, err
+		}
+	}
+}
+
+// RelationScan streams a materialized relation in batches, applying an
+// optional pushdown predicate. It backs delta windows that are already
+// materialized and the engine's InputRelation positions.
+type RelationScan struct {
+	Rel  *relalg.Relation
+	Pred relalg.Predicate
+
+	pos int
+}
+
+// NewRelationScan returns a scan over rel with an optional predicate.
+func NewRelationScan(rel *relalg.Relation, pred relalg.Predicate) *RelationScan {
+	return &RelationScan{Rel: rel, Pred: pred}
+}
+
+// Open implements Operator.
+func (s *RelationScan) Open() error {
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *RelationScan) Next(out *relalg.Batch) (bool, error) {
+	out.Reset()
+	for s.pos < len(s.Rel.Rows) && out.Len() < BatchSize {
+		row := s.Rel.Rows[s.pos]
+		s.pos++
+		if s.Pred != nil && !s.Pred.Eval(row.Tuple) {
+			continue
+		}
+		out.Append(row)
+	}
+	return out.Len() > 0, nil
+}
+
+// Close implements Operator.
+func (s *RelationScan) Close() error { return nil }
+
+// Filter passes through the rows of its child that satisfy Pred.
+type Filter struct {
+	Child Operator
+	Pred  relalg.Predicate
+
+	in *relalg.Batch
+}
+
+// Open implements Operator.
+func (f *Filter) Open() error {
+	f.in = relalg.NewBatch(BatchSize)
+	return f.Child.Open()
+}
+
+// Next implements Operator.
+func (f *Filter) Next(out *relalg.Batch) (bool, error) {
+	out.Reset()
+	for {
+		ok, err := f.Child.Next(f.in)
+		if err != nil || !ok {
+			return out.Len() > 0, err
+		}
+		relalg.FilterInto(out, f.in, f.Pred)
+		if out.Len() > 0 {
+			return true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Project maps each child row onto the columns at Idx (the batched form of
+// relalg.Project; it also serves as the column-permutation step restoring
+// declaration order after a reordered join pipeline).
+type Project struct {
+	Child Operator
+	Idx   []int
+
+	in *relalg.Batch
+}
+
+// Open implements Operator.
+func (p *Project) Open() error {
+	p.in = relalg.NewBatch(BatchSize)
+	return p.Child.Open()
+}
+
+// Next implements Operator.
+func (p *Project) Next(out *relalg.Batch) (bool, error) {
+	out.Reset()
+	ok, err := p.Child.Next(p.in)
+	if err != nil || !ok {
+		return false, err
+	}
+	relalg.ProjectInto(out, p.in, p.Idx)
+	return out.Len() > 0, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Tap invokes OnBatch on every batch flowing through it (stats hooks).
+type Tap struct {
+	Child   Operator
+	OnBatch func(rows int)
+}
+
+// Open implements Operator.
+func (t *Tap) Open() error { return t.Child.Open() }
+
+// Next implements Operator.
+func (t *Tap) Next(out *relalg.Batch) (bool, error) {
+	ok, err := t.Child.Next(out)
+	if ok && t.OnBatch != nil {
+		t.OnBatch(out.Len())
+	}
+	return ok, err
+}
+
+// Close implements Operator.
+func (t *Tap) Close() error { return t.Child.Close() }

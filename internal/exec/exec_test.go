@@ -1,0 +1,251 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+func intSchema(names ...string) *tuple.Schema {
+	cols := make([]tuple.Column, len(names))
+	for i, n := range names {
+		cols[i] = tuple.Column{Name: n, Kind: tuple.KindInt}
+	}
+	return tuple.NewSchema(cols...)
+}
+
+func rel(schema *tuple.Schema, rows ...relalg.Row) *relalg.Relation {
+	r := relalg.NewRelation(schema)
+	r.Rows = append(r.Rows, rows...)
+	return r
+}
+
+func row(count int64, ts relalg.CSN, vals ...int64) relalg.Row {
+	t := make(tuple.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = tuple.Int(v)
+	}
+	return relalg.Row{Tuple: t, Count: count, TS: ts}
+}
+
+// sortRows orders rows canonically so multiset comparisons ignore the
+// pipeline's emission order.
+func sortRows(rows []relalg.Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if c := rows[i].Tuple.Compare(rows[j].Tuple); c != 0 {
+			return c < 0
+		}
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count < rows[j].Count
+		}
+		return rows[i].TS < rows[j].TS
+	})
+}
+
+func sameRows(t *testing.T, got, want *relalg.Relation) {
+	t.Helper()
+	g := append([]relalg.Row(nil), got.Rows...)
+	w := append([]relalg.Row(nil), want.Rows...)
+	sortRows(g)
+	sortRows(w)
+	if len(g) != len(w) {
+		t.Fatalf("row count: got %d want %d\ngot:  %v\nwant: %v", len(g), len(w), g, w)
+	}
+	for i := range g {
+		if !g[i].Tuple.Equal(w[i].Tuple) || g[i].Count != w[i].Count || g[i].TS != w[i].TS {
+			t.Fatalf("row %d: got %v want %v", i, g[i], w[i])
+		}
+	}
+}
+
+func TestRelationScanBatches(t *testing.T) {
+	old := BatchSize
+	BatchSize = 4
+	defer func() { BatchSize = old }()
+	schema := intSchema("a")
+	src := relalg.NewRelation(schema)
+	for i := 0; i < 11; i++ {
+		src.Add(tuple.Tuple{tuple.Int(int64(i))}, 1, relalg.CSN(i+1))
+	}
+	var rows, batches int
+	op := NewRelationScan(src, nil)
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	b := relalg.NewBatch(BatchSize)
+	for {
+		ok, err := op.Next(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if b.Len() == 0 {
+			t.Fatal("true return with empty batch")
+		}
+		rows += b.Len()
+		batches++
+	}
+	op.Close()
+	if rows != 11 || batches != 3 {
+		t.Fatalf("rows=%d batches=%d, want 11 rows in 3 batches", rows, batches)
+	}
+}
+
+func TestFilterAndProject(t *testing.T) {
+	schema := intSchema("a", "b")
+	src := rel(schema,
+		row(1, 1, 1, 10),
+		row(2, 2, 2, 20),
+		row(1, 3, 3, 30),
+		row(1, 4, 4, 40),
+	)
+	pred := relalg.ColConst{Col: 0, Op: relalg.OpGT, Val: tuple.Int(1)}
+	root := &Project{
+		Child: &Filter{Child: NewRelationScan(src, nil), Pred: pred},
+		Idx:   []int{1},
+	}
+	got, err := Collect(root, intSchema("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rel(intSchema("b"), row(2, 2, 20), row(1, 3, 30), row(1, 4, 40))
+	sameRows(t, got, want)
+}
+
+// TestHashJoinMatchesRelalgJoin checks both build sides against the
+// materializing relalg.Join on the same inputs, including count products
+// and min-timestamp combination.
+func TestHashJoinMatchesRelalgJoin(t *testing.T) {
+	left := rel(intSchema("k", "x"),
+		row(1, 5, 1, 100),
+		row(2, 2, 2, 200),
+		row(1, relalg.NullTS, 2, 201),
+		row(3, 9, 7, 700),
+	)
+	right := rel(intSchema("k", "y"),
+		row(1, 3, 1, 11),
+		row(1, relalg.NullTS, 2, 22),
+		row(2, 1, 2, 23),
+		row(1, 4, 4, 44),
+	)
+	on := []relalg.JoinOn{{LeftCol: 0, RightCol: 0}}
+	want := relalg.Join(left, right, on)
+	for _, buildLeft := range []bool{false, true} {
+		j := &HashJoin{
+			Left:      NewRelationScan(left, nil),
+			Right:     NewRelationScan(right, nil),
+			On:        on,
+			BuildLeft: buildLeft,
+		}
+		got, err := Collect(j, want.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, got, want)
+	}
+}
+
+func TestHashJoinCrossProduct(t *testing.T) {
+	left := rel(intSchema("a"), row(2, 1, 1), row(1, 2, 2))
+	right := rel(intSchema("b"), row(3, relalg.NullTS, 10), row(1, 5, 20))
+	want := relalg.Join(left, right, nil)
+	j := &HashJoin{Left: NewRelationScan(left, nil), Right: NewRelationScan(right, nil)}
+	got, err := Collect(j, want.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, got, want)
+}
+
+// openTracker flags whether Open was ever called (for short-circuit tests).
+type openTracker struct {
+	Operator
+	opened bool
+}
+
+func (o *openTracker) Open() error {
+	o.opened = true
+	return o.Operator.Open()
+}
+
+// TestHashJoinEmptyBuildShortCircuit verifies that an identically empty
+// build side means the probe child is never opened — the planner relies on
+// this to skip base-table scans for empty delta prefixes.
+func TestHashJoinEmptyBuildShortCircuit(t *testing.T) {
+	empty := relalg.NewRelation(intSchema("k"))
+	probe := &openTracker{Operator: NewRelationScan(rel(intSchema("k"), row(1, 1, 1)), nil)}
+	j := &HashJoin{
+		Left:      probe,
+		Right:     NewRelationScan(empty, nil),
+		On:        []relalg.JoinOn{{LeftCol: 0, RightCol: 0}},
+		BuildLeft: false, // build Right (empty), probe Left
+	}
+	got, err := Collect(j, intSchema("k", "r_k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("expected empty join, got %d rows", got.Len())
+	}
+	if probe.opened {
+		t.Fatal("probe child was opened despite empty build side")
+	}
+}
+
+func TestIndexLoopJoin(t *testing.T) {
+	left := rel(intSchema("k", "x"), row(2, 3, 1, 100), row(1, 7, 5, 500))
+	matches := map[int64][]tuple.Tuple{
+		1: {{tuple.Int(1), tuple.Int(11)}, {tuple.Int(1), tuple.Int(12)}},
+	}
+	var probes int
+	j := &IndexLoopJoin{
+		Left:    NewRelationScan(left, nil),
+		LeftCol: 0,
+		ProbeFn: func(v tuple.Value) []tuple.Tuple {
+			probes++
+			return matches[v.AsInt()]
+		},
+	}
+	got, err := Collect(j, intSchema("k", "x", "r_k", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rel(got.Schema,
+		row(2, 3, 1, 100, 1, 11),
+		row(2, 3, 1, 100, 1, 12),
+	)
+	sameRows(t, got, want)
+	if probes != 2 {
+		t.Fatalf("probes=%d, want one per left row", probes)
+	}
+}
+
+func TestTapCountsRows(t *testing.T) {
+	src := rel(intSchema("a"), row(1, 1, 1), row(1, 2, 2), row(1, 3, 3))
+	var rows int
+	tap := &Tap{Child: NewRelationScan(src, nil), OnBatch: func(n int) { rows += n }}
+	if _, err := Collect(tap, src.Schema); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 {
+		t.Fatalf("tap saw %d rows, want 3", rows)
+	}
+}
+
+func TestDrainCounts(t *testing.T) {
+	old := BatchSize
+	BatchSize = 2
+	defer func() { BatchSize = old }()
+	src := rel(intSchema("a"), row(1, 1, 1), row(1, 2, 2), row(1, 3, 3))
+	rows, batches, err := Drain(NewRelationScan(src, nil), func(*relalg.Batch) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 || batches != 2 {
+		t.Fatalf("rows=%d batches=%d, want 3 rows in 2 batches", rows, batches)
+	}
+}

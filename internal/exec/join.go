@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// HashJoin is the batched equi-join operator. One child (chosen by
+// BuildLeft) is drained into a hash table at Open; the other streams
+// through, probing. The output row layout is always left ⧺ right with the
+// paper's combination rule (count product, min non-null timestamp),
+// regardless of which side is built, so the planner can put the hash table
+// on the small delta side and stream the large base scan without disturbing
+// the schema. With no conditions it degenerates to a cross product. An
+// empty build side short-circuits: the probe child is never even opened.
+type HashJoin struct {
+	Left, Right Operator
+	On          []relalg.JoinOn
+	// BuildLeft selects the build side: true hashes Left and streams Right.
+	BuildLeft bool
+
+	ht          *relalg.HashTable
+	probe       Operator
+	probeCols   []int
+	in          *relalg.Batch
+	probeOpened bool
+	done        bool
+}
+
+// Open implements Operator: it fully drains the build side.
+func (j *HashJoin) Open() error {
+	buildCols := make([]int, len(j.On))
+	probeCols := make([]int, len(j.On))
+	build := j.Right
+	j.probe = j.Left
+	for i, c := range j.On {
+		buildCols[i], probeCols[i] = c.RightCol, c.LeftCol
+	}
+	if j.BuildLeft {
+		build = j.Left
+		j.probe = j.Right
+		for i, c := range j.On {
+			buildCols[i], probeCols[i] = c.LeftCol, c.RightCol
+		}
+	}
+	j.probeCols = probeCols
+	j.ht = relalg.NewHashTable(buildCols)
+	j.in = relalg.NewBatch(BatchSize)
+
+	if err := build.Open(); err != nil {
+		build.Close()
+		return err
+	}
+	for {
+		ok, err := build.Next(j.in)
+		if err != nil {
+			build.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.ht.InsertBatch(j.in)
+	}
+	if err := build.Close(); err != nil {
+		return err
+	}
+	if j.ht.Len() == 0 {
+		// Identically empty join: never touch the probe side.
+		j.done = true
+		return nil
+	}
+	if err := j.probe.Open(); err != nil {
+		return err
+	}
+	j.probeOpened = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next(out *relalg.Batch) (bool, error) {
+	out.Reset()
+	if j.done {
+		return false, nil
+	}
+	for {
+		ok, err := j.probe.Next(j.in)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			j.done = true
+			return out.Len() > 0, nil
+		}
+		for _, pr := range j.in.Rows {
+			j.ht.Probe(pr.Tuple, j.probeCols, func(br relalg.Row) {
+				if j.BuildLeft {
+					out.Append(relalg.Combine(br, pr))
+				} else {
+					out.Append(relalg.Combine(pr, br))
+				}
+			})
+		}
+		if out.Len() >= 1 {
+			return true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.ht = nil
+	if j.probeOpened {
+		j.probeOpened = false
+		return j.probe.Close()
+	}
+	return nil
+}
+
+// IndexLoopJoin streams its left child and, for each row, probes a base
+// table through ProbeFn (an index lookup the engine supplies). Matches are
+// base-table rows — count one, null timestamp — so the combined row keeps
+// the left row's count and timestamp per the product and minimum rules.
+// This operator subsumes the engine's former ad-hoc indexJoin special case.
+type IndexLoopJoin struct {
+	Left Operator
+	// LeftCol is the probe key column within the left row.
+	LeftCol int
+	// ProbeFn returns the matching base rows for a key value.
+	ProbeFn func(v tuple.Value) []tuple.Tuple
+
+	in   *relalg.Batch
+	done bool
+}
+
+// Open implements Operator.
+func (j *IndexLoopJoin) Open() error {
+	j.in = relalg.NewBatch(BatchSize)
+	return j.Left.Open()
+}
+
+// Next implements Operator.
+func (j *IndexLoopJoin) Next(out *relalg.Batch) (bool, error) {
+	out.Reset()
+	if j.done {
+		return false, nil
+	}
+	for {
+		ok, err := j.Left.Next(j.in)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			j.done = true
+			return out.Len() > 0, nil
+		}
+		for _, lr := range j.in.Rows {
+			for _, m := range j.ProbeFn(lr.Tuple[j.LeftCol]) {
+				out.Add(tuple.Concat(lr.Tuple, m), lr.Count, lr.TS)
+			}
+		}
+		if out.Len() >= 1 {
+			return true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *IndexLoopJoin) Close() error { return j.Left.Close() }

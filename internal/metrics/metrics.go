@@ -93,6 +93,87 @@ func (h *Histogram) Max() time.Duration {
 	return m
 }
 
+// IntHistogram accumulates integer samples (row counts, batch counts) and
+// reports order statistics. It is goroutine-safe.
+type IntHistogram struct {
+	mu      sync.Mutex
+	samples []int64
+}
+
+// NewIntHistogram returns an empty integer histogram.
+func NewIntHistogram() *IntHistogram { return &IntHistogram{} }
+
+// Observe records one sample.
+func (h *IntHistogram) Observe(v int64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *IntHistogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Sum returns the total of all samples.
+func (h *IntHistogram) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var s int64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the average sample (0 if empty).
+func (h *IntHistogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var s int64
+	for _, v := range h.samples {
+		s += v
+	}
+	return float64(s) / float64(len(h.samples))
+}
+
+// Quantile returns the q-th order statistic (q in [0, 1]); 0 if empty.
+func (h *IntHistogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Max returns the largest sample (0 if empty).
+func (h *IntHistogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var m int64
+	for _, v := range h.samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
 // Table renders experiment results as an aligned text table, the format
 // every benchmark binary prints.
 type Table struct {

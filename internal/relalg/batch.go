@@ -1,0 +1,114 @@
+package relalg
+
+import (
+	"repro/internal/tuple"
+)
+
+// Batch is a reusable vector of rows, the unit of data flow between the
+// physical operators in internal/exec. Operators fill a caller-provided
+// batch on each Next call, so steady-state execution allocates tuples but
+// no batch containers.
+type Batch struct {
+	Rows []Row
+}
+
+// NewBatch returns an empty batch with the given capacity.
+func NewBatch(capacity int) *Batch {
+	return &Batch{Rows: make([]Row, 0, capacity)}
+}
+
+// Reset empties the batch, keeping its capacity.
+func (b *Batch) Reset() { b.Rows = b.Rows[:0] }
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.Rows) }
+
+// Add appends a row built from its parts.
+func (b *Batch) Add(t tuple.Tuple, count int64, ts CSN) {
+	b.Rows = append(b.Rows, Row{Tuple: t, Count: count, TS: ts})
+}
+
+// Append appends a row.
+func (b *Batch) Append(r Row) { b.Rows = append(b.Rows, r) }
+
+// Combine applies the paper's join combination rule to one pair of rows:
+// concatenated tuple, product of counts, minimum of non-null timestamps
+// (Section 3.3).
+func Combine(l, r Row) Row {
+	return Row{
+		Tuple: tuple.Concat(l.Tuple, r.Tuple),
+		Count: l.Count * r.Count,
+		TS:    MinTS(l.TS, r.TS),
+	}
+}
+
+// FilterInto appends the rows of src satisfying p to dst. Counts and
+// timestamps pass through unchanged, so φ commutes with the kernel exactly
+// as it does with Select.
+func FilterInto(dst, src *Batch, p Predicate) {
+	for _, row := range src.Rows {
+		if p.Eval(row.Tuple) {
+			dst.Append(row)
+		}
+	}
+}
+
+// ProjectInto appends the projection of src onto the columns at idx to dst.
+// Duplicates are preserved (counts are not merged), matching Project.
+func ProjectInto(dst, src *Batch, idx []int) {
+	for _, row := range src.Rows {
+		dst.Add(row.Tuple.Project(idx), row.Count, row.TS)
+	}
+}
+
+// HashTable is the build side of a batched hash join: rows hashed on a
+// fixed set of key columns. It is not goroutine-safe; each operator owns
+// its own table.
+type HashTable struct {
+	cols    []int
+	buckets map[uint64][]Row
+	n       int
+}
+
+// NewHashTable returns an empty hash table keyed on the given columns of
+// inserted rows.
+func NewHashTable(cols []int) *HashTable {
+	return &HashTable{cols: cols, buckets: make(map[uint64][]Row)}
+}
+
+// Insert adds one row to the table.
+func (h *HashTable) Insert(r Row) {
+	k := hashCols(r.Tuple, h.cols)
+	h.buckets[k] = append(h.buckets[k], r)
+	h.n++
+}
+
+// InsertBatch adds every row of the batch.
+func (h *HashTable) InsertBatch(b *Batch) {
+	for _, r := range b.Rows {
+		h.Insert(r)
+	}
+}
+
+// Len returns the number of inserted rows.
+func (h *HashTable) Len() int { return h.n }
+
+// Probe invokes fn for every inserted row whose key columns equal the
+// probe tuple's probeCols, in insertion order (hash match verified
+// column-wise, so collisions are safe). With no key columns every inserted
+// row matches, which is how cross products stream through the same kernel.
+func (h *HashTable) Probe(t tuple.Tuple, probeCols []int, fn func(Row)) {
+	bucket := h.buckets[hashCols(t, probeCols)]
+	if len(bucket) == 0 {
+		return
+	}
+outer:
+	for _, r := range bucket {
+		for i, c := range h.cols {
+			if !tuple.Equal(r.Tuple[c], t[probeCols[i]]) {
+				continue outer
+			}
+		}
+		fn(r)
+	}
+}
