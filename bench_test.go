@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
@@ -113,6 +114,15 @@ func BenchmarkPipelineAB(b *testing.B) {
 	})
 }
 
+// BenchmarkCacheAB compares cached, indexed, and full-scan rolling
+// propagation on the star-schema workload.
+func BenchmarkCacheAB(b *testing.B) {
+	runExperiment(b, func() (*metrics.Table, error) {
+		tbl, _, err := bench.CacheAB(quick)
+		return tbl, err
+	})
+}
+
 // --- micro-benchmarks on the core machinery ---
 
 // BenchmarkPropagationStep measures one rolling forward step (query
@@ -139,6 +149,74 @@ func BenchmarkPropagationStep(b *testing.B) {
 		if err := rp.Step(); err != nil && err != core.ErrNoProgress {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPropagationStepCached is BenchmarkPropagationStep with the
+// join-state cache enabled: forward steps probe resident indexes instead of
+// scanning the base tables under locks.
+func BenchmarkPropagationStepCached(b *testing.B) {
+	env, err := bench.NewEnvBare(workload.Chain(2, 1000, 100), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	env.DB.SetJoinCache(true)
+	d := workload.NewDriver(env.DB, env.W, 2)
+	rp := core.NewRollingPropagator(env.Exec, 0, core.FixedInterval(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		last, err := d.Run(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.Cap.WaitProgress(last); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := rp.Step(); err != nil && err != core.ErrNoProgress {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPropagationAllocs proves the sync.Pool batch reuse drops
+// allocations per propagation step: run with -benchmem and compare the
+// pooled and unpooled sub-benchmarks' allocs/op on the identical workload.
+func BenchmarkPropagationAllocs(b *testing.B) {
+	for _, pooled := range []bool{false, true} {
+		name := "pool=off"
+		if pooled {
+			name = "pool=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			exec.DisableBatchPool = !pooled
+			defer func() { exec.DisableBatchPool = false }()
+			env, err := bench.NewEnvBare(workload.Chain(2, 1000, 100), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			d := workload.NewDriver(env.DB, env.W, 2)
+			rp := core.NewRollingPropagator(env.Exec, 0, core.FixedInterval(4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				last, err := d.Run(4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := env.Cap.WaitProgress(last); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := rp.Step(); err != nil && err != core.ErrNoProgress {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

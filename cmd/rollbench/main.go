@@ -32,22 +32,26 @@ type experiment struct {
 
 // experimentResult is one experiment's machine-readable record.
 type experimentResult struct {
-	ID          string `json:"id"`
-	Desc        string `json:"desc"`
-	OK          bool   `json:"ok"`
-	Ns          int64  `json:"ns"`
-	RowsScanned int64  `json:"rows_scanned"`
-	RowsJoined  int64  `json:"rows_joined"`
-	QueriesRun  int64  `json:"queries_run"`
-	IndexProbes int64  `json:"index_probes"`
+	ID             string `json:"id"`
+	Desc           string `json:"desc"`
+	OK             bool   `json:"ok"`
+	Ns             int64  `json:"ns"`
+	RowsScanned    int64  `json:"rows_scanned"`
+	RowsJoined     int64  `json:"rows_joined"`
+	QueriesRun     int64  `json:"queries_run"`
+	IndexProbes    int64  `json:"index_probes"`
+	CacheHits      int64  `json:"cache_hits,omitempty"`
+	CacheMisses    int64  `json:"cache_misses,omitempty"`
+	CacheMaintRows int64  `json:"cache_maint_rows,omitempty"`
 }
 
 // report is the top-level BENCH_rollbench.json document.
 type report struct {
-	Quick       bool               `json:"quick"`
-	Experiments []experimentResult `json:"experiments"`
-	PipelineAB  []bench.ABEntry    `json:"pipeline_ab,omitempty"`
-	Failed      int                `json:"failed"`
+	Quick       bool                 `json:"quick"`
+	Experiments []experimentResult   `json:"experiments"`
+	PipelineAB  []bench.ABEntry      `json:"pipeline_ab,omitempty"`
+	CacheAB     []bench.CacheABEntry `json:"cache_ab,omitempty"`
+	Failed      int                  `json:"failed"`
 }
 
 func main() {
@@ -58,6 +62,7 @@ func main() {
 	scale := bench.Scale{Quick: *quick}
 
 	var abEntries []bench.ABEntry
+	var cacheEntries []bench.CacheABEntry
 	experiments := []experiment{
 		{"F4", "ComputeDelta query structure (Figure 4 / Equation 3)",
 			func(bench.Scale) (fmt.Stringer, error) { return bench.F4() }},
@@ -91,6 +96,12 @@ func main() {
 				abEntries = entries
 				return tbl, err
 			}},
+		{"CACHE", "join-state cache vs scan and index propagation",
+			func(s bench.Scale) (fmt.Stringer, error) {
+				tbl, entries, err := bench.CacheAB(s)
+				cacheEntries = entries
+				return tbl, err
+			}},
 	}
 
 	selected := map[string]bool{}
@@ -102,7 +113,7 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.ToUpper(strings.TrimSpace(id))
 			if !known[id] {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE)\n", id)
 				os.Exit(2)
 			}
 			selected[id] = true
@@ -124,14 +135,17 @@ func main() {
 		}
 		c := bench.Counters()
 		rep.Experiments = append(rep.Experiments, experimentResult{
-			ID:          e.id,
-			Desc:        e.desc,
-			OK:          err == nil,
-			Ns:          elapsed.Nanoseconds(),
-			RowsScanned: c.RowsScanned,
-			RowsJoined:  c.RowsJoined,
-			QueriesRun:  c.QueriesRun,
-			IndexProbes: c.IndexProbes,
+			ID:             e.id,
+			Desc:           e.desc,
+			OK:             err == nil,
+			Ns:             elapsed.Nanoseconds(),
+			RowsScanned:    c.RowsScanned,
+			RowsJoined:     c.RowsJoined,
+			QueriesRun:     c.QueriesRun,
+			IndexProbes:    c.IndexProbes,
+			CacheHits:      c.CacheHits,
+			CacheMisses:    c.CacheMisses,
+			CacheMaintRows: c.CacheMaintRows,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.id, err)
@@ -141,6 +155,7 @@ func main() {
 		}
 	}
 	rep.PipelineAB = abEntries
+	rep.CacheAB = cacheEntries
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -31,18 +33,27 @@ func main() {
 	interval := flag.Int64("interval", 16, "propagation interval (commits)")
 	adaptive := flag.Int("adaptive", 0, "adaptive target rows per query (0 = fixed interval)")
 	indexed := flag.Bool("index", false, "create hash indexes on the join columns")
+	cached := flag.Bool("cache", false, "enable the join-state cache for propagation queries")
 	workers := flag.Int("workers", 1, "concurrent propagation queries (worker pool size)")
 	report := flag.Duration("report", time.Second, "live report period")
 	seed := flag.Int64("seed", 1, "workload random seed")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*kind, *n, *dims, *rows, *updates, *interval, *adaptive, *indexed, *workers, *report, *seed); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rollload: pprof:", err)
+			}
+		}()
+	}
+	if err := run(*kind, *n, *dims, *rows, *updates, *interval, *adaptive, *indexed, *cached, *workers, *report, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "rollload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, indexed bool, workers int, report time.Duration, seed int64) error {
+func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, indexed, cached bool, workers int, report time.Duration, seed int64) error {
 	var w *workload.Workload
 	switch kind {
 	case "chain":
@@ -68,6 +79,7 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 			}
 		}
 	}
+	db.SetJoinCache(cached)
 	cap := capture.NewLogCapture(db)
 	cap.Start()
 
@@ -104,6 +116,7 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 
 	driver := workload.NewDriver(db, w, seed+1)
 	lat := metrics.NewHistogram()
+	allocs := metrics.NewAllocSampler()
 	start := time.Now()
 	lastReport := start
 	var reported, reportedPropRows int64
@@ -178,6 +191,14 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 		es.RowsProduced, es.BatchesProduced, mv.Cardinality())
 	fmt.Printf("engine:               %d rows scanned, %d joined, %d index probes\n",
 		st.RowsScanned, st.RowsJoined, st.IndexProbes)
+	if cached {
+		fmt.Printf("join cache:           %d hits, %d misses, %d maint rows, %d builds, %d rows resident (~%d KiB)\n",
+			st.CacheHits, st.CacheMisses, st.CacheMaintRows, st.CacheBuilds,
+			st.CacheResidentRows, st.CacheResidentBytes/1024)
+	}
+	a := allocs.Sample()
+	fmt.Printf("allocations:          %d objects, %d MiB since driver start\n",
+		a.Mallocs, a.Bytes/(1<<20))
 	fmt.Printf("locks:                %d waits, %s total wait, %d deadlocks\n",
 		st.Txn.LockWaits, st.Txn.LockWaitTime.Round(time.Microsecond), st.Txn.Deadlocks)
 	if ok {

@@ -24,17 +24,13 @@ func A1(s Scale) (*metrics.Table, error) {
 
 	for _, rows := range []int{s.pick(500, 2000), s.pick(2000, 10000)} {
 		for _, indexed := range []bool{false, true} {
-			env, err := NewEnv(workload.Chain(2, rows, rows/10), 71)
+			newEnvFn := NewEnvBare
+			if indexed {
+				newEnvFn = NewEnv
+			}
+			env, err := newEnvFn(workload.Chain(2, rows, rows/10), 71)
 			if err != nil {
 				return nil, err
-			}
-			if indexed {
-				for _, spec := range env.W.Tables {
-					if _, err := env.DB.CreateIndex(spec.Name, "k"); err != nil {
-						env.Close()
-						return nil, err
-					}
-				}
 			}
 			mv, err := core.Materialize(env.DB, env.W.View)
 			if err != nil {

@@ -48,6 +48,11 @@ func accumulate(s engine.Stats) {
 	counters.RowsInserted += s.RowsInserted
 	counters.RowsDeleted += s.RowsDeleted
 	counters.IndexProbes += s.IndexProbes
+	counters.CacheHits += s.CacheHits
+	counters.CacheMisses += s.CacheMisses
+	counters.CacheMaintRows += s.CacheMaintRows
+	counters.CacheBuilds += s.CacheBuilds
+	counters.CacheInvalidations += s.CacheInvalidations
 	countersMu.Unlock()
 }
 
@@ -61,8 +66,23 @@ type Env struct {
 }
 
 // NewEnv builds a database, loads the workload, and wires the capture
-// process and view-delta executor.
+// process and view-delta executor. Every table gets a hash index on its
+// join column "k" (all workload tables share the (k, v) schema), so
+// propagation queries exercise the index-nested-loop path the planner
+// supports — matching how a production deployment would declare its join
+// columns. NewEnvBare skips the indexes for scan-path baselines.
 func NewEnv(w *workload.Workload, seed int64) (*Env, error) {
+	return newEnv(w, seed, true)
+}
+
+// NewEnvBare is NewEnv without join-column indexes: base positions fall
+// back to full scans (hash join), the seed behavior. Used as the baseline
+// arm of index and cache ablations.
+func NewEnvBare(w *workload.Workload, seed int64) (*Env, error) {
+	return newEnv(w, seed, false)
+}
+
+func newEnv(w *workload.Workload, seed int64, indexed bool) (*Env, error) {
 	db, err := engine.Open(engine.Config{})
 	if err != nil {
 		return nil, err
@@ -70,6 +90,14 @@ func NewEnv(w *workload.Workload, seed int64) (*Env, error) {
 	if err := w.Setup(db, rand.New(rand.NewSource(seed))); err != nil {
 		db.Close()
 		return nil, err
+	}
+	if indexed {
+		for _, spec := range w.Tables {
+			if _, err := db.CreateIndex(spec.Name, "k"); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
 	}
 	schema, err := w.View.Schema(db)
 	if err != nil {

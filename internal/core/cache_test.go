@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relalg"
+)
+
+// TestCachedPropagationOracle runs randomized update histories through the
+// full rolling-propagation machinery with the join-state cache enabled and
+// checks the accumulated view delta against the timed-delta-table oracle
+// (Definition 4.2). Cached queries execute at cache snapshot times rather
+// than commit CSNs; the oracle accepts any execution time at which the
+// bases were consistently observed, so this is the end-to-end proof that
+// the substitution is sound.
+func TestCachedPropagationOracle(t *testing.T) {
+	views := []struct {
+		name string
+		view *ViewDef
+	}{
+		{"chain", chainView("vcache-chain", 3)},
+		{"star", starView("vcache-star", 2)},
+	}
+	for _, v := range views {
+		t.Run(v.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(17))
+			env := newEnv(t, v.view)
+			env.db.SetJoinCache(true)
+			rp := NewRollingPropagator(env.exec, 0, PerRelationIntervals(3, 7, 7))
+			var last relalg.CSN
+			for round := 0; round < 5; round++ {
+				last = env.randomHistory(r, 12, 5)
+				if err := env.cap.WaitProgress(last); err != nil {
+					t.Fatal(err)
+				}
+				drainRolling(t, rp, last)
+			}
+			env.checkTimedDelta(0, rp.HWM())
+			if env.db.Stats().CacheBuilds == 0 {
+				t.Fatal("cache never engaged")
+			}
+		})
+	}
+}
+
+// TestCachedVsUncachedTimedDelta is the randomized quick-check of the
+// tentpole: the same committed history propagated uncached and cached must
+// yield identical timed delta tables — at every timestamp, the same tuples
+// with the same consolidated counts. The comparison is per-timestamp window
+// (not whole-table net effect), so timestamps are checked too. Phases
+// alternate history and propagation so later windows are maintained
+// incrementally from resident cache state rather than a fresh build.
+func TestCachedVsUncachedTimedDelta(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	env := newEnv(t, starView("vqc", 2))
+	schema, err := env.view.Schema(env.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	destC, err := env.db.CreateStandaloneDelta("Δvqc-cached", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execC := NewExecutor(env.db, env.cap, env.view, destC)
+
+	var lo relalg.CSN
+	for phase := 0; phase < 4; phase++ {
+		hi := env.randomHistory(r, 15, 4)
+		if err := env.cap.WaitProgress(hi); err != nil {
+			t.Fatal(err)
+		}
+		tau := []relalg.CSN{lo, lo, lo}
+		env.db.SetJoinCache(false)
+		if err := env.exec.ComputeDelta(AllBase(env.view), tau, hi); err != nil {
+			t.Fatal(err)
+		}
+		env.db.SetJoinCache(true)
+		if err := execC.ComputeDelta(AllBase(env.view), tau, hi); err != nil {
+			t.Fatal(err)
+		}
+		for ts := lo + 1; ts <= hi; ts++ {
+			wu := env.dest.Window(ts-1, ts)
+			wc := destC.Window(ts-1, ts)
+			if !relalg.Equivalent(wu, wc) {
+				t.Fatalf("phase %d: timed delta tables differ at ts=%d\nuncached:\n%s\ncached:\n%s",
+					phase, ts, wu, wc)
+			}
+		}
+		lo = hi
+	}
+	if env.db.Stats().CacheBuilds == 0 {
+		t.Fatal("cache never engaged")
+	}
+	// Both must also satisfy the oracle outright.
+	env.checkTimedDelta(0, lo)
+}
+
+// TestConcurrentWritersOracleCached is the concurrent-writers oracle with
+// the join-state cache enabled: writers keep committing while rolling
+// propagation reads pinned cache snapshots, with and without a worker pool.
+// Under -race this exercises the cache's pin/advance synchronization
+// against live maintenance.
+func TestConcurrentWritersOracleCached(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for round := 0; round < 2; round++ {
+			t.Run(fmt.Sprintf("workers=%d/round=%d", workers, round), func(t *testing.T) {
+				r := rand.New(rand.NewSource(int64(round*10 + workers)))
+				env := newEnv(t, starView(fmt.Sprintf("vcc%d_%d", workers, round), 2))
+				env.db.SetJoinCache(true)
+				env.exec.SetWorkers(workers)
+				rp := NewRollingPropagator(env.exec, 0, PerRelationIntervals(2, 5, 5))
+
+				done := make(chan relalg.CSN)
+				go func() {
+					var last relalg.CSN
+					for i := 0; i < 80; i++ {
+						table := env.view.Relations[r.Intn(env.view.N())]
+						k := int64(r.Intn(4))
+						if r.Intn(3) == 0 {
+							last = env.delete(table, k)
+						} else {
+							last = env.insert(table, k)
+						}
+					}
+					done <- last
+				}()
+
+				var last relalg.CSN
+				writerDone := false
+				for !writerDone || rp.HWM() < last {
+					select {
+					case last = <-done:
+						writerDone = true
+					default:
+					}
+					if err := rp.Step(); err != nil && err != ErrNoProgress {
+						t.Fatal(err)
+					}
+				}
+				env.checkTimedDelta(0, rp.HWM())
+				if env.db.Stats().CacheBuilds == 0 {
+					t.Fatal("cache never engaged")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+// deltaMirror is a synchronous capture stand-in for white-box cache tests:
+// it appends every committed write to the table's delta inside the commit
+// critical section, so delta tables are always exactly caught up and the
+// cached path's wait callback can be nil.
+type deltaMirror struct{ db *DB }
+
+func (m *deltaMirror) OnCommit(writes []Write, csn relalg.CSN, _ time.Time) {
+	for _, w := range writes {
+		if d, err := m.db.Delta(w.Table); err == nil {
+			d.Append(csn, w.Count, w.Row)
+		}
+	}
+}
+
+// starResultSchema is the 6-column output row layout of starQuery.
+func starResultSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "c0", Kind: tuple.KindInt},
+		tuple.Column{Name: "c1", Kind: tuple.KindInt},
+		tuple.Column{Name: "c2", Kind: tuple.KindInt},
+		tuple.Column{Name: "c3", Kind: tuple.KindInt},
+		tuple.Column{Name: "c4", Kind: tuple.KindInt},
+		tuple.Column{Name: "c5", Kind: tuple.KindInt},
+	)
+}
+
+// mutateStar runs n small committed transactions against the star tables,
+// alternating inserts and deletes, and returns the last commit CSN.
+func mutateStar(t *testing.T, db *DB, n, salt int) relalg.CSN {
+	t.Helper()
+	var last relalg.CSN
+	for i := 0; i < n; i++ {
+		tx := db.Begin()
+		k := int64((i + salt) % 5)
+		switch i % 3 {
+		case 0:
+			mustExec(t, tx, tx.Insert("fact", tuple.Tuple{tuple.Int(k), tuple.Int(k % 3)}))
+		case 1:
+			mustExec(t, tx, tx.Insert("dim1", tuple.Tuple{tuple.Int(k), tuple.Int(int64(1000 + i))}))
+		default:
+			_, err := tx.DeleteWhere("dim2", relalg.ColConst{Col: 0, Op: relalg.OpEQ, Val: tuple.Int(k % 3)}, 1)
+			mustExec(t, tx, err)
+		}
+		csn, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = csn
+	}
+	return last
+}
+
+// sameTimedDelta asserts two delta tables hold equivalent rows at every
+// timestamp in (0, hi] — counts, tuples, and timestamps all match.
+func sameTimedDelta(t *testing.T, a, b *DeltaTable, hi relalg.CSN) {
+	t.Helper()
+	for ts := relalg.CSN(1); ts <= hi; ts++ {
+		if !relalg.Equivalent(a.Window(ts-1, ts), b.Window(ts-1, ts)) {
+			t.Fatalf("timed delta tables differ at ts=%d", ts)
+		}
+	}
+}
+
+// TestCachedPropagationMatchesUncached verifies the tentpole correctness
+// property: a propagation query answered from the join-state cache appends
+// the identical timed delta (rows, counts, timestamps) as the uncached
+// table-scanning path, at every delta position.
+func TestCachedPropagationMatchesUncached(t *testing.T) {
+	for deltaPos := 0; deltaPos < 3; deltaPos++ {
+		db := buildStar(t)
+		db.SetTriggerSink(&deltaMirror{db})
+		hi := mutateStar(t, db, 12, deltaPos)
+
+		dest1, err := db.CreateStandaloneDelta("dest-uncached", starResultSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dest2, err := db.CreateStandaloneDelta("dest-cached", starResultSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := starQuery(deltaPos, 0, hi)
+		if !CacheEligible(db, q) {
+			t.Fatalf("delta at %d: query should be cache-eligible", deltaPos)
+		}
+		if _, _, _, err := db.ExecutePropagation(q, 1, dest1); err != nil {
+			t.Fatal(err)
+		}
+		ts, rows, _, err := db.ExecutePropagationCached(q, 1, dest2, hi, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts < hi {
+			t.Fatalf("cached execution time %d below window bound %d", ts, hi)
+		}
+		sameTimedDelta(t, dest1, dest2, hi)
+
+		st := db.Stats()
+		if st.CacheBuilds == 0 {
+			t.Fatal("no cache builds recorded")
+		}
+		if rows > 0 && st.CacheHits+st.CacheMisses == 0 && st.RowsScanned == 0 {
+			t.Fatal("cached query touched neither probes nor cache scans")
+		}
+	}
+}
+
+// TestCacheAdvanceMaintainsIncrementally verifies that a second cached
+// query over a later window folds the base deltas into the resident
+// indexes (maintenance rows counted, no rebuild) and stays correct.
+func TestCacheAdvanceMaintainsIncrementally(t *testing.T) {
+	db := buildStar(t)
+	db.SetTriggerSink(&deltaMirror{db})
+	hi1 := mutateStar(t, db, 9, 0)
+
+	dest1, _ := db.CreateStandaloneDelta("dest-uncached", starResultSchema())
+	dest2, _ := db.CreateStandaloneDelta("dest-cached", starResultSchema())
+	if _, _, _, err := db.ExecutePropagationCached(starQuery(0, 0, hi1), 1, dest2, hi1, nil); err != nil {
+		t.Fatal(err)
+	}
+	builds := db.Stats().CacheBuilds
+
+	hi2 := mutateStar(t, db, 9, 3)
+	q := starQuery(0, hi1, hi2)
+	if _, _, _, err := db.ExecutePropagation(q, 1, dest1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := db.ExecutePropagationCached(q, 1, dest2, hi2, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.CacheBuilds != builds {
+		t.Fatalf("advance should not rebuild: %d -> %d builds", builds, st.CacheBuilds)
+	}
+	if st.CacheMaintRows == 0 {
+		t.Fatal("no maintenance rows folded")
+	}
+	// The second windows must agree (the first went only to the cached dest).
+	for ts := hi1 + 1; ts <= hi2; ts++ {
+		if !relalg.Equivalent(dest1.Window(ts-1, ts), dest2.Window(ts-1, ts)) {
+			t.Fatalf("timed delta tables differ at ts=%d", ts)
+		}
+	}
+}
+
+// TestCacheStalePruneRebuilds verifies the invalidation guard: pruning a
+// base delta past a cached index's applied watermark forces a rebuild from
+// the heap instead of folding an incomplete window, and the rebuilt cache
+// still produces correct results.
+func TestCacheStalePruneRebuilds(t *testing.T) {
+	db := buildStar(t)
+	db.SetTriggerSink(&deltaMirror{db})
+	hi1 := mutateStar(t, db, 6, 0)
+
+	dest2, _ := db.CreateStandaloneDelta("dest-cached", starResultSchema())
+	if _, _, _, err := db.ExecutePropagationCached(starQuery(1, 0, hi1), 1, dest2, hi1, nil); err != nil {
+		t.Fatal(err)
+	}
+	builds := db.Stats().CacheBuilds
+
+	hi2 := mutateStar(t, db, 6, 2)
+	// Prune the fact delta past the applied watermark: the fact-side cached
+	// index can no longer be maintained forward and must rebuild.
+	df, _ := db.Delta("fact")
+	df.PruneThrough(hi2)
+
+	dest1, _ := db.CreateStandaloneDelta("dest-uncached", starResultSchema())
+	// dim1's delta is intact, so a dim1-position query still has its window.
+	q := starQuery(1, hi1, hi2)
+	if _, _, _, err := db.ExecutePropagation(q, 1, dest1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := db.ExecutePropagationCached(q, 1, dest2, hi2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().CacheBuilds <= builds {
+		t.Fatal("pruned maintenance window should force a rebuild")
+	}
+	for ts := hi1 + 1; ts <= hi2; ts++ {
+		if !relalg.Equivalent(dest1.Window(ts-1, ts), dest2.Window(ts-1, ts)) {
+			t.Fatalf("timed delta tables differ at ts=%d", ts)
+		}
+	}
+}
+
+// TestInvalidateJoinCacheRebuilds verifies the explicit invalidation hook:
+// resident state is dropped, the invalidation is counted, and the next
+// cached query rebuilds and stays correct.
+func TestInvalidateJoinCacheRebuilds(t *testing.T) {
+	db := buildStar(t)
+	db.SetTriggerSink(&deltaMirror{db})
+	hi1 := mutateStar(t, db, 6, 0)
+
+	dest2, _ := db.CreateStandaloneDelta("dest-cached", starResultSchema())
+	if _, _, _, err := db.ExecutePropagationCached(starQuery(0, 0, hi1), 1, dest2, hi1, nil); err != nil {
+		t.Fatal(err)
+	}
+	builds := db.Stats().CacheBuilds
+	if db.Stats().CacheResidentRows == 0 {
+		t.Fatal("no resident rows after cached query")
+	}
+
+	db.InvalidateJoinCache()
+	st := db.Stats()
+	if st.CacheInvalidations == 0 {
+		t.Fatal("invalidation not counted")
+	}
+	if st.CacheResidentRows != 0 {
+		t.Fatalf("resident rows after invalidation: %d", st.CacheResidentRows)
+	}
+
+	hi2 := mutateStar(t, db, 6, 4)
+	dest1, _ := db.CreateStandaloneDelta("dest-uncached", starResultSchema())
+	q := starQuery(0, hi1, hi2)
+	if _, _, _, err := db.ExecutePropagation(q, 1, dest1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := db.ExecutePropagationCached(q, 1, dest2, hi2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().CacheBuilds <= builds {
+		t.Fatal("query after invalidation should rebuild")
+	}
+	for ts := hi1 + 1; ts <= hi2; ts++ {
+		if !relalg.Equivalent(dest1.Window(ts-1, ts), dest2.Window(ts-1, ts)) {
+			t.Fatalf("timed delta tables differ at ts=%d", ts)
+		}
+	}
+}
+
+// TestCacheEligible exercises the eligibility gate's negative cases.
+func TestCacheEligible(t *testing.T) {
+	db := buildStar(t)
+	if CacheEligible(db, starQuery(-1, 0, 0)) {
+		t.Fatal("all-base query must not be eligible (no delta position)")
+	}
+	q := starQuery(0, 0, 1)
+	q.Inputs[2] = Input{Kind: InputRelation, Rel: relalg.NewRelation(starResultSchema())}
+	if CacheEligible(db, q) {
+		t.Fatal("materialized-relation positions must not be eligible")
+	}
+	db2 := testDB(t)
+	db2.CreateTable("nodelta", tuple.NewSchema(tuple.Column{Name: "x", Kind: tuple.KindInt}))
+	db2.CreateTable("withdelta", tuple.NewSchema(tuple.Column{Name: "x", Kind: tuple.KindInt}))
+	db2.CreateDelta("withdelta")
+	q2 := &Query{
+		Inputs: []Input{
+			{Kind: InputBase, Table: "nodelta"},
+			{Kind: InputDelta, Table: "withdelta", Lo: 0, Hi: 1},
+		},
+		Conds: []JoinCond{{A: ColRef{0, 0}, B: ColRef{1, 0}}},
+	}
+	if CacheEligible(db2, q2) {
+		t.Fatal("base table without a delta stream must not be eligible")
+	}
+}

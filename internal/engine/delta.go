@@ -20,9 +20,10 @@ type DeltaTable struct {
 	base   string
 	schema *tuple.Schema
 
-	latch sync.RWMutex
-	tree  *btree.Tree // (ts 8B BE, seq 8B BE) -> (count varint, row)
-	seq   uint64
+	latch  sync.RWMutex
+	tree   *btree.Tree // (ts 8B BE, seq 8B BE) -> (count varint, row)
+	seq    uint64
+	pruned relalg.CSN // highest PruneThrough bound ever applied
 }
 
 func newDeltaTable(base string, schema *tuple.Schema) *DeltaTable {
@@ -126,6 +127,9 @@ func (d *DeltaTable) All() *relalg.Relation {
 func (d *DeltaTable) PruneThrough(hi relalg.CSN) int {
 	d.latch.Lock()
 	defer d.latch.Unlock()
+	if hi > d.pruned {
+		d.pruned = hi
+	}
 	var doomed [][]byte
 	end := deltaKey(hi+1, 0)
 	d.tree.Ascend(nil, end, func(k, _ []byte) bool {
@@ -136,6 +140,15 @@ func (d *DeltaTable) PruneThrough(hi relalg.CSN) int {
 		d.tree.Delete(k)
 	}
 	return len(doomed)
+}
+
+// PrunedThrough returns the highest timestamp bound ever passed to
+// PruneThrough: windows starting below it may be missing rows. The join-state
+// cache checks it before folding a maintenance window into a cached index.
+func (d *DeltaTable) PrunedThrough() relalg.CSN {
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	return d.pruned
 }
 
 // MaxTS returns the largest timestamp present (NullTS if empty).

@@ -74,6 +74,11 @@ type DB struct {
 	// instead of the operator pipeline (A/B benching and equivalence tests).
 	forceMaterialize atomic.Bool
 
+	// joinCache enables the resident join-state cache for propagation
+	// queries (ExecutePropagationCached); cache is its registry.
+	joinCache atomic.Bool
+	cache     *JoinCache
+
 	// Activity counters are atomics: propagation queries may run on a
 	// worker pool, and the streaming scans report from operator Close.
 	rowsScanned  atomic.Int64
@@ -82,6 +87,15 @@ type DB struct {
 	rowsInserted atomic.Int64
 	rowsDeleted  atomic.Int64
 	indexProbes  atomic.Int64
+
+	// Join-state cache counters (see cache.go).
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	cacheMaintRows     atomic.Int64
+	cacheBuilds        atomic.Int64
+	cacheInvalidations atomic.Int64
+	cacheResidentRows  atomic.Int64
+	cacheResidentBytes atomic.Int64
 }
 
 // DefaultForceMaterialize seeds every newly opened DB's force-materialize
@@ -89,10 +103,28 @@ type DB struct {
 // without threading the knob through construction sites.
 var DefaultForceMaterialize = false
 
+// DefaultJoinCache seeds every newly opened DB's join-cache flag, the same
+// way DefaultForceMaterialize seeds the executor fallback. Off by default:
+// the uncached path is the seed behavior and stays available for A/B runs.
+var DefaultJoinCache = false
+
 // SetForceMaterialize toggles between the streaming operator pipeline
 // (false, the default) and the materializing fallback executor (true) for
 // subsequent EvalQuery/StreamQuery calls.
 func (db *DB) SetForceMaterialize(v bool) { db.forceMaterialize.Store(v) }
+
+// SetJoinCache toggles the resident join-state cache for propagation
+// queries. When enabled, eligible queries (base ⋈ delta with capture-backed
+// bases) read base tables from incrementally maintained hash indexes
+// instead of scanning the heaps under table locks.
+func (db *DB) SetJoinCache(v bool) { db.joinCache.Store(v) }
+
+// JoinCacheEnabled reports whether the join-state cache should be used for
+// propagation queries. Force-materialize wins: the materializing fallback
+// is the A/B baseline and must not be silently accelerated.
+func (db *DB) JoinCacheEnabled() bool {
+	return db.joinCache.Load() && !db.forceMaterialize.Load()
+}
 
 // Open creates a database instance, recovering the log end if the device
 // has prior content.
@@ -113,6 +145,8 @@ func Open(cfg Config) (*DB, error) {
 		cfg:    cfg,
 	}
 	db.forceMaterialize.Store(DefaultForceMaterialize)
+	db.joinCache.Store(DefaultJoinCache)
+	db.cache = newJoinCache(db)
 	return db, nil
 }
 
@@ -227,19 +261,38 @@ type Stats struct {
 	RowsInserted int64
 	RowsDeleted  int64
 	IndexProbes  int64
-	Txn          txn.Stats
+
+	// Join-state cache counters: probe hits/misses against cached indexes,
+	// delta rows folded during maintenance, full (re)builds, explicit
+	// invalidations, and the resident footprint (rows and approximate bytes).
+	CacheHits          int64
+	CacheMisses        int64
+	CacheMaintRows     int64
+	CacheBuilds        int64
+	CacheInvalidations int64
+	CacheResidentRows  int64
+	CacheResidentBytes int64
+
+	Txn txn.Stats
 }
 
 // Stats returns a snapshot of engine counters.
 func (db *DB) Stats() Stats {
 	return Stats{
-		RowsScanned:  db.rowsScanned.Load(),
-		RowsJoined:   db.rowsJoined.Load(),
-		QueriesRun:   db.queriesRun.Load(),
-		RowsInserted: db.rowsInserted.Load(),
-		RowsDeleted:  db.rowsDeleted.Load(),
-		IndexProbes:  db.indexProbes.Load(),
-		Txn:          db.tm.Stats(),
+		RowsScanned:        db.rowsScanned.Load(),
+		RowsJoined:         db.rowsJoined.Load(),
+		QueriesRun:         db.queriesRun.Load(),
+		RowsInserted:       db.rowsInserted.Load(),
+		RowsDeleted:        db.rowsDeleted.Load(),
+		IndexProbes:        db.indexProbes.Load(),
+		CacheHits:          db.cacheHits.Load(),
+		CacheMisses:        db.cacheMisses.Load(),
+		CacheMaintRows:     db.cacheMaintRows.Load(),
+		CacheBuilds:        db.cacheBuilds.Load(),
+		CacheInvalidations: db.cacheInvalidations.Load(),
+		CacheResidentRows:  db.cacheResidentRows.Load(),
+		CacheResidentBytes: db.cacheResidentBytes.Load(),
+		Txn:                db.tm.Stats(),
 	}
 }
 

@@ -292,6 +292,9 @@ func (db *DB) ReadSnapshot(r io.Reader) (int64, error) {
 	}
 
 	db.tm.Recover(relalg.CSN(lastCSN))
+	// The restore wrote base tables directly, bypassing the delta stream the
+	// join cache maintains from; resident cached indexes are now arbitrary.
+	db.InvalidateJoinCache()
 	return int64(logOffset), nil
 }
 

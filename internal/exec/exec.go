@@ -15,6 +15,8 @@
 package exec
 
 import (
+	"sync"
+
 	"repro/internal/relalg"
 	"repro/internal/tuple"
 )
@@ -24,6 +26,34 @@ import (
 // smaller batches keep intermediate working sets cache-resident. Operators
 // may overshoot it when a single probe row fans out to many matches.
 var BatchSize = 256
+
+// DisableBatchPool turns off batch-container recycling, making every
+// operator allocate fresh batches (the pre-pool behavior). A/B knob for the
+// allocation benchmarks; set before starting work, like BatchSize.
+var DisableBatchPool = false
+
+// batchPool recycles the Batch containers operators feed their children.
+// Propagation runs thousands of short pipelines, each of which previously
+// allocated one batch per operator; recycling them removes that steady-state
+// garbage. Row contents are not pooled — Reset truncates but keeps capacity,
+// and sinks are already required to copy rows they retain.
+var batchPool = sync.Pool{New: func() any { return relalg.NewBatch(BatchSize) }}
+
+func getBatch() *relalg.Batch {
+	if DisableBatchPool {
+		return relalg.NewBatch(BatchSize)
+	}
+	b := batchPool.Get().(*relalg.Batch)
+	b.Reset()
+	return b
+}
+
+func putBatch(b *relalg.Batch) {
+	if b == nil || DisableBatchPool {
+		return
+	}
+	batchPool.Put(b)
+}
 
 // Operator is one node of a physical plan.
 type Operator interface {
@@ -58,7 +88,8 @@ func Drain(op Operator, sink func(*relalg.Batch) error) (rows, batches int64, er
 		return 0, 0, err
 	}
 	defer op.Close()
-	b := relalg.NewBatch(BatchSize)
+	b := getBatch()
+	defer putBatch(b)
 	for {
 		ok, err := op.Next(b)
 		if err != nil {
@@ -123,7 +154,7 @@ type Filter struct {
 
 // Open implements Operator.
 func (f *Filter) Open() error {
-	f.in = relalg.NewBatch(BatchSize)
+	f.in = getBatch()
 	return f.Child.Open()
 }
 
@@ -143,7 +174,11 @@ func (f *Filter) Next(out *relalg.Batch) (bool, error) {
 }
 
 // Close implements Operator.
-func (f *Filter) Close() error { return f.Child.Close() }
+func (f *Filter) Close() error {
+	putBatch(f.in)
+	f.in = nil
+	return f.Child.Close()
+}
 
 // Project maps each child row onto the columns at Idx (the batched form of
 // relalg.Project; it also serves as the column-permutation step restoring
@@ -157,7 +192,7 @@ type Project struct {
 
 // Open implements Operator.
 func (p *Project) Open() error {
-	p.in = relalg.NewBatch(BatchSize)
+	p.in = getBatch()
 	return p.Child.Open()
 }
 
@@ -173,7 +208,11 @@ func (p *Project) Next(out *relalg.Batch) (bool, error) {
 }
 
 // Close implements Operator.
-func (p *Project) Close() error { return p.Child.Close() }
+func (p *Project) Close() error {
+	putBatch(p.in)
+	p.in = nil
+	return p.Child.Close()
+}
 
 // Tap invokes OnBatch on every batch flowing through it (stats hooks).
 type Tap struct {

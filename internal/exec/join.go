@@ -45,7 +45,7 @@ func (j *HashJoin) Open() error {
 	}
 	j.probeCols = probeCols
 	j.ht = relalg.NewHashTable(buildCols)
-	j.in = relalg.NewBatch(BatchSize)
+	j.in = getBatch()
 
 	if err := build.Open(); err != nil {
 		build.Close()
@@ -110,6 +110,8 @@ func (j *HashJoin) Next(out *relalg.Batch) (bool, error) {
 // Close implements Operator.
 func (j *HashJoin) Close() error {
 	j.ht = nil
+	putBatch(j.in)
+	j.in = nil
 	if j.probeOpened {
 		j.probeOpened = false
 		return j.probe.Close()
@@ -135,7 +137,7 @@ type IndexLoopJoin struct {
 
 // Open implements Operator.
 func (j *IndexLoopJoin) Open() error {
-	j.in = relalg.NewBatch(BatchSize)
+	j.in = getBatch()
 	return j.Left.Open()
 }
 
@@ -166,4 +168,64 @@ func (j *IndexLoopJoin) Next(out *relalg.Batch) (bool, error) {
 }
 
 // Close implements Operator.
-func (j *IndexLoopJoin) Close() error { return j.Left.Close() }
+func (j *IndexLoopJoin) Close() error {
+	putBatch(j.in)
+	j.in = nil
+	return j.Left.Close()
+}
+
+// CachedProbeJoin streams its left child and, for each row, probes a
+// resident join-state cache bucket through ProbeFn. Unlike IndexLoopJoin's
+// heap probes (always count one), cached rows carry net counts, so matches
+// combine with the full rule: count product, minimum non-null timestamp.
+// ProbeFn receives an emit callback instead of returning a slice so the
+// cache can stream bucket entries without allocating per probe.
+type CachedProbeJoin struct {
+	Left Operator
+	// LeftCol is the probe key column within the left row.
+	LeftCol int
+	// ProbeFn calls emit for every cached row matching the key value.
+	ProbeFn func(v tuple.Value, emit func(relalg.Row))
+
+	in   *relalg.Batch
+	done bool
+}
+
+// Open implements Operator.
+func (j *CachedProbeJoin) Open() error {
+	j.in = getBatch()
+	return j.Left.Open()
+}
+
+// Next implements Operator.
+func (j *CachedProbeJoin) Next(out *relalg.Batch) (bool, error) {
+	out.Reset()
+	if j.done {
+		return false, nil
+	}
+	for {
+		ok, err := j.Left.Next(j.in)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			j.done = true
+			return out.Len() > 0, nil
+		}
+		for _, lr := range j.in.Rows {
+			j.ProbeFn(lr.Tuple[j.LeftCol], func(m relalg.Row) {
+				out.Append(relalg.Combine(lr, m))
+			})
+		}
+		if out.Len() >= 1 {
+			return true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *CachedProbeJoin) Close() error {
+	putBatch(j.in)
+	j.in = nil
+	return j.Left.Close()
+}

@@ -1,0 +1,107 @@
+package workload_test
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/relalg"
+	"repro/internal/workload"
+)
+
+// TestStarSchemaDivergenceRepro reproduces the known ±1-row divergence from
+// ROADMAP.md: at high transaction rates with writers committing
+// concurrently with rolling propagation, the rolled materialized view can
+// end up one count-1 row off from a full recomputation. The small-scale
+// oracles pass, so the race window is narrow — this is the scaled repro
+// (star schema, 2000-row fact, 3000 driver transactions) kept as a tracked
+// test while the bug is open.
+//
+// Gated: runs only when ROLLINGJOIN_DIVERGENCE is set and not under -short,
+// so CI stays green. The divergence is probabilistic; a pass here does NOT
+// mean the bug is fixed — run it repeatedly (e.g. -count=10) when working
+// on the rolling/compensation boundary.
+func TestStarSchemaDivergenceRepro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled divergence repro skipped in -short mode")
+	}
+	if os.Getenv("ROLLINGJOIN_DIVERGENCE") == "" {
+		t.Skip("set ROLLINGJOIN_DIVERGENCE=1 to run the known-issue repro (ROADMAP.md)")
+	}
+
+	const updates = 3000
+	w := workload.StarSchema(2, 2000, 201, 20)
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := w.Setup(db, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	cap := capture.NewLogCapture(db)
+	cap.Start()
+
+	schema, err := w.View.Schema(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, err := db.CreateStandaloneDelta("Δ"+w.View.Name, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := core.NewExecutor(db, cap, w.View, dest)
+	mv, err := core.Materialize(db, w.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := core.NewRollingPropagator(exec, mv.MatTime(), core.FixedInterval(16))
+	applier := core.NewApplier(mv, dest, rp.HWM)
+
+	// Propagator on its own goroutine, driver on this one — the concurrent
+	// shape under which the divergence manifests.
+	stop := make(chan struct{})
+	propDone := make(chan error, 1)
+	go func() { propDone <- rp.Run(stop) }()
+
+	driver := workload.NewDriver(db, w, 2)
+	last, err := driver.Run(updates)
+	if err != nil {
+		close(stop)
+		t.Fatal(err)
+	}
+	for rp.HWM() < last {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	if err := <-propDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := applier.RollToHWM(); err != nil {
+		t.Fatal(err)
+	}
+	full, csn, err := core.FullRefresh(db, w.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rp.HWM() < csn {
+		if err := rp.Step(); err != nil && err != core.ErrNoProgress {
+			t.Fatal(err)
+		}
+	}
+	if err := applier.RollTo(csn); err != nil {
+		t.Fatal(err)
+	}
+
+	rolled := relalg.NetEffect(mv.AsRelation())
+	want := relalg.NetEffect(full)
+	if !relalg.Equivalent(rolled, want) {
+		t.Errorf("rolled view diverged from full recomputation at CSN %d: %d vs %d net rows (known issue, ROADMAP.md)",
+			csn, rolled.Len(), want.Len())
+	}
+}

@@ -133,6 +133,11 @@ func (db *DB) Close() error {
 // experiments).
 func (db *DB) Engine() *engine.DB { return db.eng }
 
+// SetJoinCache toggles the resident join-state cache for propagation
+// queries: eligible queries probe incrementally maintained hash indexes
+// over the base tables instead of scanning the heaps under table locks.
+func (db *DB) SetJoinCache(v bool) { db.eng.SetJoinCache(v) }
+
 // Source exposes the capture progress watermark.
 func (db *DB) Source() capture.Source {
 	db.ensureCapture()
