@@ -47,11 +47,12 @@ type experimentResult struct {
 
 // report is the top-level BENCH_rollbench.json document.
 type report struct {
-	Quick       bool                 `json:"quick"`
-	Experiments []experimentResult   `json:"experiments"`
-	PipelineAB  []bench.ABEntry      `json:"pipeline_ab,omitempty"`
-	CacheAB     []bench.CacheABEntry `json:"cache_ab,omitempty"`
-	Failed      int                  `json:"failed"`
+	Quick       bool                    `json:"quick"`
+	Experiments []experimentResult      `json:"experiments"`
+	PipelineAB  []bench.ABEntry         `json:"pipeline_ab,omitempty"`
+	CacheAB     []bench.CacheABEntry    `json:"cache_ab,omitempty"`
+	SnapshotAB  []bench.SnapshotABEntry `json:"snapshot_ab,omitempty"`
+	Failed      int                     `json:"failed"`
 }
 
 func main() {
@@ -63,6 +64,7 @@ func main() {
 
 	var abEntries []bench.ABEntry
 	var cacheEntries []bench.CacheABEntry
+	var snapshotEntries []bench.SnapshotABEntry
 	experiments := []experiment{
 		{"F4", "ComputeDelta query structure (Figure 4 / Equation 3)",
 			func(bench.Scale) (fmt.Stringer, error) { return bench.F4() }},
@@ -102,6 +104,12 @@ func main() {
 				cacheEntries = entries
 				return tbl, err
 			}},
+		{"SNAPSHOT", "read-view reads vs S-lock scans under concurrent writers",
+			func(s bench.Scale) (fmt.Stringer, error) {
+				tbl, entries, err := bench.SnapshotAB(s)
+				snapshotEntries = entries
+				return tbl, err
+			}},
 	}
 
 	selected := map[string]bool{}
@@ -113,7 +121,7 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.ToUpper(strings.TrimSpace(id))
 			if !known[id] {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT)\n", id)
 				os.Exit(2)
 			}
 			selected[id] = true
@@ -156,6 +164,7 @@ func main() {
 	}
 	rep.PipelineAB = abEntries
 	rep.CacheAB = cacheEntries
+	rep.SnapshotAB = snapshotEntries
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

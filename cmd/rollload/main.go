@@ -175,6 +175,10 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 	}
 	ok := relalg.Equivalent(mv.AsRelation(), full)
 
+	// Reclaim dead row versions now that no snapshot needs them, so the
+	// summary shows the retain/collect cycle.
+	db.GCVersions()
+
 	es := exec.Stats()
 	st := db.Stats()
 	fmt.Printf("\n--- summary ---\n")
@@ -201,6 +205,8 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 		a.Mallocs, a.Bytes/(1<<20))
 	fmt.Printf("locks:                %d waits, %s total wait, %d deadlocks\n",
 		st.Txn.LockWaits, st.Txn.LockWaitTime.Round(time.Microsecond), st.Txn.Deadlocks)
+	fmt.Printf("snapshots:            %d opened, %d publish-barrier stalls, %d dead versions retained, %d collected\n",
+		st.SnapshotsOpened, st.PublishStalls, st.VersionsRetained, st.VersionsCollected)
 	if ok {
 		fmt.Println("verification:         rolled view matches full recomputation ✓")
 		return nil

@@ -195,8 +195,12 @@ func E2(s Scale) (*metrics.Table, error) {
 }
 
 // E3 demonstrates asynchrony (Section 3.2): every propagation query for the
-// interval (0, t_new] executes strictly after t_new — the 4pm–5pm delta is
-// computed after 5pm — and the result is still exact.
+// interval (0, t_new] executes in wall-clock time strictly after t_new — the
+// 4pm–5pm delta is computed after 5pm — while reading the base tables
+// through read views at CSNs no later than t_new, and the result is still
+// exact. (Before the snapshot layer, a query's executed time was whatever
+// commit CSN it happened to land on; now executed time equals intended time
+// by construction, which is what the assertion checks.)
 func E3(s Scale) (*metrics.Table, error) {
 	updates := s.pick(150, 1000)
 	env, err := NewEnv(workload.Chain(2, s.pick(200, 1000), 40), 21)
@@ -219,12 +223,18 @@ func E3(s Scale) (*metrics.Table, error) {
 	}
 	burstDur := time.Since(startBurst)
 
-	// Phase 2: propagate the whole burst afterwards.
-	lateQueries, totalQueries := 0, 0
+	// Phase 2: propagate the whole burst afterwards. Every query runs
+	// wall-clock after the burst (the callback is only installed here), and
+	// reads historical state: executed time at or before t_new. Exception:
+	// propagation's own commits advance capture progress past t_new, so the
+	// final ledger cell can straddle t_new and its queries (at most one
+	// cell's worth) execute at a CSN just past it — their windows still only
+	// contain burst changes.
+	histQueries, totalQueries := 0, 0
 	env.Exec.OnQuery = func(e core.TraceEntry) {
 		totalQueries++
-		if e.Exec > tNew {
-			lateQueries++
+		if e.Exec <= tNew {
+			histQueries++
 		}
 	}
 	startProp := time.Now()
@@ -251,10 +261,13 @@ func E3(s Scale) (*metrics.Table, error) {
 	t.AddRow("t_new (CSN)", int64(tNew))
 	t.AddRow("propagation duration (after burst)", propDur)
 	t.AddRow("propagation queries", totalQueries)
-	t.AddRow("queries executed after t_new", fmt.Sprintf("%d (%.0f%%)", lateQueries, 100*float64(lateQueries)/float64(max(totalQueries, 1))))
+	t.AddRow("queries reading state at/before t_new", fmt.Sprintf("%d (%.0f%%)", histQueries, 100*float64(histQueries)/float64(max(totalQueries, 1))))
 	t.AddRow("rolled view == recompute", pass(match))
-	if lateQueries != totalQueries {
-		return t, fmt.Errorf("E3: %d of %d queries ran before t_new", totalQueries-lateQueries, totalQueries)
+	// Allow only the straddling cell: one forward query per relation plus
+	// its compensations, 2n−1 queries for the n-way view.
+	if slack := 2*2 - 1; totalQueries-histQueries > slack {
+		return t, fmt.Errorf("E3: %d of %d queries read state past t_new (max %d allowed for the straddling cell)",
+			totalQueries-histQueries, totalQueries, slack)
 	}
 	if !match {
 		return t, fmt.Errorf("E3: deferred propagation diverged")

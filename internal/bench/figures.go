@@ -10,8 +10,12 @@ import (
 )
 
 // F4 reproduces Figure 4 / Equation 3: ComputeDelta on V = R1 ⋈ R2 issues
-// exactly two asynchronous forward queries and two recursive compensation
-// queries. The returned table lists the executed queries in order.
+// two asynchronous forward queries plus recursive compensation. With read
+// views pinning every query at its intended time, compensation collapses to
+// the exact inclusion-exclusion form: position 0 reads everything at t_b and
+// needs no correction, and position 1's single compensation subtracts the
+// Δ1 ⊗ Δ2 overlap — three queries total. The returned table lists the
+// executed queries in order.
 func F4() (*metrics.Table, error) {
 	env, err := NewEnv(workload.Chain(2, 8, 4), 1)
 	if err != nil {
@@ -38,8 +42,8 @@ func F4() (*metrics.Table, error) {
 		t.AddRow(i+1, e.Kind.String(), e.Query, int64(e.Exec), e.Rows)
 	}
 	st := env.Exec.Stats()
-	if st.ForwardQueries != 2 || st.CompensationQueries != 2 {
-		return t, fmt.Errorf("F4: expected 2 forward + 2 compensation queries, got %d + %d",
+	if st.ForwardQueries != 2 || st.CompensationQueries != 1 {
+		return t, fmt.Errorf("F4: expected 2 forward + 1 compensation query, got %d + %d",
 			st.ForwardQueries, st.CompensationQueries)
 	}
 	return t, nil
@@ -102,7 +106,9 @@ func F7() (*metrics.Table, error) {
 
 // F8 reproduces Figure 8: the Propagate process computes consecutive view
 // deltas V_{a,b}, V_{b,c}, V_{c,d} with an identical query pattern per
-// iteration (2n queries for an n-way view when every window is non-empty).
+// iteration (2n−1 queries for an n-way view when every window is non-empty:
+// n forward queries and n−1 exact compensations, since snapshot execution
+// makes position 0 self-contained).
 func F8() (*metrics.Table, error) {
 	env, err := NewEnv(workload.Chain(2, 30, 6), 5)
 	if err != nil {
@@ -137,8 +143,8 @@ func F8() (*metrics.Table, error) {
 		prev = p.HWM()
 	}
 	for _, q := range perIter {
-		if q != 4 {
-			return t, fmt.Errorf("F8: each iteration should run 4 queries for n=2, got %v", perIter)
+		if q != 3 {
+			return t, fmt.Errorf("F8: each iteration should run 3 queries for n=2, got %v", perIter)
 		}
 	}
 	return t, nil
@@ -147,7 +153,8 @@ func F8() (*metrics.Table, error) {
 // F9 reproduces Figure 9: rolling propagation with a narrow interval for R1
 // and a wide one for R2. The table shows each step's forward query, the
 // compensations it triggered, the per-relation progress, and the high-water
-// mark pinned at min(tcomp).
+// mark pinned at min(tfwd) — the lowest shared-ledger boundary any relation
+// still has pending.
 func F9() (*metrics.Table, error) {
 	env, err := NewEnv(workload.Chain(2, 30, 6), 7)
 	if err != nil {

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/relalg"
+	"repro/internal/workload"
+)
+
+// SnapshotABEntry is one arm of the SNAPSHOT experiment in machine-readable
+// form (BENCH_rollbench.json).
+type SnapshotABEntry struct {
+	Arm             string  `json:"arm"`
+	DrainNs         int64   `json:"drain_ns"`
+	WriterTxns      int64   `json:"writer_txns"`
+	WriterMeanNs    int64   `json:"writer_mean_ns"`
+	WriterP99Ns     int64   `json:"writer_p99_ns"`
+	LockWaitNs      int64   `json:"lock_wait_ns"`
+	SnapshotsOpened int64   `json:"snapshots_opened"`
+	PublishStalls   int64   `json:"publish_stalls"`
+	Verified        bool    `json:"verified"`
+	WriterSpeedup   float64 `json:"writer_speedup,omitempty"`
+}
+
+// SnapshotAB measures what the read-view layer buys: rolling propagation
+// drains a backlog while concurrent writers commit, once with LockScans
+// (every propagation query takes the legacy S locks on its base tables,
+// serializing against the writers' X locks) and once with pure snapshot
+// reads (no table locks on the read path). Both arms verify the rolled
+// view against a full recomputation; the snapshot arm must not make
+// writers wait on propagation-held table locks.
+func SnapshotAB(s Scale) (*metrics.Table, []SnapshotABEntry, error) {
+	rows := s.pick(400, 1500)
+	backlog := s.pick(200, 800)
+	keys := 20
+
+	t := metrics.NewTable(
+		fmt.Sprintf("SNAPSHOT — S-lock scans vs read-view reads while draining a %d-commit backlog", backlog),
+		"read path", "writer txns", "writer mean", "writer p99", "lock wait total", "drain time", "snapshots", "verified")
+
+	var entries []SnapshotABEntry
+	for _, lockScans := range []bool{true, false} {
+		name := "snapshot reads"
+		if lockScans {
+			name = "S-lock scans"
+		}
+		env, err := NewEnv(workload.Chain(2, rows, keys), 31)
+		if err != nil {
+			return nil, nil, err
+		}
+		env.Exec.LockScans = lockScans
+
+		mv, err := core.Materialize(env.DB, env.W.View)
+		if err != nil {
+			env.Close()
+			return nil, nil, err
+		}
+		d := workload.NewDriver(env.DB, env.W, 32)
+		target, err := d.Run(backlog)
+		if err != nil {
+			env.Close()
+			return nil, nil, err
+		}
+		if err := env.Cap.WaitProgress(target); err != nil {
+			env.Close()
+			return nil, nil, err
+		}
+
+		// Drain with a concurrent writer probing commit latency. Under
+		// LockScans every propagation query holds S locks for its whole
+		// read, so the probe's X locks queue behind it; under snapshot
+		// reads the probe never waits on the propagator.
+		before := env.DB.Stats()
+		lat := metrics.NewHistogram()
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probe := workload.NewDriver(env.DB, env.W, 33)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				start := time.Now()
+				if _, err := probe.Step(); err != nil {
+					return
+				}
+				lat.Observe(time.Since(start))
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+		rp := core.NewRollingPropagator(env.Exec, mv.MatTime(), core.FixedInterval(16))
+		drainStart := time.Now()
+		drainErr := DrainRolling(rp, target)
+		drainDur := time.Since(drainStart)
+		close(done)
+		wg.Wait()
+		if drainErr != nil {
+			env.Close()
+			return nil, nil, drainErr
+		}
+
+		// Correctness: roll to a CSN both processes agree on and compare.
+		applier := core.NewApplier(mv, env.Dest, rp.HWM)
+		full, csn, err := core.FullRefresh(env.DB, env.W.View)
+		if err != nil {
+			env.Close()
+			return nil, nil, err
+		}
+		for rp.HWM() < csn {
+			if err := rp.Step(); err != nil && err != core.ErrNoProgress {
+				env.Close()
+				return nil, nil, err
+			}
+		}
+		if err := applier.RollTo(csn); err != nil {
+			env.Close()
+			return nil, nil, err
+		}
+		verified := relalg.Equivalent(relalg.NetEffect(mv.AsRelation()), relalg.NetEffect(full))
+
+		after := env.DB.Stats()
+		lockWait := after.Txn.LockWaitTime - before.Txn.LockWaitTime
+		t.AddRow(name, lat.Count(), lat.Mean(), lat.Quantile(0.99),
+			lockWait, drainDur, after.SnapshotsOpened-before.SnapshotsOpened, pass(verified))
+		entries = append(entries, SnapshotABEntry{
+			Arm:             name,
+			DrainNs:         drainDur.Nanoseconds(),
+			WriterTxns:      int64(lat.Count()),
+			WriterMeanNs:    lat.Mean().Nanoseconds(),
+			WriterP99Ns:     lat.Quantile(0.99).Nanoseconds(),
+			LockWaitNs:      lockWait.Nanoseconds(),
+			SnapshotsOpened: after.SnapshotsOpened - before.SnapshotsOpened,
+			PublishStalls:   after.PublishStalls - before.PublishStalls,
+			Verified:        verified,
+		})
+		env.Close()
+		if !verified {
+			return t, entries, fmt.Errorf("SNAPSHOT: %s arm diverged from recomputation", name)
+		}
+	}
+	if len(entries) == 2 && entries[1].WriterMeanNs > 0 {
+		entries[1].WriterSpeedup = float64(entries[0].WriterMeanNs) / float64(entries[1].WriterMeanNs)
+		t.AddRow("writer mean speedup (snapshot vs locks)",
+			fmt.Sprintf("%.2fx", entries[1].WriterSpeedup), "", "", "", "", "", "")
+	}
+	return t, entries, nil
+}

@@ -156,27 +156,34 @@ func (mv *MaterializedView) applyRows(rows []relalg.Row, t relalg.CSN) error {
 	return nil
 }
 
-// Materialize computes the view's contents from the current base tables in
-// a single transaction and returns the loaded materialized view; its
-// materialization time is the transaction's commit CSN.
+// Materialize computes the view's contents from a read view at the current
+// stable CSN and returns the loaded materialized view; its materialization
+// time is that snapshot's CSN. No table locks are taken: writers commit
+// freely while the initial state is computed.
 func Materialize(db *engine.DB, view *ViewDef) (*MaterializedView, error) {
 	schema, err := view.Schema(db)
 	if err != nil {
 		return nil, err
 	}
+	snap, err := db.OpenSnapshot(relalg.NullTS)
+	if err != nil {
+		return nil, err
+	}
+	asOf := snap.AsOf()
+	snap.Close()
+	q := AllBase(view).EngineQuery()
+	q.AsOf = asOf
 	tx := db.Begin()
-	rel, err := tx.EvalQuery(AllBase(view).EngineQuery())
+	rel, err := tx.EvalQuery(q)
 	if err != nil {
 		tx.Abort()
 		return nil, err
 	}
-	csn, err := tx.Commit()
-	if err != nil {
-		tx.Abort()
+	if _, err := tx.Commit(); err != nil {
 		return nil, err
 	}
-	mv := NewMaterializedView(view.Name, schema, csn)
-	if err := mv.load(rel, csn); err != nil {
+	mv := NewMaterializedView(view.Name, schema, asOf)
+	if err := mv.load(rel, asOf); err != nil {
 		return nil, err
 	}
 	return mv, nil

@@ -20,20 +20,28 @@ import (
 //     (Section 3.1), so this baseline reconstructs the required historical
 //     snapshots from the delta tables.
 
-// FullRefresh recomputes the view from scratch in one transaction and
-// returns its net-effect contents and the commit CSN.
+// FullRefresh recomputes the view from a read view at the current stable
+// CSN and returns its net-effect contents and that CSN. Lock-free: the
+// snapshot pins the state, not table locks.
 func FullRefresh(db *engine.DB, view *ViewDef) (*relalg.Relation, relalg.CSN, error) {
+	snap, err := db.OpenSnapshot(relalg.NullTS)
+	if err != nil {
+		return nil, 0, err
+	}
+	asOf := snap.AsOf()
+	snap.Close()
+	q := AllBase(view).EngineQuery()
+	q.AsOf = asOf
 	tx := db.Begin()
-	rel, err := tx.EvalQuery(AllBase(view).EngineQuery())
+	rel, err := tx.EvalQuery(q)
 	if err != nil {
 		tx.Abort()
 		return nil, 0, err
 	}
-	csn, err := tx.Commit()
-	if err != nil {
+	if _, err := tx.Commit(); err != nil {
 		return nil, 0, err
 	}
-	return relalg.NetEffect(rel), csn, nil
+	return relalg.NetEffect(rel), asOf, nil
 }
 
 // lockAllAndPin takes S locks on every base relation of the view, then

@@ -103,7 +103,9 @@ func TestRealizability(t *testing.T) {
 }
 
 // TestComputeDeltaEq3Shape verifies the Figure 4 / Equation 3 structure for
-// V = R1 ⋈ R2: exactly two forward queries and two compensation queries.
+// V = R1 ⋈ R2 under snapshot execution: two forward queries and one
+// compensation query (position 0 reads everything at t_new and needs no
+// correction; position 1's compensation subtracts the Δ1 ⊗ Δ2 overlap).
 func TestComputeDeltaEq3Shape(t *testing.T) {
 	env := newEnv(t, chainView("v", 2))
 	env.exec.SkipEmptyWindows = false
@@ -125,11 +127,11 @@ func TestComputeDeltaEq3Shape(t *testing.T) {
 			comp++
 		}
 	}
-	if fwd != 2 || comp != 2 {
-		t.Fatalf("Eq.3 should yield 2 forward + 2 compensation queries, got %d + %d", fwd, comp)
+	if fwd != 2 || comp != 1 {
+		t.Fatalf("Eq.3 should yield 2 forward + 1 compensation query, got %d + %d", fwd, comp)
 	}
 	st := env.exec.Stats()
-	if st.ForwardQueries != 2 || st.CompensationQueries != 2 || st.MaxDepth != 1 {
+	if st.ForwardQueries != 2 || st.CompensationQueries != 1 || st.MaxDepth != 1 {
 		t.Fatalf("stats: %+v", st)
 	}
 	env.checkTimedDelta(0, b)
@@ -345,8 +347,8 @@ func TestRollingViewWithProjectionAndResidual(t *testing.T) {
 }
 
 // TestHWMTracksTcomp verifies the Figure 9 bookkeeping: after R1 forward
-// queries outpace R2, the HWM is held back by the oldest uncompensated
-// query.
+// queries outpace R2, the HWM is held back at the lowest ledger boundary
+// the lagging relation still has pending.
 func TestHWMTracksTcomp(t *testing.T) {
 	env := newEnv(t, chainView("v", 2))
 	env.exec.SkipEmptyWindows = false
@@ -361,8 +363,8 @@ func TestHWMTracksTcomp(t *testing.T) {
 	if rp.HWM() != 0 {
 		t.Fatal("initial hwm")
 	}
-	// One forward step for r1: querylist[0] now has an uncompensated entry,
-	// so tcomp[0] stays at its interval start and the HWM stays 0.
+	// One forward step for r1: it advances past the first shared cell, but
+	// r2 has not processed that cell yet, so the HWM stays 0.
 	if err := rp.Step(); err != nil {
 		t.Fatal(err)
 	}
@@ -370,16 +372,15 @@ func TestHWMTracksTcomp(t *testing.T) {
 		t.Fatalf("tfwd[0] = %d", got)
 	}
 	if rp.HWM() != 0 {
-		t.Fatalf("hwm should be pinned by uncompensated r1 query, got %d", rp.HWM())
+		t.Fatalf("hwm should be pinned by r2's pending cell, got %d", rp.HWM())
 	}
-	// Step r2: its forward query compensates r1's overlap; r2's own tcomp
-	// equals its tfwd (querylist[n-1] is never used).
+	// Step r2 through the same cell: its slice compensates the overlap with
+	// r1's, completing the cell and releasing the HWM to its upper bound.
 	if err := rp.Step(); err != nil {
 		t.Fatal(err)
 	}
-	if rp.HWM() != 0 {
-		// r1's entry is pruned only once min tfwd passes its exec time.
-		t.Logf("hwm after one r2 step: %d (entry not yet pruned)", rp.HWM())
+	if got := rp.HWM(); got != 2 {
+		t.Fatalf("hwm after both slices of cell (0,2] = %d, want 2", got)
 	}
 	last := env.db.LastCSN()
 	drainRolling(t, rp, last)

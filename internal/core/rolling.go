@@ -8,80 +8,101 @@ import (
 	"repro/internal/relalg"
 )
 
-// qentry records a forward query that has not been fully compensated: the
-// delta interval it covered on its relation's axis and its execution time.
-// This is one element of the paper's querylist[i].
-type qentry struct {
-	lo, hi relalg.CSN // forward query's delta window (lo, hi]
-	exec   relalg.CSN // execution (commit) time t_e
-}
-
 // RollingPropagator is the rolling join propagation process of Figure 10.
-// Unlike Propagate it allows a different propagation interval per relation
-// (n tuning knobs instead of one) and defers compensation for forward
-// queries, merging it into the compensation work of later queries.
+// Unlike Propagate it advances each relation independently — n tuning
+// knobs instead of one — so a hot relation can be propagated in small,
+// cheap steps while a cold one is batched.
 //
-// Step is intended for a single driver goroutine; HWM, TFwd, and Steps may
-// be called concurrently from the apply process (the two processes are
-// independent, Section 1).
+// The timestamp axis is cut into a single shared sequence of boundaries
+// b_0 < b_1 < ... (b_0 = tInitial); cell c is the interval (b_c, b_{c+1}].
+// Every relation walks the same cells, each at its own pace, and a Step
+// executes exactly the position-i slice of the per-cell inclusion-
+// exclusion expansion (ComputeDelta over the cell), with every query
+// reading the base tables through the read view at the cell's upper
+// boundary. Executed time equals intended time by construction, so a
+// cell's contribution is complete — with exact timestamps — once all n
+// position slices for it have run, regardless of the order relations
+// reach it. The high-water mark is therefore simply the lowest boundary
+// any relation still has pending.
+//
+// A new boundary is minted only when every relation has exhausted the
+// existing ones; the minting relation's interval policy sets its width
+// (clamped to capture progress), which is what makes the per-relation
+// interval a genuine knob: whichever relation leads decides how finely
+// the axis is cut for everyone, and small intervals mean small, short
+// propagation transactions.
+//
+// Earlier revisions let each relation cut its own windows and deferred
+// compensation through per-relation query lists (CompTime/ComInterval).
+// With three or more relations that deferral can become cyclic — each
+// position's window ends before the next change it would need to pair
+// with, so a cross-relation change pair is never delivered at its
+// effective time (the star-schema divergence repro). Shared cells make
+// the deferral graph empty: pair delivery is resolved within one cell by
+// the static expansion, never across steps.
+//
+// Step is intended for a single driver goroutine; HWM, TFwd, and Steps
+// may be called concurrently from the apply process (the two processes
+// are independent, Section 1).
 type RollingPropagator struct {
 	exec     *Executor
 	interval IntervalPolicy
 
-	mu        sync.Mutex
-	tfwd      []relalg.CSN // progress of forward queries per relation
-	querylist [][]qentry   // uncompensated forward queries per relation
-	steps     int64
+	mu sync.Mutex
+	// bounds is the shared boundary sequence, strictly increasing;
+	// bounds[0] is the low edge of the oldest unfinished cell. Fully
+	// processed prefixes are compacted away.
+	bounds []relalg.CSN
+	// cell[i] indexes the next cell relation i will process: relation i
+	// has completed every cell below cell[i], so its forward progress
+	// tfwd[i] is bounds[cell[i]].
+	cell  []int
+	steps int64
 }
 
 // NewRollingPropagator creates a RollingPropagate process starting at
 // tInitial for every relation.
 func NewRollingPropagator(exec *Executor, tInitial relalg.CSN, interval IntervalPolicy) *RollingPropagator {
 	n := exec.view.N()
-	r := &RollingPropagator{
-		exec:      exec,
-		interval:  interval,
-		tfwd:      make([]relalg.CSN, n),
-		querylist: make([][]qentry, n),
+	return &RollingPropagator{
+		exec:     exec,
+		interval: interval,
+		bounds:   []relalg.CSN{tInitial},
+		cell:     make([]int, n),
 	}
-	for i := range r.tfwd {
-		r.tfwd[i] = tInitial
-	}
-	return r
 }
 
-// TFwd returns a copy of the per-relation forward-query progress.
+// TFwd returns a copy of the per-relation forward progress: relation i's
+// share of the view delta is complete through TFwd()[i].
 func (r *RollingPropagator) TFwd() []relalg.CSN {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]relalg.CSN, len(r.tfwd))
-	copy(out, r.tfwd)
+	out := make([]relalg.CSN, len(r.cell))
+	for i, c := range r.cell {
+		out[i] = r.bounds[c]
+	}
 	return out
 }
 
-// tcompLocked returns the compensation progress for relation i: tfwd[i] if
-// no forward query awaits compensation, else the start of the oldest one
-// (PruneQueryLists' bookkeeping in Figure 10). Caller holds mu.
-func (r *RollingPropagator) tcompLocked(i int) relalg.CSN {
-	if len(r.querylist[i]) == 0 {
-		return r.tfwd[i]
-	}
-	return r.querylist[i][0].lo
-}
-
-// HWM returns the view delta high-water mark: min over relations of
-// tcomp[i]. The view delta restricted to (tInitial, HWM] is a timed delta
-// table (Theorem 4.3).
+// HWM returns the view delta high-water mark: min over relations of their
+// forward progress. Every cell below it has been processed by every
+// relation, so the view delta restricted to (tInitial, HWM] is a timed
+// delta table (Theorem 4.3).
 func (r *RollingPropagator) HWM() relalg.CSN {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	hwm := r.tcompLocked(0)
-	for i := 1; i < len(r.tfwd); i++ {
-		if t := r.tcompLocked(i); t < hwm {
-			hwm = t
+	return r.bounds[r.minCellLocked()]
+}
+
+// minCellLocked returns the lowest next-cell index. Caller holds mu.
+func (r *RollingPropagator) minCellLocked() int {
+	m := r.cell[0]
+	for _, c := range r.cell[1:] {
+		if c < m {
+			m = c
 		}
 	}
-	return hwm
+	return m
 }
 
 // Steps returns the number of completed forward steps.
@@ -91,89 +112,61 @@ func (r *RollingPropagator) Steps() int64 {
 	return r.steps
 }
 
-// pruneQueryListsLocked drops forward queries whose execution time is at or
-// below t: no future forward query can overlap them, so their compensation
-// is complete. Caller holds mu.
-func (r *RollingPropagator) pruneQueryListsLocked(t relalg.CSN) {
-	for i := range r.querylist {
-		ql := r.querylist[i]
-		k := 0
-		for k < len(ql) && ql[k].exec <= t {
-			k++
-		}
-		r.querylist[i] = ql[k:]
+// compactLocked drops boundary prefixes every relation has passed, so the
+// ledger stays proportional to the propagation spread rather than the
+// history length. Caller holds mu.
+func (r *RollingPropagator) compactLocked() {
+	m := r.minCellLocked()
+	if m == 0 {
+		return
+	}
+	r.bounds = r.bounds[m:]
+	for i := range r.cell {
+		r.cell[i] -= m
 	}
 }
 
-// compIntervalLocked implements ComInterval: the widest span starting at t
-// over which the compensation region for relation i stays rectangular — it
-// ends at the next execution time among the uncompensated forward queries
-// of relations 1..i-1. Zero means unbounded. Caller holds mu.
-func (r *RollingPropagator) compIntervalLocked(i int, t relalg.CSN) relalg.CSN {
-	var next relalg.CSN
-	for j := 0; j < i; j++ {
-		for _, q := range r.querylist[j] {
-			if q.exec > t && (next == 0 || q.exec < next) {
-				next = q.exec
-			}
-		}
-	}
-	if next == 0 {
-		return 0
-	}
-	return next - t
-}
-
-// compTimeLocked implements CompTime: how far back a compensation at slice
-// t must reach on relation j's axis — the start of the earliest
-// uncompensated forward query of R^j that covers slice t (execution time >
-// t), or tfwd[j] if none does. Caller holds mu.
-func (r *RollingPropagator) compTimeLocked(j int, t relalg.CSN) relalg.CSN {
-	best := relalg.CSN(0)
-	var bestExec relalg.CSN
-	for _, q := range r.querylist[j] {
-		if q.exec > t && (bestExec == 0 || q.exec < bestExec) {
-			bestExec = q.exec
-			best = q.lo
-		}
-	}
-	if bestExec == 0 {
-		return r.tfwd[j]
-	}
-	return best
-}
-
-// Step performs one iteration of Figure 10: a forward query for the
-// relation with the smallest tfwd, followed by the compensation calls for
-// its overlap with earlier relations' forward queries. It returns
-// ErrNoProgress when capture has nothing new for that relation.
+// Step performs one iteration: it picks the relation with the least
+// forward progress (lowest index on ties), mints a new cell from its
+// interval policy if it has exhausted the shared ledger, and executes
+// that relation's slice of the cell's expansion — the forward query
+// Δ^i over the cell joined with all other relations at the cell's upper
+// boundary, plus the compensation subtree re-expressing relations left of
+// i at the lower boundary. It returns ErrNoProgress when capture has
+// nothing new for that relation.
 func (r *RollingPropagator) Step() error {
 	r.mu.Lock()
-	// Choose the base relation with the smallest tfwd (lowest index on ties).
+	r.compactLocked()
 	i := 0
-	for j := 1; j < len(r.tfwd); j++ {
-		if r.tfwd[j] < r.tfwd[i] {
+	for j := 1; j < len(r.cell); j++ {
+		if r.cell[j] < r.cell[i] {
 			i = j
 		}
 	}
-	r.pruneQueryListsLocked(r.tfwd[i])
-	delta := r.interval(i)
-	if delta <= 0 {
-		delta = 1
+	c := r.cell[i]
+	if c+1 >= len(r.bounds) {
+		// Every relation has exhausted the ledger; mint the next boundary
+		// from relation i's interval, clamped to capture progress.
+		delta := r.interval(i)
+		if delta <= 0 {
+			delta = 1
+		}
+		last := r.bounds[len(r.bounds)-1]
+		next := last + delta
+		if progress := r.exec.src.Progress(); next > progress {
+			next = progress
+		}
+		if next <= last {
+			r.mu.Unlock()
+			return ErrNoProgress
+		}
+		r.bounds = append(r.bounds, next)
 	}
-	w := r.tfwd[i]
-	hi := w + delta
+	w, hi := r.bounds[c], r.bounds[c+1]
 	r.mu.Unlock()
 
-	if progress := r.exec.src.Progress(); hi > progress {
-		hi = progress
-	}
-	if hi <= w {
-		return ErrNoProgress
-	}
-
-	// If the window is empty, the forward query and all compensation for it
-	// vanish identically; just advance.
+	// If the cell's window on relation i is empty, the slice's forward
+	// query and its whole compensation subtree vanish identically.
 	if r.exec.SkipEmptyWindows {
 		if err := r.exec.src.WaitProgress(hi); err != nil {
 			return err
@@ -181,72 +174,31 @@ func (r *RollingPropagator) Step() error {
 		if r.exec.windowEmpty(i, w, hi) {
 			r.exec.noteSkipped()
 			r.mu.Lock()
-			r.tfwd[i] = hi
+			r.cell[i]++
 			r.steps++
 			r.mu.Unlock()
 			return nil
 		}
 	}
 
-	// Forward query: R^1 ... R^{i-1} Δ^i_{(w,hi]} R^{i+1} ... R^n.
-	fq := AllBase(r.exec.view).WithDelta(i, w, hi)
-	tExec, err := r.exec.execute(fq, KindForward, 0)
-	if err != nil {
+	// Position i's slice of ComputeDelta(V, [w,...,w], hi): the forward
+	// query executes through the read view at hi, and compensation
+	// re-expresses every relation left of i at w. Delta windows are
+	// immutable once capture passes hi, so slices of the same cell may run
+	// in any order (and concurrently with slices of other cells).
+	tauOld := make([]relalg.CSN, len(r.cell))
+	for j := range tauOld {
+		tauOld[j] = w
+	}
+	if err := r.exec.propagatePosition(AllBase(r.exec.view), tauOld, hi, 0, i); err != nil {
 		return err
 	}
+
 	r.mu.Lock()
-	if i < len(r.tfwd)-1 {
-		r.querylist[i] = append(r.querylist[i], qentry{lo: w, hi: hi, exec: tExec})
-	}
-	if i == 0 {
-		// No compensation for R^1's forward queries.
-		r.tfwd[0] = hi
-		r.steps++
-		r.mu.Unlock()
-		return nil
-	}
+	r.cell[i]++
+	r.steps++
 	r.mu.Unlock()
-
-	// Compensate the forward query's overlap with forward queries of
-	// relations 1..i-1, splitting the (w, hi] span into rectangular
-	// sub-regions at their execution-time breakpoints.
-	for {
-		r.mu.Lock()
-		lo := r.tfwd[i]
-		if lo >= hi {
-			r.steps++
-			r.mu.Unlock()
-			return nil
-		}
-		span := hi - lo
-		if ci := r.compIntervalLocked(i, lo); ci > 0 && ci < span {
-			span = ci
-		}
-		sub := lo + span
-		tauD := make([]relalg.CSN, len(r.tfwd))
-		for j := range tauD {
-			if j < i {
-				tauD[j] = r.compTimeLocked(j, lo)
-			} else {
-				tauD[j] = tExec
-			}
-		}
-		r.mu.Unlock()
-
-		if r.exec.SkipEmptyWindows && r.exec.windowEmpty(i, lo, sub) {
-			// The sub-rectangle's delta factor is empty, so the whole
-			// compensation region is identically empty.
-			r.exec.noteSkipped()
-		} else {
-			cq := AllBase(r.exec.view).WithDelta(i, lo, sub).Negated()
-			if err := r.exec.computeDelta(cq, tauD, tExec, 1); err != nil {
-				return err
-			}
-		}
-		r.mu.Lock()
-		r.tfwd[i] = sub
-		r.mu.Unlock()
-	}
+	return nil
 }
 
 // Run loops Step until stop is closed, idling briefly when capture has no

@@ -137,27 +137,23 @@ func (st *CachedIndex) foldLocked(db *DB, row tuple.Tuple, count int64) {
 	db.cacheResidentBytes.Add(int64(len(enc) + cachedRowOverhead))
 }
 
-// buildLocked (re)builds the index from the heap. The scan runs in its own
-// short transaction under the table S lock — which blocks until no writer
-// holds IX, so the heap holds exactly the committed state R@LastCSN — and
-// the transaction commits immediately after the scan, before any folding,
-// so the lock is never held while cache mutexes are contended. Caller holds
-// mu in write mode.
+// buildLocked (re)builds the index from the heap through a read view at
+// the latest stable CSN: lock-free, so even the initial build never
+// blocks writers. The snapshot pins the GC horizon for the duration of
+// the scan; pin advances the index from the snapshot's CSN to the target
+// time through the delta stream. Caller holds mu in write mode.
 func (st *CachedIndex) buildLocked(db *DB) error {
 	t, err := db.Table(st.table)
 	if err != nil {
 		return err
 	}
-	tx := db.Begin()
-	if err := tx.LockTableS(st.table); err != nil {
-		tx.Abort()
+	snap, err := db.OpenSnapshot(relalg.NullTS)
+	if err != nil {
 		return err
 	}
-	applied := db.LastCSN()
-	rel := t.scan(nil)
-	if _, err := tx.Commit(); err != nil {
-		return err
-	}
+	applied := snap.AsOf()
+	rel := t.scanAsOf(nil, applied)
+	snap.Close()
 	db.addScanned(int64(rel.Len()))
 	st.resetLocked(db)
 	for _, row := range rel.Rows {
@@ -234,7 +230,8 @@ func (st *CachedIndex) pin(db *DB, ts relalg.CSN) (relalg.CSN, error) {
 		st.mu.Lock()
 		if !st.built {
 			// Invalidated (or lost a race with an invalidation): rebuild.
-			// The fresh snapshot is at LastCSN >= progress >= ts.
+			// The fresh snapshot is at the stable CSN; any gap up to ts is
+			// closed by the advance below.
 			if err := st.buildLocked(db); err != nil {
 				st.mu.Unlock()
 				return 0, err
@@ -696,9 +693,19 @@ func (db *DB) buildPlanCached(q *Query, use *cacheUse) (exec.Operator, error) {
 // runs in its own transaction, which takes no table locks — cached
 // propagation never blocks writers.
 func (db *DB) ExecutePropagationCached(q *Query, sign int64, dest *DeltaTable, minTS relalg.CSN, wait func(relalg.CSN) error) (relalg.CSN, int, int, error) {
+	if q.AsOf != relalg.NullTS && q.AsOf > minTS {
+		minTS = q.AsOf
+	}
 	use, err := db.cache.acquire(q, minTS, wait)
 	if err != nil {
 		return 0, 0, 0, err
+	}
+	if q.AsOf != relalg.NullTS && use.ts != q.AsOf {
+		// The shared cached state has advanced past the requested read
+		// view; answer exactly at q.AsOf from the versioned heap instead.
+		// Execution time is q.AsOf either way.
+		use.release()
+		return db.ExecutePropagation(q, sign, dest)
 	}
 	defer use.release()
 	db.addQuery()

@@ -79,6 +79,13 @@ type DB struct {
 	joinCache atomic.Bool
 	cache     *JoinCache
 
+	// ReadView registry (readview.go): open snapshots pin the version-GC
+	// horizon; gcHorizon is the CSN through which dead versions have been
+	// collected.
+	snapMu      sync.Mutex
+	activeSnaps map[relalg.CSN]int
+	gcHorizon   relalg.CSN
+
 	// Activity counters are atomics: propagation queries may run on a
 	// worker pool, and the streaming scans report from operator Close.
 	rowsScanned  atomic.Int64
@@ -96,6 +103,10 @@ type DB struct {
 	cacheInvalidations atomic.Int64
 	cacheResidentRows  atomic.Int64
 	cacheResidentBytes atomic.Int64
+
+	// Snapshot counters (see readview.go).
+	snapshotsOpened atomic.Int64
+	versionsGCed    atomic.Int64
 }
 
 // DefaultForceMaterialize seeds every newly opened DB's force-materialize
@@ -273,6 +284,15 @@ type Stats struct {
 	CacheResidentRows  int64
 	CacheResidentBytes int64
 
+	// ReadView counters: snapshots opened, publish-barrier stalls (waits
+	// that had to block for an in-flight commit to finish publishing),
+	// dead row versions currently retained for snapshot readers, and
+	// versions removed by GC so far.
+	SnapshotsOpened   int64
+	PublishStalls     int64
+	VersionsRetained  int64
+	VersionsCollected int64
+
 	Txn txn.Stats
 }
 
@@ -292,6 +312,10 @@ func (db *DB) Stats() Stats {
 		CacheInvalidations: db.cacheInvalidations.Load(),
 		CacheResidentRows:  db.cacheResidentRows.Load(),
 		CacheResidentBytes: db.cacheResidentBytes.Load(),
+		SnapshotsOpened:    db.snapshotsOpened.Load(),
+		PublishStalls:      db.tm.Stats().PublishStalls,
+		VersionsRetained:   db.DeadVersionsRetained(),
+		VersionsCollected:  db.versionsGCed.Load(),
 		Txn:                db.tm.Stats(),
 	}
 }

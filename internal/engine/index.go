@@ -101,10 +101,7 @@ func (db *DB) CreateIndex(table, column string) (*Index, error) {
 	ix := newIndex(table, col)
 	it := t.heap.First()
 	for ; it.Valid(); it.Next() {
-		row, _, err := tuple.DecodeRow(it.Value())
-		if err != nil {
-			return nil, err
-		}
+		_, _, row := decodeVersionedRow(it.Value())
 		ix.insert(row[col], rowidFromKey(it.Key()))
 	}
 	t.indexes = append(t.indexes, ix)
@@ -123,9 +120,17 @@ func (t *Table) indexOn(col int) *Index {
 	return nil
 }
 
-// probe materializes the rows of t whose column matches v, applying the
-// optional pushdown predicate. Latch-only; the caller holds a table S lock.
+// probe materializes the current-state rows of t whose column matches v,
+// applying the optional pushdown predicate. Latch-only; the caller holds
+// a table S lock.
 func (t *Table) probe(ix *Index, v tuple.Value, pred relalg.Predicate) []tuple.Tuple {
+	return t.probeAsOf(ix, v, pred, relalg.NullTS)
+}
+
+// probeAsOf is probe against the snapshot at asOf (asOf == NullTS means
+// current state). Snapshot probes are lock-free; the caller holds a
+// ReadView at or above asOf.
+func (t *Table) probeAsOf(ix *Index, v tuple.Value, pred relalg.Predicate, asOf relalg.CSN) []tuple.Tuple {
 	ids := ix.lookup(v)
 	if len(ids) == 0 {
 		return nil
@@ -138,9 +143,13 @@ func (t *Table) probe(ix *Index, v tuple.Value, pred relalg.Predicate) []tuple.T
 		if !ok {
 			continue
 		}
-		row, _, err := tuple.DecodeRow(val)
-		if err != nil {
-			panic("engine: corrupt heap row: " + err.Error())
+		born, dead, row := decodeVersionedRow(val)
+		if asOf == relalg.NullTS {
+			if dead != csnNone {
+				continue
+			}
+		} else if !visibleAt(born, dead, asOf) {
+			continue
 		}
 		if pred != nil && !pred.Eval(row) {
 			continue

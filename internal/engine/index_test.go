@@ -74,8 +74,16 @@ func TestIndexMaintainedByWritesAndAborts(t *testing.T) {
 	tx4 := db.Begin()
 	tx4.DeleteWhere("r", nil, 0)
 	tx4.Commit()
+	// Deletes are logical: the dead version (and its index entry) stays
+	// resident for snapshot readers until version GC reclaims it.
+	if len(tbl.probe(ix, tuple.Int(7), nil)) != 0 {
+		t.Fatal("committed delete should be invisible to current-state probes")
+	}
+	if n, _ := db.GCVersions(); n != 1 {
+		t.Fatalf("GC collected %d versions, want 1", n)
+	}
 	if ix.Len() != 0 {
-		t.Fatal("index should be empty after full delete")
+		t.Fatal("index should be empty after full delete + GC")
 	}
 }
 

@@ -78,6 +78,16 @@ type Query struct {
 	// Project optionally projects the result onto these columns; nil keeps
 	// the full concatenation.
 	Project []ColRef
+	// AsOf, when nonzero, evaluates every base input against the read view
+	// at that CSN instead of the current committed state: scans and index
+	// probes apply snapshot visibility and take NO table locks, and the
+	// query's execution time is AsOf by construction. The evaluator blocks
+	// until AsOf is stable (commit-publish barrier).
+	AsOf relalg.CSN
+	// LockScans additionally takes the legacy table S locks for an AsOf
+	// query. It changes no results; it exists so the SNAPSHOT benchmark
+	// can isolate the locking cost from the visibility mechanism.
+	LockScans bool
 }
 
 // String renders the query's join list in the paper's notation.
@@ -209,8 +219,10 @@ func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := tx.lockBases(q); err != nil {
-		return nil, nil, err
+	if q.AsOf == relalg.NullTS || q.LockScans {
+		if err := tx.lockBases(q); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// Leaf scan per input. Base-table leaves are built lazily so the join
@@ -231,7 +243,7 @@ func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &tableScan{db: db, t: t, pred: in.Pred}, nil
+			return &tableScan{db: db, t: t, pred: in.Pred, asOf: q.AsOf}, nil
 		}
 	}
 
@@ -280,7 +292,7 @@ func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
 					LeftCol: on[0].LeftCol,
 					ProbeFn: func(v tuple.Value) []tuple.Tuple {
 						db.addProbes(1)
-						return t.probe(ix, v, pred)
+						return t.probeAsOf(ix, v, pred, q.AsOf)
 					},
 				}
 			}
@@ -354,15 +366,33 @@ func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
 	return cur, schema, nil
 }
 
+// snapshotFor opens the read view backing an AsOf query, or returns nil
+// for a current-state query (which reads under table S locks instead).
+// The caller closes the snapshot after draining the plan.
+func (tx *Tx) snapshotFor(q *Query) (*Snapshot, error) {
+	if q.AsOf == relalg.NullTS {
+		return nil, nil
+	}
+	return tx.db.OpenSnapshot(q.AsOf)
+}
+
 // EvalQuery evaluates q inside the transaction through the streaming
 // operator pipeline: base inputs are scanned under table S locks
 // (pre-acquired in sorted name order to keep the lock graph acyclic among
-// propagation queries), delta windows stream straight off their B+ trees,
+// propagation queries) — or, for an AsOf query, lock-free against the
+// read view at q.AsOf — delta windows stream straight off their B+ trees,
 // and the root materializes the result as a relation. Counts multiply and
 // timestamps combine by minimum per the paper's rule.
 func (tx *Tx) EvalQuery(q *Query) (*relalg.Relation, error) {
 	if tx.db.forceMaterialize.Load() {
 		return tx.MaterializeExec(q)
+	}
+	snap, err := tx.snapshotFor(q)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		defer snap.Close()
 	}
 	tx.db.addQuery()
 	root, schema, err := tx.buildPlan(q)
@@ -386,6 +416,13 @@ func (tx *Tx) StreamQuery(q *Query, sink func(*relalg.Batch) error) (rows, batch
 		}
 		return int64(len(rel.Rows)), 1, sink(&relalg.Batch{Rows: rel.Rows})
 	}
+	snap, err := tx.snapshotFor(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	if snap != nil {
+		defer snap.Close()
+	}
 	tx.db.addQuery()
 	root, _, err := tx.buildPlan(q)
 	if err != nil {
@@ -407,8 +444,17 @@ func (tx *Tx) MaterializeExec(q *Query) (*relalg.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := tx.lockBases(q); err != nil {
+	snap, err := tx.snapshotFor(q)
+	if err != nil {
 		return nil, err
+	}
+	if snap != nil {
+		defer snap.Close()
+	}
+	if q.AsOf == relalg.NullTS || q.LockScans {
+		if err := tx.lockBases(q); err != nil {
+			return nil, err
+		}
 	}
 
 	// Materialize the non-base inputs; base inputs stay lazy so the join
@@ -438,6 +484,16 @@ func (tx *Tx) MaterializeExec(q *Query) (*relalg.Relation, error) {
 	materialize := func(i int) (*relalg.Relation, error) {
 		if rels[i] != nil {
 			return rels[i], nil
+		}
+		if q.AsOf != relalg.NullTS {
+			t, err := db.Table(q.Inputs[i].Table)
+			if err != nil {
+				return nil, err
+			}
+			rel := t.scanAsOf(q.Inputs[i].Pred, q.AsOf)
+			db.addScanned(int64(rel.Len()))
+			rels[i] = rel
+			return rel, nil
 		}
 		rel, err := tx.Scan(q.Inputs[i].Table, q.Inputs[i].Pred)
 		if err != nil {
@@ -488,7 +544,7 @@ func (tx *Tx) MaterializeExec(q *Query) (*relalg.Relation, error) {
 				return nil, err
 			}
 			if ix := t.indexOn(on[0].RightCol); ix != nil {
-				result = indexJoin(db, result, t, ix, on[0].LeftCol, q.Inputs[i].Pred)
+				result = indexJoin(db, result, t, ix, on[0].LeftCol, q.Inputs[i].Pred, q.AsOf)
 				db.addJoined(int64(result.Len()))
 				joinedOff[i] = joinedWidth
 				joinedWidth += arities[i]
@@ -605,11 +661,11 @@ func (db *DB) concatSchema(q *Query) (*tuple.Schema, error) {
 // counterpart of exec.IndexLoopJoin). Base rows have count 1 and null
 // timestamps, so the combined row keeps the left row's count and timestamp
 // (product and min rules respectively).
-func indexJoin(db *DB, left *relalg.Relation, t *Table, ix *Index, leftCol int, pred relalg.Predicate) *relalg.Relation {
+func indexJoin(db *DB, left *relalg.Relation, t *Table, ix *Index, leftCol int, pred relalg.Predicate, asOf relalg.CSN) *relalg.Relation {
 	out := relalg.NewRelation(tuple.ConcatSchemas(left.Schema, t.schema, "r_"))
 	for _, lr := range left.Rows {
 		db.addProbes(1)
-		for _, m := range t.probe(ix, lr.Tuple[leftCol], pred) {
+		for _, m := range t.probeAsOf(ix, lr.Tuple[leftCol], pred, asOf) {
 			out.Rows = append(out.Rows, relalg.Row{
 				Tuple: tuple.Concat(lr.Tuple, m),
 				Count: lr.Count,
@@ -622,9 +678,12 @@ func indexJoin(db *DB, left *relalg.Relation, t *Table, ix *Index, leftCol int, 
 
 // ExecutePropagation runs q as its own transaction, streaming the result
 // into the destination delta table: each batch's counts are multiplied by
-// sign and appended, and the transaction commits. It returns the commit CSN
-// (the paper's query execution time t_e) and the number of rows and batches
-// appended. This is the Execute primitive of Figures 4 and 10.
+// sign and appended, and the transaction commits. It returns the query
+// execution time t_e and the number of rows and batches appended. For a
+// current-state query t_e is the commit CSN (the bases were read under S
+// locks, i.e. at the committed state the commit point sees); for an AsOf
+// query t_e is q.AsOf — executed time equals intended time by
+// construction. This is the Execute primitive of Figures 4 and 10.
 func (db *DB) ExecutePropagation(q *Query, sign int64, dest *DeltaTable) (relalg.CSN, int, int, error) {
 	tx := db.Begin()
 	rows, batches, err := tx.StreamQuery(q, func(b *relalg.Batch) error {
@@ -644,6 +703,9 @@ func (db *DB) ExecutePropagation(q *Query, sign int64, dest *DeltaTable) (relalg
 	if err != nil {
 		tx.Abort()
 		return 0, 0, 0, err
+	}
+	if q.AsOf != relalg.NullTS {
+		return q.AsOf, int(rows), int(batches), nil
 	}
 	return csn, int(rows), int(batches), nil
 }

@@ -56,7 +56,7 @@ func (db *DB) recover(offset int64) (relalg.CSN, error) {
 					return 0, fmt.Errorf("engine: recovery: log references unknown table %q; recreate the catalog first", ch.table)
 				}
 				if ch.count > 0 {
-					t.put(ch.row)
+					t.putCommitted(ch.row)
 				} else {
 					if !t.removeMatching(ch.row) {
 						return 0, fmt.Errorf("engine: recovery: delete of missing row %s in %q", ch.row, ch.table)
@@ -85,9 +85,9 @@ func (t *Table) removeMatching(row tuple.Tuple) bool {
 	var foundKey []byte
 	it := t.heap.First()
 	for ; it.Valid(); it.Next() {
-		got, _, err := tuple.DecodeRow(it.Value())
-		if err != nil {
-			panic("engine: corrupt heap row: " + err.Error())
+		_, dead, got := decodeVersionedRow(it.Value())
+		if dead != csnNone {
+			continue
 		}
 		if got.Equal(row) {
 			foundKey = append([]byte(nil), it.Key()...)

@@ -6,7 +6,6 @@ import (
 	"repro/internal/btree"
 	"repro/internal/exec"
 	"repro/internal/relalg"
-	"repro/internal/tuple"
 )
 
 // This file provides the engine's leaf operators for the exec pipeline:
@@ -18,11 +17,14 @@ import (
 
 // tableScan streams a base table's heap in batches, applying an optional
 // pushdown predicate. Rows carry count +1 and the null timestamp, like
-// Table.scan.
+// Table.scan. With asOf == NullTS it streams the current state (the
+// planner holds a table S lock); with a real asOf it streams the state
+// visible at that CSN, lock-free under a ReadView.
 type tableScan struct {
 	db   *DB
 	t    *Table
 	pred relalg.Predicate
+	asOf relalg.CSN
 
 	it      *btree.Iterator
 	latched bool
@@ -41,11 +43,15 @@ func (s *tableScan) Open() error {
 func (s *tableScan) Next(out *relalg.Batch) (bool, error) {
 	out.Reset()
 	for s.it.Valid() && out.Len() < exec.BatchSize {
-		row, _, err := tuple.DecodeRow(s.it.Value())
-		if err != nil {
-			panic("engine: corrupt heap row: " + err.Error())
-		}
+		born, dead, row := decodeVersionedRow(s.it.Value())
 		s.it.Next()
+		if s.asOf == relalg.NullTS {
+			if dead != csnNone {
+				continue
+			}
+		} else if !visibleAt(born, dead, s.asOf) {
+			continue
+		}
 		if s.pred != nil && !s.pred.Eval(row) {
 			continue
 		}

@@ -237,7 +237,7 @@ func (db *DB) ReadSnapshot(r io.Reader) (int64, error) {
 			if err != nil {
 				return 0, err
 			}
-			t.put(row)
+			t.putCommitted(row)
 		}
 	}
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/binary"
+	"math"
 	"sync"
 
 	"repro/internal/btree"
@@ -9,17 +10,40 @@ import (
 	"repro/internal/tuple"
 )
 
+// Row version sentinels. A heap row carries a [born, dead) CSN interval:
+// a reader at AsOf t sees the row iff born <= t < dead. Writers insert
+// with born = csnUnstamped and stamp the real CSN during the commit
+// publish phase, so an unpublished row is numerically invisible to every
+// snapshot (csnUnstamped exceeds any real AsOf). A deleter marks dead =
+// csnDeadPending and stamps the real CSN at publish; csnDeadPending also
+// exceeds any real AsOf, so the row stays visible to snapshots until the
+// delete actually commits.
+const (
+	csnUnstamped   = relalg.CSN(math.MaxInt64)     // born: writer not yet published
+	csnNone        = relalg.CSN(math.MaxInt64)     // dead: row alive
+	csnDeadPending = relalg.CSN(math.MaxInt64 - 1) // dead: delete in flight
+)
+
+// visibleAt is the snapshot visibility rule: the version interval
+// [born, dead) contains asOf.
+func visibleAt(born, dead, asOf relalg.CSN) bool {
+	return born <= asOf && dead > asOf
+}
+
 // Table is a heap base table: rows keyed by an auto-assigned rowid in a
-// B+ tree. The latch protects physical structure only; transactional
-// isolation comes from the lock manager.
+// B+ tree, each carrying short version metadata (born/dead CSNs). The
+// latch protects physical structure only; transactional isolation comes
+// from the lock manager for writers and from the version metadata plus
+// the commit-publish barrier for snapshot readers.
 type Table struct {
 	name   string
 	schema *tuple.Schema
 
 	latch   sync.RWMutex
-	heap    *btree.Tree // rowid (8B big-endian) -> row encoding
+	heap    *btree.Tree // rowid (8B big-endian) -> [born 8B][dead 8B][row encoding]
 	nextRow uint64
 	indexes []*Index
+	dead    int64 // committed-dead versions retained (pending GC)
 }
 
 // rowidFromKey decodes a heap key back to its rowid.
@@ -35,11 +59,20 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema.
 func (t *Table) Schema() *tuple.Schema { return t.schema }
 
-// Len returns the current number of rows (committed plus in-flight).
+// Len returns the current number of heap entries (committed, in-flight,
+// and dead versions awaiting GC).
 func (t *Table) Len() int {
 	t.latch.RLock()
 	defer t.latch.RUnlock()
 	return t.heap.Len()
+}
+
+// DeadVersions returns the number of committed-dead versions retained in
+// the heap (deleted rows kept for snapshot readers until GC).
+func (t *Table) DeadVersions() int64 {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	return t.dead
 }
 
 // lockName is the table-level lock resource.
@@ -58,31 +91,67 @@ func rowKey(rowid uint64) []byte {
 	return b[:]
 }
 
-// put inserts a row at a fresh rowid and returns it. Latch-only; the caller
-// holds the appropriate locks.
+func encodeVersionedRow(born, dead relalg.CSN, row tuple.Tuple) []byte {
+	out := make([]byte, 16, 16+len(row)*8)
+	binary.BigEndian.PutUint64(out[0:8], uint64(born))
+	binary.BigEndian.PutUint64(out[8:16], uint64(dead))
+	return tuple.EncodeRow(out, row)
+}
+
+func decodeVersionedRow(v []byte) (born, dead relalg.CSN, row tuple.Tuple) {
+	if len(v) < 16 {
+		panic("engine: corrupt heap row: short version header")
+	}
+	born = relalg.CSN(binary.BigEndian.Uint64(v[0:8]))
+	dead = relalg.CSN(binary.BigEndian.Uint64(v[8:16]))
+	row, _, err := tuple.DecodeRow(v[16:])
+	if err != nil {
+		panic("engine: corrupt heap row: " + err.Error())
+	}
+	return born, dead, row
+}
+
+// put inserts a row at a fresh rowid with an unstamped born CSN and
+// returns the rowid. The inserting transaction stamps the CSN during its
+// commit publish phase. Latch-only; the caller holds the appropriate
+// locks.
 func (t *Table) put(row tuple.Tuple) uint64 {
+	return t.putBorn(row, csnUnstamped)
+}
+
+// putCommitted inserts a row that is already committed at an unknown CSN
+// (recovery replay and checkpoint restore): born 0 makes it visible to
+// every snapshot.
+func (t *Table) putCommitted(row tuple.Tuple) uint64 {
+	return t.putBorn(row, 0)
+}
+
+func (t *Table) putBorn(row tuple.Tuple, born relalg.CSN) uint64 {
 	t.latch.Lock()
 	defer t.latch.Unlock()
 	t.nextRow++
 	id := t.nextRow
-	t.heap.Put(rowKey(id), tuple.EncodeRow(nil, row))
+	t.heap.Put(rowKey(id), encodeVersionedRow(born, csnNone, row))
 	for _, ix := range t.indexes {
 		ix.insert(row[ix.column], id)
 	}
 	return id
 }
 
-// putAt reinstates a row at a specific rowid (undo of a delete).
+// putAt reinstates a row at a specific rowid (undo of a delete on the
+// legacy physical-remove path; retained for checkpoint restore).
 func (t *Table) putAt(rowid uint64, row tuple.Tuple) {
 	t.latch.Lock()
 	defer t.latch.Unlock()
-	t.heap.Put(rowKey(rowid), tuple.EncodeRow(nil, row))
+	t.heap.Put(rowKey(rowid), encodeVersionedRow(0, csnNone, row))
 	for _, ix := range t.indexes {
 		ix.insert(row[ix.column], rowid)
 	}
 }
 
-// remove deletes the row at rowid, returning it (nil if absent).
+// remove physically deletes the row at rowid, returning it (nil if
+// absent). Used to undo an aborted insert and by recovery; committed
+// deletes go through markDead/stampDead instead.
 func (t *Table) remove(rowid uint64) tuple.Tuple {
 	t.latch.Lock()
 	defer t.latch.Unlock()
@@ -90,44 +159,148 @@ func (t *Table) remove(rowid uint64) tuple.Tuple {
 	if !ok {
 		return nil
 	}
-	row, _, err := tuple.DecodeRow(v)
-	if err != nil {
-		panic("engine: corrupt heap row: " + err.Error())
-	}
+	_, dead, row := decodeVersionedRow(v)
 	t.heap.Delete(rowKey(rowid))
+	if dead != csnNone && dead != csnDeadPending {
+		t.dead--
+	}
 	for _, ix := range t.indexes {
 		ix.remove(row[ix.column], rowid)
 	}
 	return row
 }
 
-// get returns the row at rowid, or nil.
-func (t *Table) get(rowid uint64) tuple.Tuple {
-	t.latch.RLock()
-	defer t.latch.RUnlock()
+// setVersion rewrites the version header of rowid in place.
+func (t *Table) setVersion(rowid uint64, born, dead relalg.CSN) {
+	k := rowKey(rowid)
+	v, ok := t.heap.Get(k)
+	if !ok {
+		return
+	}
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(born))
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(dead))
+	nv := make([]byte, len(v))
+	copy(nv, hdr[:])
+	copy(nv[16:], v[16:])
+	t.heap.Put(k, nv)
+}
+
+// stampBorn publishes an inserted row: its born CSN becomes the
+// inserter's commit CSN.
+func (t *Table) stampBorn(rowid uint64, csn relalg.CSN) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	v, ok := t.heap.Get(rowKey(rowid))
 	if !ok {
-		return nil
+		return
 	}
-	row, _, err := tuple.DecodeRow(v)
-	if err != nil {
-		panic("engine: corrupt heap row: " + err.Error())
+	_, dead, _ := decodeVersionedRow(v)
+	t.setVersion(rowid, csn, dead)
+}
+
+// markDead flags the row as being deleted by an in-flight transaction.
+func (t *Table) markDead(rowid uint64) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	v, ok := t.heap.Get(rowKey(rowid))
+	if !ok {
+		return
+	}
+	born, _, _ := decodeVersionedRow(v)
+	t.setVersion(rowid, born, csnDeadPending)
+}
+
+// clearDead undoes markDead (delete aborted).
+func (t *Table) clearDead(rowid uint64) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	v, ok := t.heap.Get(rowKey(rowid))
+	if !ok {
+		return
+	}
+	born, _, _ := decodeVersionedRow(v)
+	t.setVersion(rowid, born, csnNone)
+}
+
+// stampDead publishes a delete: the row's dead CSN becomes the deleter's
+// commit CSN. The version is retained for snapshot readers until GC.
+func (t *Table) stampDead(rowid uint64, csn relalg.CSN) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	v, ok := t.heap.Get(rowKey(rowid))
+	if !ok {
+		return
+	}
+	born, _, _ := decodeVersionedRow(v)
+	t.setVersion(rowid, born, csn)
+	t.dead++
+}
+
+// gcVersions physically removes committed-dead versions with dead <=
+// through, returning how many were collected. Callers must ensure no
+// snapshot at or below through is still active.
+func (t *Table) gcVersions(through relalg.CSN) int64 {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	type doomed struct {
+		key []byte
+		row tuple.Tuple
+	}
+	var dead []doomed
+	it := t.heap.First()
+	for ; it.Valid(); it.Next() {
+		_, d, row := decodeVersionedRow(it.Value())
+		if d != csnNone && d != csnDeadPending && d <= through {
+			dead = append(dead, doomed{append([]byte(nil), it.Key()...), row})
+		}
+	}
+	for _, d := range dead {
+		t.heap.Delete(d.key)
+		for _, ix := range t.indexes {
+			ix.remove(d.row[ix.column], rowidFromKey(d.key))
+		}
+	}
+	t.dead -= int64(len(dead))
+	return int64(len(dead))
+}
+
+// getVersion returns the row at rowid with its version interval, or ok =
+// false if physically absent.
+func (t *Table) getVersion(rowid uint64) (row tuple.Tuple, born, dead relalg.CSN, ok bool) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	v, found := t.heap.Get(rowKey(rowid))
+	if !found {
+		return nil, 0, 0, false
+	}
+	born, dead, row = decodeVersionedRow(v)
+	return row, born, dead, true
+}
+
+// get returns the current-state row at rowid, or nil. A row whose delete
+// is committed or in flight is not current.
+func (t *Table) get(rowid uint64) tuple.Tuple {
+	row, _, dead, ok := t.getVersion(rowid)
+	if !ok || dead != csnNone {
+		return nil
 	}
 	return row
 }
 
-// scan materializes the table as a relation (count=+1, null timestamps),
-// applying the optional pushdown predicate. Latch-only; the caller holds a
-// table S lock.
+// scan materializes the current table state as a relation (count=+1, null
+// timestamps), applying the optional pushdown predicate. Latch-only; the
+// caller holds a table S lock, so any unstamped rows belong to the
+// caller's own transaction and are included (read-your-writes).
 func (t *Table) scan(pred relalg.Predicate) *relalg.Relation {
 	t.latch.RLock()
 	defer t.latch.RUnlock()
 	out := relalg.NewRelation(t.schema)
 	it := t.heap.First()
 	for ; it.Valid(); it.Next() {
-		row, _, err := tuple.DecodeRow(it.Value())
-		if err != nil {
-			panic("engine: corrupt heap row: " + err.Error())
+		_, dead, row := decodeVersionedRow(it.Value())
+		if dead != csnNone {
+			continue
 		}
 		if pred != nil && !pred.Eval(row) {
 			continue
@@ -137,18 +310,39 @@ func (t *Table) scan(pred relalg.Predicate) *relalg.Relation {
 	return out
 }
 
-// matchRowIDs returns the rowids whose rows satisfy pred, up to limit
-// (limit <= 0 means no limit). Latch-only snapshot; callers must re-check
-// under row locks.
+// scanAsOf materializes the table state visible at asOf. Latch-only and
+// lock-free: the caller must hold a ReadView at or above asOf (AsOf at or
+// below the stable CSN).
+func (t *Table) scanAsOf(pred relalg.Predicate, asOf relalg.CSN) *relalg.Relation {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	out := relalg.NewRelation(t.schema)
+	it := t.heap.First()
+	for ; it.Valid(); it.Next() {
+		born, dead, row := decodeVersionedRow(it.Value())
+		if !visibleAt(born, dead, asOf) {
+			continue
+		}
+		if pred != nil && !pred.Eval(row) {
+			continue
+		}
+		out.Add(row, 1, relalg.NullTS)
+	}
+	return out
+}
+
+// matchRowIDs returns the rowids whose current-state rows satisfy pred,
+// up to limit (limit <= 0 means no limit). Latch-only snapshot; callers
+// must re-check under row locks.
 func (t *Table) matchRowIDs(pred relalg.Predicate, limit int) []uint64 {
 	t.latch.RLock()
 	defer t.latch.RUnlock()
 	var ids []uint64
 	it := t.heap.First()
 	for ; it.Valid(); it.Next() {
-		row, _, err := tuple.DecodeRow(it.Value())
-		if err != nil {
-			panic("engine: corrupt heap row: " + err.Error())
+		_, dead, row := decodeVersionedRow(it.Value())
+		if dead != csnNone {
+			continue
 		}
 		if pred == nil || pred.Eval(row) {
 			ids = append(ids, binary.BigEndian.Uint64(it.Key()))

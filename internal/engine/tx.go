@@ -17,6 +17,12 @@ type Tx struct {
 	inner  *txn.Txn
 	logged bool    // Begin record written
 	writes []Write // recorded for the trigger sink, when installed
+
+	// stamps are the version-stamping actions run in the commit publish
+	// phase: they set born/dead CSNs on the rows this transaction wrote,
+	// making heap visibility atomic with CSN assignment under the
+	// stable-CSN barrier.
+	stamps []func(csn relalg.CSN)
 }
 
 // Begin starts a transaction.
@@ -75,6 +81,7 @@ func (tx *Tx) Insert(table string, row tuple.Tuple) error {
 		return err
 	}
 	tx.inner.OnAbort(func() { t.remove(rowid) })
+	tx.stamps = append(tx.stamps, func(csn relalg.CSN) { t.stampBorn(rowid, csn) })
 	tx.recordWrite(table, row, +1)
 	tx.db.addWrites(1, 0)
 	return nil
@@ -124,10 +131,12 @@ func (tx *Tx) DeleteWhere(table string, pred relalg.Predicate, limit int) (int, 
 			if _, err := tx.db.log.Append(&wal.Record{Type: wal.TypeDelete, TxID: tx.inner.ID(), Table: table, Row: row}); err != nil {
 				return deleted, err
 			}
-			t.remove(id)
-			rowCopy := row
+			// Logical delete: the version stays in the heap (visible to
+			// snapshot readers below our commit CSN) until version GC.
 			idCopy := id
-			tx.inner.OnAbort(func() { t.putAt(idCopy, rowCopy) })
+			t.markDead(idCopy)
+			tx.inner.OnAbort(func() { t.clearDead(idCopy) })
+			tx.stamps = append(tx.stamps, func(csn relalg.CSN) { t.stampDead(idCopy, csn) })
 			tx.recordWrite(table, row, -1)
 			tx.db.addWrites(0, 1)
 			deleted++
@@ -176,9 +185,19 @@ func (tx *Tx) AppendDelta(d *DeltaTable, ts relalg.CSN, count int64, row tuple.T
 // Commit finishes the transaction. The commit hook appends the WAL commit
 // record and notifies the trigger sink while holding the commit mutex, so
 // the log order, CSN order, and trigger-capture order all match the
-// serialization order.
+// serialization order. The publish phase then stamps row versions with
+// the commit CSN before the CSN becomes stable and the locks release.
 func (tx *Tx) Commit() (relalg.CSN, error) {
-	return tx.db.tm.Commit(tx.inner, func(csn relalg.CSN, wall time.Time) error {
+	var publish func(relalg.CSN)
+	if len(tx.stamps) > 0 {
+		publish = func(csn relalg.CSN) {
+			for _, stamp := range tx.stamps {
+				stamp(csn)
+			}
+			tx.stamps = nil
+		}
+	}
+	return tx.db.tm.CommitPublish(tx.inner, func(csn relalg.CSN, wall time.Time) error {
 		if _, err := tx.db.log.Append(&wal.Record{
 			Type: wal.TypeCommit, TxID: tx.inner.ID(), CSN: csn, WallNanos: wall.UnixNano(),
 		}); err != nil {
@@ -196,7 +215,7 @@ func (tx *Tx) Commit() (relalg.CSN, error) {
 			sink.OnCommit(tx.writes, csn, wall)
 		}
 		return nil
-	})
+	}, publish)
 }
 
 // Abort rolls back the transaction, undoing its heap and delta writes and

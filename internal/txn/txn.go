@@ -68,6 +68,18 @@ type Manager struct {
 	commitMu sync.Mutex
 	lastCSN  relalg.CSN
 
+	// The commit-publish barrier. A committing transaction runs its publish
+	// phase (stamping heap row versions with its CSN) after releasing
+	// commitMu; stable trails lastCSN and advances only when every lower
+	// CSN has finished publishing, so a reader at AsOf <= stable is
+	// guaranteed to observe an exact prefix of the commit order.
+	publishMu   sync.Mutex
+	publishCond *sync.Cond
+	stable      relalg.CSN
+	assigned    relalg.CSN              // highest CSN handed out
+	inflight    map[relalg.CSN]struct{} // assigned, publish not yet complete
+	stallWaits  atomic.Int64            // WaitStable calls that blocked
+
 	begun     atomic.Int64
 	committed atomic.Int64
 	aborted   atomic.Int64
@@ -76,7 +88,9 @@ type Manager struct {
 // NewManager returns a fresh transaction manager. CSNs start at 1; CSN 0 is
 // the null timestamp.
 func NewManager() *Manager {
-	return &Manager{lm: newLockManager()}
+	m := &Manager{lm: newLockManager(), inflight: make(map[relalg.CSN]struct{})}
+	m.publishCond = sync.NewCond(&m.publishMu)
+	return m
 }
 
 // Begin starts a new transaction.
@@ -95,6 +109,17 @@ func (m *Manager) Begin() *Txn {
 // WAL commit record; doing so under the commit mutex guarantees the log
 // reflects commit order.
 func (m *Manager) Commit(t *Txn, hook func(csn relalg.CSN, wall time.Time) error) (relalg.CSN, error) {
+	return m.CommitPublish(t, hook, nil)
+}
+
+// CommitPublish is Commit with an additional publish phase: after the CSN
+// is assigned and the hook has run, publish (if non-nil) runs outside the
+// commit mutex — concurrently with other committers — and only once it
+// returns does the transaction's CSN become stable (visible to snapshot
+// readers) and its locks release. The engine stamps heap row versions with
+// the commit CSN here, so CSN assignment and heap visibility are atomic
+// with respect to the stable-CSN barrier.
+func (m *Manager) CommitPublish(t *Txn, hook func(csn relalg.CSN, wall time.Time) error, publish func(csn relalg.CSN)) (relalg.CSN, error) {
 	if t.state != StateActive {
 		return 0, ErrTxnDone
 	}
@@ -107,7 +132,16 @@ func (m *Manager) Commit(t *Txn, hook func(csn relalg.CSN, wall time.Time) error
 		}
 	}
 	m.lastCSN = csn
+	m.publishMu.Lock()
+	m.assigned = csn
+	m.inflight[csn] = struct{}{}
+	m.publishMu.Unlock()
 	m.commitMu.Unlock()
+
+	if publish != nil {
+		publish(csn)
+	}
+	m.endPublish(csn)
 
 	t.state = StateCommitted
 	t.csn = csn
@@ -115,6 +149,46 @@ func (m *Manager) Commit(t *Txn, hook func(csn relalg.CSN, wall time.Time) error
 	m.lm.release(t)
 	m.committed.Add(1)
 	return csn, nil
+}
+
+// endPublish marks csn's publish phase complete and advances the stable
+// CSN past every contiguously published prefix.
+func (m *Manager) endPublish(csn relalg.CSN) {
+	m.publishMu.Lock()
+	delete(m.inflight, csn)
+	stable := m.assigned
+	for c := range m.inflight {
+		if c-1 < stable {
+			stable = c - 1
+		}
+	}
+	if stable > m.stable {
+		m.stable = stable
+		m.publishCond.Broadcast()
+	}
+	m.publishMu.Unlock()
+}
+
+// StableCSN returns the highest CSN S such that every transaction with CSN
+// <= S has completed its publish phase: a read at AsOf <= S observes an
+// exact prefix of the commit order.
+func (m *Manager) StableCSN() relalg.CSN {
+	m.publishMu.Lock()
+	defer m.publishMu.Unlock()
+	return m.stable
+}
+
+// WaitStable blocks until the stable CSN reaches csn. It returns
+// immediately when csn is already stable.
+func (m *Manager) WaitStable(csn relalg.CSN) {
+	m.publishMu.Lock()
+	if m.stable < csn {
+		m.stallWaits.Add(1)
+		for m.stable < csn {
+			m.publishCond.Wait()
+		}
+	}
+	m.publishMu.Unlock()
 }
 
 // Abort rolls the transaction back: undo actions run in reverse order, then
@@ -149,6 +223,15 @@ func (m *Manager) Recover(last relalg.CSN) {
 	if last > m.lastCSN {
 		m.lastCSN = last
 	}
+	m.publishMu.Lock()
+	if last > m.assigned {
+		m.assigned = last
+	}
+	if last > m.stable {
+		m.stable = last
+		m.publishCond.Broadcast()
+	}
+	m.publishMu.Unlock()
 	m.commitMu.Unlock()
 }
 
@@ -160,18 +243,20 @@ type Stats struct {
 	LockWaitTime              time.Duration
 	Deadlocks                 int64
 	Upgrades                  int64
+	PublishStalls             int64 // WaitStable calls that had to block
 }
 
 // Stats returns a snapshot of the manager's counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Begun:        m.begun.Load(),
-		Committed:    m.committed.Load(),
-		Aborted:      m.aborted.Load(),
-		LockAcquires: m.lm.acquires.Load(),
-		LockWaits:    m.lm.waits.Load(),
-		LockWaitTime: time.Duration(m.lm.waitNanos.Load()),
-		Deadlocks:    m.lm.deadlocks.Load(),
-		Upgrades:     m.lm.escalation.Load(),
+		Begun:         m.begun.Load(),
+		Committed:     m.committed.Load(),
+		Aborted:       m.aborted.Load(),
+		LockAcquires:  m.lm.acquires.Load(),
+		LockWaits:     m.lm.waits.Load(),
+		LockWaitTime:  time.Duration(m.lm.waitNanos.Load()),
+		Deadlocks:     m.lm.deadlocks.Load(),
+		Upgrades:      m.lm.escalation.Load(),
+		PublishStalls: m.stallWaits.Load(),
 	}
 }

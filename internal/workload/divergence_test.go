@@ -2,7 +2,6 @@ package workload_test
 
 import (
 	"math/rand"
-	"os"
 	"testing"
 	"time"
 
@@ -13,24 +12,22 @@ import (
 	"repro/internal/workload"
 )
 
-// TestStarSchemaDivergenceRepro reproduces the known ±1-row divergence from
-// ROADMAP.md: at high transaction rates with writers committing
-// concurrently with rolling propagation, the rolled materialized view can
-// end up one count-1 row off from a full recomputation. The small-scale
-// oracles pass, so the race window is narrow — this is the scaled repro
-// (star schema, 2000-row fact, 3000 driver transactions) kept as a tracked
-// test while the bug is open.
-//
-// Gated: runs only when ROLLINGJOIN_DIVERGENCE is set and not under -short,
-// so CI stays green. The divergence is probabilistic; a pass here does NOT
-// mean the bug is fixed — run it repeatedly (e.g. -count=10) when working
-// on the rolling/compensation boundary.
+// TestStarSchemaDivergenceRepro is the scaled regression test for the
+// (fixed) ±1-row divergence once tracked in ROADMAP.md: at high transaction
+// rates with writers committing concurrently with rolling propagation, the
+// rolled materialized view could end up one count-1 row off from a full
+// recomputation. Root cause: per-relation propagation windows deferred
+// compensation through query lists, and with three or more relations the
+// deferral graph could be cyclic, so a cross-relation change pair was never
+// delivered at its effective time. The shared-cell rolling propagator plus
+// read-view (AsOf) query execution removed the deferral entirely — executed
+// time now equals intended time by construction — and this test (star
+// schema, 2000-row fact, 3000 driver transactions) guards the fix. The
+// divergence was probabilistic; run with -count=10 when touching the
+// rolling/compensation boundary.
 func TestStarSchemaDivergenceRepro(t *testing.T) {
 	if testing.Short() {
-		t.Skip("scaled divergence repro skipped in -short mode")
-	}
-	if os.Getenv("ROLLINGJOIN_DIVERGENCE") == "" {
-		t.Skip("set ROLLINGJOIN_DIVERGENCE=1 to run the known-issue repro (ROADMAP.md)")
+		t.Skip("scaled divergence regression skipped in -short mode")
 	}
 
 	const updates = 3000
