@@ -1,14 +1,19 @@
-package rollingjoin
+package rollingjoin_test
 
 // This file maps every experiment of EXPERIMENTS.md to a testing.B target,
 // one benchmark per figure/claim of the paper. The experiments themselves
 // live in internal/bench and self-verify against recomputation oracles;
 // each benchmark iteration runs one full experiment at quick scale. Run
 // cmd/rollbench for the full-scale tables.
+//
+// This is an external test package (rollingjoin_test): internal/bench
+// imports the facade for the MULTIVIEW experiment, so an in-package test
+// importing bench would cycle.
 
 import (
 	"testing"
 
+	rollingjoin "repro"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -245,7 +250,7 @@ func BenchmarkApplyWindow(b *testing.B) {
 	applier := core.NewApplier(mv, env.Dest, rp.HWM)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := applier.RollTo(CSN(i + 1)); err != nil {
+		if err := applier.RollTo(rollingjoin.CSN(i + 1)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/internal/capture"
+	"repro/internal/relalg"
 )
 
 // Checkpoint writes a snapshot of the committed database state (base
@@ -33,10 +34,7 @@ func (db *DB) Checkpoint(path string) error {
 	db.mu.Unlock()
 	var suspended []*View
 	for _, v := range views {
-		v.mu.Lock()
-		running := v.running
-		v.mu.Unlock()
-		if running {
+		if v.Maintaining() {
 			if err := v.StopPropagation(); err != nil {
 				return err
 			}
@@ -108,9 +106,11 @@ func (db *DB) Restore(path string) (CSN, error) {
 	if _, err := db.eng.RecoverFrom(offset); err != nil {
 		return 0, err
 	}
-	// Point capture past the snapshot and start it.
+	// Point capture past the snapshot, re-wire its progress notifications
+	// to the maintenance scheduler, and start it.
 	db.logCap = capture.NewLogCaptureAt(db.eng, offset, db.eng.LastCSN())
 	db.src = db.logCap
+	db.logCap.OnProgress(func(csn relalg.CSN) { db.sched.Notify(csn) })
 	db.logCap.Start()
 	return db.eng.LastCSN(), nil
 }

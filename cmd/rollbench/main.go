@@ -47,12 +47,13 @@ type experimentResult struct {
 
 // report is the top-level BENCH_rollbench.json document.
 type report struct {
-	Quick       bool                    `json:"quick"`
-	Experiments []experimentResult      `json:"experiments"`
-	PipelineAB  []bench.ABEntry         `json:"pipeline_ab,omitempty"`
-	CacheAB     []bench.CacheABEntry    `json:"cache_ab,omitempty"`
-	SnapshotAB  []bench.SnapshotABEntry `json:"snapshot_ab,omitempty"`
-	Failed      int                     `json:"failed"`
+	Quick       bool                     `json:"quick"`
+	Experiments []experimentResult       `json:"experiments"`
+	PipelineAB  []bench.ABEntry          `json:"pipeline_ab,omitempty"`
+	CacheAB     []bench.CacheABEntry     `json:"cache_ab,omitempty"`
+	SnapshotAB  []bench.SnapshotABEntry  `json:"snapshot_ab,omitempty"`
+	MultiViewAB []bench.MultiViewABEntry `json:"multiview_ab,omitempty"`
+	Failed      int                      `json:"failed"`
 }
 
 func main() {
@@ -65,6 +66,7 @@ func main() {
 	var abEntries []bench.ABEntry
 	var cacheEntries []bench.CacheABEntry
 	var snapshotEntries []bench.SnapshotABEntry
+	var multiViewEntries []bench.MultiViewABEntry
 	experiments := []experiment{
 		{"F4", "ComputeDelta query structure (Figure 4 / Equation 3)",
 			func(bench.Scale) (fmt.Stringer, error) { return bench.F4() }},
@@ -110,6 +112,12 @@ func main() {
 				snapshotEntries = entries
 				return tbl, err
 			}},
+		{"MULTIVIEW", "shared maintenance scheduler vs per-view polling at fan-out",
+			func(s bench.Scale) (fmt.Stringer, error) {
+				tbl, entries, err := bench.MultiViewAB(s)
+				multiViewEntries = entries
+				return tbl, err
+			}},
 	}
 
 	selected := map[string]bool{}
@@ -121,7 +129,7 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.ToUpper(strings.TrimSpace(id))
 			if !known[id] {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT MULTIVIEW)\n", id)
 				os.Exit(2)
 			}
 			selected[id] = true
@@ -165,6 +173,7 @@ func main() {
 	rep.PipelineAB = abEntries
 	rep.CacheAB = cacheEntries
 	rep.SnapshotAB = snapshotEntries
+	rep.MultiViewAB = multiViewEntries
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

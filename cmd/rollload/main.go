@@ -1,19 +1,26 @@
 // Command rollload is a load generator for the rolling-join system: it
-// drives a configurable workload (chain join or star schema) against a
-// maintained view and prints live throughput, maintenance, and contention
-// statistics — a small "sysbench" for asynchronous view maintenance.
+// drives a configurable workload (chain join or star schema) against one or
+// more maintained views and prints live throughput, maintenance, and
+// contention statistics — a small "sysbench" for asynchronous view
+// maintenance. Propagation runs on the event-driven maintenance scheduler
+// by default; -mode poll keeps the legacy per-view polling loops for
+// comparison.
 //
 //	rollload -workload star -dims 3 -rows 5000 -updates 20000 \
-//	         -interval 16 -report 1s
+//	         -views 4 -interval 16 -report 1s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/capture"
@@ -21,6 +28,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/relalg"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
@@ -30,11 +38,14 @@ func main() {
 	dims := flag.Int("dims", 2, "dimension tables in the star workload")
 	rows := flag.Int("rows", 2000, "initial rows per table (fact table for star)")
 	updates := flag.Int("updates", 10000, "update transactions to run")
+	views := flag.Int("views", 1, "number of identically defined maintained views")
+	mode := flag.String("mode", "sched", "maintenance driver: sched (event-driven scheduler) or poll (per-view 1ms polling loops)")
+	maint := flag.Int("maint", 4, "scheduler worker-pool size (sched mode)")
 	interval := flag.Int64("interval", 16, "propagation interval (commits)")
 	adaptive := flag.Int("adaptive", 0, "adaptive target rows per query (0 = fixed interval)")
 	indexed := flag.Bool("index", false, "create hash indexes on the join columns")
 	cached := flag.Bool("cache", false, "enable the join-state cache for propagation queries")
-	workers := flag.Int("workers", 1, "concurrent propagation queries (worker pool size)")
+	workers := flag.Int("workers", 1, "concurrent propagation queries per view (worker pool size)")
 	report := flag.Duration("report", time.Second, "live report period")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -47,13 +58,38 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*kind, *n, *dims, *rows, *updates, *interval, *adaptive, *indexed, *cached, *workers, *report, *seed); err != nil {
+	if err := run(*kind, *mode, *n, *dims, *rows, *updates, *views, *maint, *interval, *adaptive, *indexed, *cached, *workers, *report, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "rollload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, indexed, cached bool, workers int, report time.Duration, seed int64) error {
+// viewInst is one maintained view instance: its own view delta, executor,
+// rolling propagator, and applier over the shared workload definition.
+type viewInst struct {
+	exec    *core.Executor
+	mv      *core.MaterializedView
+	dest    *engine.DeltaTable
+	rp      *core.RollingPropagator
+	applier *core.Applier
+	job     *sched.Job // sched mode
+	wakeups atomic.Int64
+}
+
+func classify(err error) sched.Outcome {
+	switch {
+	case err == nil:
+		return sched.Progress
+	case errors.Is(err, core.ErrNoProgress):
+		return sched.Idle
+	case errors.Is(err, capture.ErrStopped):
+		return sched.Halt
+	default:
+		return sched.Fail
+	}
+}
+
+func run(kind, mode string, n, dims, rows, updates, views, maint int, interval int64, adaptive int, indexed, cached bool, workers int, report time.Duration, seed int64) error {
 	var w *workload.Workload
 	switch kind {
 	case "chain":
@@ -62,6 +98,12 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 		w = workload.StarSchema(dims, rows, rows/10+1, 20)
 	default:
 		return fmt.Errorf("unknown workload %q", kind)
+	}
+	if mode != "sched" && mode != "poll" {
+		return fmt.Errorf("unknown mode %q (sched or poll)", mode)
+	}
+	if views < 1 {
+		views = 1
 	}
 
 	db, err := engine.Open(engine.Config{})
@@ -87,32 +129,107 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 	if err != nil {
 		return err
 	}
-	dest, err := db.CreateStandaloneDelta("Δ"+w.View.Name, schema)
-	if err != nil {
-		return err
+	insts := make([]*viewInst, views)
+	for i := range insts {
+		name := "Δ" + w.View.Name
+		if i > 0 {
+			name = fmt.Sprintf("Δ%s#%d", w.View.Name, i)
+		}
+		dest, err := db.CreateStandaloneDelta(name, schema)
+		if err != nil {
+			return err
+		}
+		exec := core.NewExecutor(db, cap, w.View, dest)
+		exec.SetWorkers(workers)
+		exec.Metrics = core.NewExecMetrics()
+		mv, err := core.Materialize(db, w.View)
+		if err != nil {
+			return err
+		}
+		var policy core.IntervalPolicy
+		if adaptive > 0 {
+			policy = core.AdaptiveInterval(db, w.View, adaptive)
+		} else {
+			policy = core.FixedInterval(relalg.CSN(interval))
+		}
+		rp := core.NewRollingPropagator(exec, mv.MatTime(), policy)
+		insts[i] = &viewInst{
+			exec: exec, mv: mv, dest: dest, rp: rp,
+			applier: core.NewApplier(mv, dest, rp.HWM),
+		}
 	}
-	exec := core.NewExecutor(db, cap, w.View, dest)
-	exec.SetWorkers(workers)
-	exec.Metrics = core.NewExecMetrics()
-	mv, err := core.Materialize(db, w.View)
-	if err != nil {
-		return err
-	}
-	var policy core.IntervalPolicy
-	if adaptive > 0 {
-		policy = core.AdaptiveInterval(db, w.View, adaptive)
+
+	// Maintenance drivers: one scheduler for every view, or one polling
+	// goroutine per view (the pre-scheduler architecture).
+	var s *sched.Scheduler
+	pollStop := make(chan struct{})
+	pollErr := make(chan error, views)
+	var pollWG sync.WaitGroup
+	if mode == "sched" {
+		s = sched.New(maint)
+		defer s.Close()
+		for i, inst := range insts {
+			inst.job = s.Register(fmt.Sprintf("prop:%d", i), inst.rp.Step, sched.Options{
+				HWM:          inst.rp.HWM,
+				Classify:     classify,
+				WakeOnNotify: true,
+			})
+			inst.job.Start()
+		}
+		cap.OnProgress(func(csn relalg.CSN) { s.Notify(csn) })
 	} else {
-		policy = core.FixedInterval(relalg.CSN(interval))
+		for _, inst := range insts {
+			inst := inst
+			pollWG.Add(1)
+			go func() {
+				defer pollWG.Done()
+				for {
+					select {
+					case <-pollStop:
+						return
+					default:
+					}
+					inst.wakeups.Add(1)
+					if err := inst.rp.Step(); err != nil {
+						if errors.Is(err, core.ErrNoProgress) {
+							select {
+							case <-pollStop:
+								return
+							case <-time.After(time.Millisecond):
+							}
+							continue
+						}
+						pollErr <- err
+						return
+					}
+				}
+			}()
+		}
 	}
-	rp := core.NewRollingPropagator(exec, mv.MatTime(), policy)
-	applier := core.NewApplier(mv, dest, rp.HWM)
 
-	stop := make(chan struct{})
-	propDone := make(chan error, 1)
-	go func() { propDone <- rp.Run(stop) }()
+	fmt.Printf("workload=%s mode=%s views=%d view=%s relations=%d initial-rows=%d updates=%d\n\n",
+		kind, mode, views, w.View.Name, w.View.N(), rows, updates)
 
-	fmt.Printf("workload=%s view=%s relations=%d initial-rows=%d updates=%d\n\n",
-		kind, w.View.Name, w.View.N(), rows, updates)
+	minHWM := func() relalg.CSN {
+		h := insts[0].rp.HWM()
+		for _, inst := range insts[1:] {
+			if v := inst.rp.HWM(); v < h {
+				h = v
+			}
+		}
+		return h
+	}
+	sumStats := func() (fwd, comp, skipped, produced, batches int64) {
+		for _, inst := range insts {
+			es := inst.exec.Stats()
+			fwd += es.ForwardQueries
+			comp += es.CompensationQueries
+			skipped += es.SkippedEmpty
+			produced += es.RowsProduced
+			batches += es.BatchesProduced
+		}
+		return
+	}
 
 	driver := workload.NewDriver(db, w, seed+1)
 	lat := metrics.NewHistogram()
@@ -122,27 +239,27 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 	var reported, reportedPropRows int64
 	var last relalg.CSN
 	for i := 0; i < updates; i++ {
-		s := time.Now()
+		st := time.Now()
 		csn, err := driver.Step()
 		if err != nil {
-			close(stop)
 			return err
 		}
-		lat.Observe(time.Since(s))
+		lat.Observe(time.Since(st))
 		last = csn
 		if time.Since(lastReport) >= report {
-			es := exec.Stats()
+			fwd, comp, skipped, _, _ := sumStats()
 			done := driver.Committed()
 			since := time.Since(lastReport).Seconds()
 			rate := float64(done-reported) / since
-			propRows := exec.Metrics.Rows.Sum()
+			propRows := insts[0].exec.Metrics.Rows.Sum()
 			propRate := float64(propRows-reportedPropRows) / since
+			hwm := minHWM()
 			fmt.Printf("t=%-6s txns=%-7d rate=%7.0f/s  p99=%-9s hwm=%-7d lag=%-6d fwd=%-5d comp=%-5d skipped=%-5d prop=%6.0frows/s q-p99=%s\n",
 				time.Since(start).Round(time.Second), done, rate,
 				lat.Quantile(0.99).Round(time.Microsecond),
-				int64(rp.HWM()), int64(last-rp.HWM()),
-				es.ForwardQueries, es.CompensationQueries, es.SkippedEmpty,
-				propRate, exec.Metrics.Latency.Quantile(0.99).Round(time.Microsecond))
+				int64(hwm), int64(last-hwm),
+				fwd, comp, skipped,
+				propRate, insts[0].exec.Metrics.Latency.Quantile(0.99).Round(time.Microsecond))
 			lastReport = time.Now()
 			reported = done
 			reportedPropRows = propRows
@@ -150,49 +267,84 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 	}
 	wall := time.Since(start)
 
-	// Drain, refresh, and verify against recomputation.
-	for rp.HWM() < last {
-		time.Sleep(time.Millisecond)
-	}
-	close(stop)
-	if err := <-propDone; err != nil {
-		return err
-	}
-	if _, err := applier.RollToHWM(); err != nil {
-		return err
+	// Drain event-driven (sched mode waits on job progress broadcasts; poll
+	// mode's loops keep stepping until every HWM reaches the last commit),
+	// then stop maintenance, refresh, and verify against recomputation.
+	if mode == "sched" {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		for _, inst := range insts {
+			target := last
+			inst.job.Demand(target)
+			if err := inst.job.Await(ctx, func() bool { return inst.rp.HWM() >= target }); err != nil {
+				return err
+			}
+			if err := inst.job.Stop(); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, inst := range insts {
+			for inst.rp.HWM() < last {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		close(pollStop)
+		pollWG.Wait()
+		select {
+		case err := <-pollErr:
+			return err
+		default:
+		}
 	}
 	full, csn, err := core.FullRefresh(db, w.View)
 	if err != nil {
 		return err
 	}
-	for rp.HWM() < csn {
-		if err := rp.Step(); err != nil && err != core.ErrNoProgress {
+	ok := true
+	for _, inst := range insts {
+		for inst.rp.HWM() < csn {
+			if err := inst.rp.Step(); err != nil && !errors.Is(err, core.ErrNoProgress) {
+				return err
+			}
+		}
+		if err := inst.applier.RollTo(csn); err != nil {
 			return err
 		}
+		if !relalg.Equivalent(inst.mv.AsRelation(), full) {
+			ok = false
+		}
 	}
-	if err := applier.RollTo(csn); err != nil {
-		return err
-	}
-	ok := relalg.Equivalent(mv.AsRelation(), full)
 
 	// Reclaim dead row versions now that no snapshot needs them, so the
 	// summary shows the retain/collect cycle.
 	db.GCVersions()
 
-	es := exec.Stats()
+	fwd, comp, skipped, produced, batches := sumStats()
 	st := db.Stats()
 	fmt.Printf("\n--- summary ---\n")
 	fmt.Printf("updates:              %d in %s (%.0f/s)\n", updates, wall.Round(time.Millisecond), float64(updates)/wall.Seconds())
 	fmt.Printf("writer latency:       mean %s  p99 %s  max %s\n",
 		lat.Mean().Round(time.Microsecond), lat.Quantile(0.99).Round(time.Microsecond), lat.Max().Round(time.Microsecond))
-	fmt.Printf("propagation:          %d forward + %d compensation queries, %d skipped empty (%d workers)\n",
-		es.ForwardQueries, es.CompensationQueries, es.SkippedEmpty, exec.Workers())
+	fmt.Printf("propagation:          %d forward + %d compensation queries, %d skipped empty (%d views, %d workers)\n",
+		fwd, comp, skipped, views, insts[0].exec.Workers())
 	fmt.Printf("query latency:        mean %s  p99 %s  max %s\n",
-		exec.Metrics.Latency.Mean().Round(time.Microsecond),
-		exec.Metrics.Latency.Quantile(0.99).Round(time.Microsecond),
-		exec.Metrics.Latency.Max().Round(time.Microsecond))
+		insts[0].exec.Metrics.Latency.Mean().Round(time.Microsecond),
+		insts[0].exec.Metrics.Latency.Quantile(0.99).Round(time.Microsecond),
+		insts[0].exec.Metrics.Latency.Max().Round(time.Microsecond))
 	fmt.Printf("delta rows produced:  %d in %d batches (view now %d tuples)\n",
-		es.RowsProduced, es.BatchesProduced, mv.Cardinality())
+		produced, batches, insts[0].mv.Cardinality())
+	if mode == "sched" {
+		ss := s.Stats()
+		fmt.Printf("scheduler:            %d wakeups, %d steps, %d notifies, %d parks, %d backoffs (%d workers)\n",
+			ss.Wakeups, ss.Steps, ss.Notifies, ss.Parks, ss.Backoffs, ss.Workers)
+	} else {
+		var wakeups int64
+		for _, inst := range insts {
+			wakeups += inst.wakeups.Load()
+		}
+		fmt.Printf("polling:              %d wakeups across %d per-view loops\n", wakeups, views)
+	}
 	fmt.Printf("engine:               %d rows scanned, %d joined, %d index probes\n",
 		st.RowsScanned, st.RowsJoined, st.IndexProbes)
 	if cached {
@@ -208,7 +360,7 @@ func run(kind string, n, dims, rows, updates int, interval int64, adaptive int, 
 	fmt.Printf("snapshots:            %d opened, %d publish-barrier stalls, %d dead versions retained, %d collected\n",
 		st.SnapshotsOpened, st.PublishStalls, st.VersionsRetained, st.VersionsCollected)
 	if ok {
-		fmt.Println("verification:         rolled view matches full recomputation ✓")
+		fmt.Printf("verification:         %d rolled view(s) match full recomputation ✓\n", views)
 		return nil
 	}
 	return fmt.Errorf("verification FAILED: rolled view diverged from recomputation")

@@ -15,7 +15,6 @@ import (
 	"time"
 
 	rollingjoin "repro"
-	"repro/internal/core"
 )
 
 func main() {
@@ -118,7 +117,7 @@ func run(interval rollingjoin.CSN) (mean, p99 time.Duration, stallRate float64, 
 		}
 	}()
 	for view.HWM() < target {
-		if err := view.PropagateStep(); err != nil && !errors.Is(err, core.ErrNoProgress) {
+		if err := view.PropagateStep(); err != nil && !errors.Is(err, rollingjoin.ErrNoProgress) {
 			log.Fatal(err)
 		}
 	}

@@ -33,13 +33,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A materialized join view, maintained asynchronously in the background.
+	// A materialized join view, maintained asynchronously on the database's
+	// shared scheduler: propagation wakes when the capture process notifies
+	// it of new commits, and AutoRefresh schedules application too.
 	view, err := db.DefineView(rollingjoin.ViewSpec{
 		Name:   "order_prices",
 		Tables: []string{"orders", "items"},
 		Joins:  []rollingjoin.Join{{LeftTable: "orders", LeftColumn: "item", RightTable: "items", RightColumn: "item"}},
 		Output: []rollingjoin.OutCol{{Table: "orders", Column: "id"}, {Table: "items", Column: "price"}},
-	}, rollingjoin.Maintain{Interval: 4})
+	}, rollingjoin.Maintain{Interval: 4, AutoRefresh: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,8 +59,9 @@ func main() {
 		last = csn
 	}
 
-	// The propagate process catches up in the background; Refresh applies
-	// the accumulated, timestamped view delta.
+	// WaitForHWM blocks event-driven (no polling) until propagation has
+	// minted the view delta through the last commit; Refresh then applies
+	// any of it the auto-refresher hasn't already rolled in.
 	view.WaitForHWM(last)
 	reached, err := view.Refresh()
 	if err != nil {

@@ -88,7 +88,12 @@ func main() {
 		last = csn
 	}
 
-	view.WaitForHWM(last)
+	// CatchUp demands the high-water mark reach the last commit: the
+	// scheduler runs the view's propagation (bypassing any backpressure
+	// parking) and the call returns once the delta is complete there.
+	if err := view.CatchUp(last); err != nil {
+		log.Fatal(err)
+	}
 	if _, err := view.Refresh(); err != nil {
 		log.Fatal(err)
 	}

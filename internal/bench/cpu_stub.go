@@ -1,0 +1,9 @@
+//go:build !unix
+
+package bench
+
+import "time"
+
+// processCPU is unavailable off unix; MULTIVIEW reports idle CPU as 0 and
+// relies on the wakeup counters alone.
+func processCPU() (time.Duration, bool) { return 0, false }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package bench
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process's cumulative user+system CPU time. The
+// MULTIVIEW experiment diffs it across an idle window to show what per-view
+// polling burns while nothing is happening.
+func processCPU() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return time.Duration(ru.Utime.Nano()+ru.Stime.Nano()) * time.Nanosecond, true
+}

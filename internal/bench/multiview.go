@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rollingjoin "repro"
+	"repro/internal/metrics"
+)
+
+// MultiViewABEntry is one arm of the MULTIVIEW experiment in
+// machine-readable form (BENCH_rollbench.json).
+type MultiViewABEntry struct {
+	Arm           string  `json:"arm"`
+	Views         int     `json:"views"`
+	WriterTxns    int64   `json:"writer_txns"`
+	WriteNs       int64   `json:"write_ns"`
+	StalenessMean float64 `json:"staleness_mean_commits"`
+	StalenessMax  int64   `json:"staleness_max_commits"`
+	IdleWakeups   int64   `json:"idle_wakeups"`
+	IdleCPUNs     int64   `json:"idle_cpu_ns"`
+	Wakeups       int64   `json:"wakeups"`
+	Steps         int64   `json:"steps,omitempty"`
+	Notifies      int64   `json:"notifies,omitempty"`
+	Verified      bool    `json:"verified"`
+	WakeupsRatio  float64 `json:"idle_wakeups_ratio,omitempty"`
+}
+
+// MultiViewAB measures what the event-driven maintenance runtime buys over
+// per-view polling loops at fan-out: N identical join views maintained
+// while concurrent writers commit, once with per-view 1ms pollers driving
+// PropagateStep/Refresh (the pre-scheduler architecture) and once on the
+// shared scheduler with AutoRefresh (capture notifications wake jobs, idle
+// views cost nothing). Writers are paced below saturation so both arms see
+// the same commit timeline — staleness then measures maintenance latency,
+// not how badly the maintenance architecture starves the writers. Both
+// arms sample refresh staleness (commits between LastCSN and MatTime)
+// during the write phase, then measure wakeups and process CPU over an
+// idle window, and finally drain and verify every view against a fresh
+// recomputation oracle. The scheduler arm must match the oracle and take
+// strictly fewer idle wakeups than the polling arm.
+func MultiViewAB(s Scale) (*metrics.Table, []MultiViewABEntry, error) {
+	views := s.pick(8, 32)
+	writers := s.pick(2, 4)
+	txns := s.pick(240, 900)
+	rows := s.pick(60, 150)
+	idle := time.Duration(s.pick(120, 300)) * time.Millisecond
+
+	t := metrics.NewTable(
+		fmt.Sprintf("MULTIVIEW — %d views, %d writers × %d txns: per-view polling vs shared scheduler", views, writers, txns),
+		"maintenance", "staleness mean", "staleness max", "idle wakeups", "idle cpu", "total wakeups", "verified")
+
+	var entries []MultiViewABEntry
+	for _, scheduled := range []bool{false, true} {
+		e, err := runMultiViewArm(views, writers, txns, rows, idle, scheduled)
+		if err != nil {
+			return t, entries, err
+		}
+		t.AddRow(e.Arm,
+			fmt.Sprintf("%.1f commits", e.StalenessMean),
+			fmt.Sprintf("%d commits", e.StalenessMax),
+			e.IdleWakeups,
+			time.Duration(e.IdleCPUNs).Round(time.Microsecond),
+			e.Wakeups, pass(e.Verified))
+		entries = append(entries, e)
+		if !e.Verified {
+			return t, entries, fmt.Errorf("MULTIVIEW: %s arm diverged from recomputation", e.Arm)
+		}
+	}
+	poll, sch := &entries[0], &entries[1]
+	if poll.IdleWakeups > 0 {
+		sch.WakeupsRatio = float64(sch.IdleWakeups) / float64(poll.IdleWakeups)
+	}
+	t.AddRow("idle wakeups (sched/poll)", fmt.Sprintf("%.3fx", sch.WakeupsRatio), "", "", "", "", "")
+	if sch.IdleWakeups >= poll.IdleWakeups {
+		return t, entries, fmt.Errorf("MULTIVIEW: scheduler arm took %d idle wakeups, polling arm %d — event-driven runtime should idle quietly",
+			sch.IdleWakeups, poll.IdleWakeups)
+	}
+	return t, entries, nil
+}
+
+// runMultiViewArm runs one maintenance architecture end to end.
+func runMultiViewArm(views, writers, txns, rows int, idle time.Duration, scheduled bool) (MultiViewABEntry, error) {
+	const keys = 16
+	e := MultiViewABEntry{Arm: "per-view polling", Views: views}
+	if scheduled {
+		e.Arm = "shared scheduler"
+	}
+
+	db, err := rollingjoin.Open(rollingjoin.Options{})
+	if err != nil {
+		return e, err
+	}
+	defer db.Close()
+	for _, tbl := range []string{"R", "S"} {
+		if err := db.CreateTable(tbl,
+			rollingjoin.Col("k", rollingjoin.TypeInt),
+			rollingjoin.Col("v", rollingjoin.TypeInt)); err != nil {
+			return e, err
+		}
+		if err := db.CreateIndex(tbl, "k"); err != nil {
+			return e, err
+		}
+	}
+	if _, err := db.Update(func(tx *rollingjoin.Tx) error {
+		for i := 0; i < rows; i++ {
+			if err := tx.Insert("R", rollingjoin.Int(int64(i%keys)), rollingjoin.Int(int64(i))); err != nil {
+				return err
+			}
+			if err := tx.Insert("S", rollingjoin.Int(int64(i%keys)), rollingjoin.Int(int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return e, err
+	}
+
+	spec := func(i int) rollingjoin.ViewSpec {
+		return rollingjoin.ViewSpec{
+			Name:   fmt.Sprintf("mv%d", i),
+			Tables: []string{"R", "S"},
+			Joins:  []rollingjoin.Join{{LeftTable: "R", LeftColumn: "k", RightTable: "S", RightColumn: "k"}},
+			Output: []rollingjoin.OutCol{{Table: "R", Column: "v"}, {Table: "S", Column: "v"}},
+		}
+	}
+	opt := rollingjoin.Maintain{Interval: 8}
+	if scheduled {
+		opt.AutoRefresh = true
+	} else {
+		opt.Manual = true
+	}
+	vs := make([]*rollingjoin.View, views)
+	for i := range vs {
+		if vs[i], err = db.DefineView(spec(i), opt); err != nil {
+			return e, err
+		}
+	}
+
+	// Polling arm: the pre-scheduler architecture — every view owns two 1ms
+	// ticker goroutines, one stepping propagation and one refreshing the MV,
+	// each tick counting as one wakeup whether or not there is work.
+	var pollWakeups atomic.Int64
+	pollErr := make(chan error, 1)
+	var pollStop chan struct{}
+	var pollWG sync.WaitGroup
+	if !scheduled {
+		pollStop = make(chan struct{})
+		poller := func(step func() error) {
+			defer pollWG.Done()
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-pollStop:
+					return
+				case <-tick.C:
+				}
+				pollWakeups.Add(1)
+				if err := step(); err != nil {
+					select {
+					case pollErr <- err:
+					default:
+					}
+					return
+				}
+			}
+		}
+		for _, v := range vs {
+			v := v
+			pollWG.Add(2)
+			go poller(func() error {
+				for {
+					if err := v.PropagateStep(); err != nil {
+						if errors.Is(err, rollingjoin.ErrNoProgress) {
+							return nil
+						}
+						return err
+					}
+				}
+			})
+			go poller(func() error {
+				_, err := v.Refresh()
+				return err
+			})
+		}
+	}
+
+	// Write phase, with a sampler recording per-view refresh staleness.
+	var stalenessSum, stalenessCnt, stalenessMax atomic.Int64
+	sampleStop := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleStop:
+				return
+			case <-tick.C:
+			}
+			last := db.LastCSN()
+			for _, v := range vs {
+				lag := int64(last) - int64(v.MatTime())
+				if lag < 0 {
+					lag = 0
+				}
+				stalenessSum.Add(lag)
+				stalenessCnt.Add(1)
+				if m := stalenessMax.Load(); lag > m {
+					stalenessMax.CompareAndSwap(m, lag)
+				}
+			}
+		}
+	}()
+
+	writeStart := time.Now()
+	var writeWG sync.WaitGroup
+	writeErr := make(chan error, writers)
+	var lastCSN atomic.Int64
+	per := txns / writers
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			r := rand.New(rand.NewSource(int64(w)*97 + 7))
+			for i := 0; i < per; i++ {
+				tbl := "R"
+				if (w+i)%2 == 1 {
+					tbl = "S"
+				}
+				var csn rollingjoin.CSN
+				var err error
+				if i%8 == 7 {
+					// Occasional delete keeps negative delta counts in play.
+					csn, err = db.Update(func(tx *rollingjoin.Tx) error {
+						_, derr := tx.Delete(tbl, "k", rollingjoin.EQ, rollingjoin.Int(int64(r.Intn(keys))), 1)
+						return derr
+					})
+				} else {
+					csn, err = db.Update(func(tx *rollingjoin.Tx) error {
+						return tx.Insert(tbl, rollingjoin.Int(int64(r.Intn(keys))), rollingjoin.Int(int64(rows+w*per+i)))
+					})
+				}
+				if err != nil {
+					writeErr <- err
+					return
+				}
+				for {
+					prev := lastCSN.Load()
+					if int64(csn) <= prev || lastCSN.CompareAndSwap(prev, int64(csn)) {
+						break
+					}
+				}
+				// Pace the stream: an unpaced blast measures which
+				// architecture slows the writers down the most, not which
+				// keeps the views fresher at a given commit rate.
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(sampleStop)
+	sampleWG.Wait()
+	e.WriteNs = time.Since(writeStart).Nanoseconds()
+	select {
+	case err := <-writeErr:
+		return e, err
+	default:
+	}
+	last := rollingjoin.CSN(lastCSN.Load())
+	e.WriterTxns = int64(txns / writers * writers)
+	if cnt := stalenessCnt.Load(); cnt > 0 {
+		e.StalenessMean = float64(stalenessSum.Load()) / float64(cnt)
+	}
+	e.StalenessMax = stalenessMax.Load()
+
+	// Let maintenance settle to the final commit, then measure the idle
+	// window: with no new commits, the scheduler arm should not dispatch at
+	// all while the polling arm keeps ticking.
+	settle, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, v := range vs {
+		for v.MatTime() < last {
+			if err := settle.Err(); err != nil {
+				return e, fmt.Errorf("MULTIVIEW: %s arm did not settle to CSN %d (view %s at %d)", e.Arm, last, v.Name(), v.MatTime())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// Flush deferred collection first so the window charges the maintenance
+	// architecture's steady-state cost, not the write phase's GC tail.
+	runtime.GC()
+	idleWakeupsBefore := armWakeups(db, &pollWakeups, scheduled)
+	cpuBefore, cpuOK := processCPU()
+	time.Sleep(idle)
+	if cpuOK {
+		if cpuAfter, ok := processCPU(); ok {
+			e.IdleCPUNs = (cpuAfter - cpuBefore).Nanoseconds()
+		}
+	}
+	e.IdleWakeups = armWakeups(db, &pollWakeups, scheduled) - idleWakeupsBefore
+
+	// Tear down the arm's drivers, drain, verify against the oracle.
+	if !scheduled {
+		close(pollStop)
+		pollWG.Wait()
+		select {
+		case err := <-pollErr:
+			return e, err
+		default:
+		}
+	}
+	oracle, err := db.Query(spec(0))
+	if err != nil {
+		return e, err
+	}
+	want := multiset(oracle.Rows)
+	for _, v := range vs {
+		if err := v.CatchUp(last); err != nil {
+			return e, err
+		}
+		if _, err := v.Refresh(); err != nil {
+			return e, err
+		}
+	}
+	e.Verified = true
+	for _, v := range vs {
+		if !multisetEqual(multiset(v.Rows()), want) {
+			e.Verified = false
+			break
+		}
+	}
+	e.Wakeups = armWakeups(db, &pollWakeups, scheduled)
+	if scheduled {
+		st := db.Engine().Stats().Sched
+		e.Steps = st.Steps
+		e.Notifies = st.Notifies
+	}
+	return e, nil
+}
+
+// armWakeups reads the arm's wakeup counter: scheduler dispatches for the
+// scheduled arm, poller ticks for the polling arm.
+func armWakeups(db *rollingjoin.DB, poll *atomic.Int64, scheduled bool) int64 {
+	if scheduled {
+		return db.Engine().Stats().Sched.Wakeups
+	}
+	return poll.Load()
+}
+
+func multiset(rows []rollingjoin.Tuple) map[string]int {
+	m := make(map[string]int, len(rows))
+	for _, r := range rows {
+		m[fmt.Sprintf("%v", r)]++
+	}
+	return m
+}
+
+func multisetEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}

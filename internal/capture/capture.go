@@ -19,6 +19,7 @@
 package capture
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
@@ -110,26 +111,51 @@ func (u *UnitOfWork) Len() int {
 }
 
 // progressTracker implements the shared watermark + wait machinery.
+// Waiters block on a generation channel that is closed and replaced on
+// every advance (so waits compose with contexts), and subscribers —
+// the maintenance scheduler's Notify hook — are invoked outside the
+// lock after each advance.
 type progressTracker struct {
 	mu       sync.Mutex
-	cond     *sync.Cond
 	progress relalg.CSN
 	stopped  bool
+	gen      chan struct{}
+	subs     []func(relalg.CSN)
 }
 
 func newProgressTracker() *progressTracker {
-	p := &progressTracker{}
-	p.cond = sync.NewCond(&p.mu)
-	return p
+	return &progressTracker{gen: make(chan struct{})}
+}
+
+// subscribe registers fn to run after every watermark advance (and once
+// on stop, with the final watermark). Callbacks run on the capture
+// goroutine (log mode) or inside the writer's commit (trigger mode) and
+// must be fast and non-blocking.
+func (p *progressTracker) subscribe(fn func(relalg.CSN)) {
+	p.mu.Lock()
+	p.subs = append(p.subs, fn)
+	p.mu.Unlock()
+}
+
+func (p *progressTracker) notify(csn relalg.CSN, subs []func(relalg.CSN)) {
+	for _, fn := range subs {
+		fn(csn)
+	}
 }
 
 func (p *progressTracker) set(csn relalg.CSN) {
 	p.mu.Lock()
-	if csn > p.progress {
+	advanced := csn > p.progress
+	if advanced {
 		p.progress = csn
+		close(p.gen)
+		p.gen = make(chan struct{})
 	}
-	p.cond.Broadcast()
+	subs := p.subs
 	p.mu.Unlock()
+	if advanced {
+		p.notify(csn, subs)
+	}
 }
 
 func (p *progressTracker) get() relalg.CSN {
@@ -140,9 +166,17 @@ func (p *progressTracker) get() relalg.CSN {
 
 func (p *progressTracker) stop() {
 	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
 	p.stopped = true
-	p.cond.Broadcast()
+	close(p.gen)
+	p.gen = make(chan struct{})
+	subs := p.subs
+	final := p.progress
 	p.mu.Unlock()
+	p.notify(final, subs)
 }
 
 func (p *progressTracker) isStopped() bool {
@@ -152,13 +186,26 @@ func (p *progressTracker) isStopped() bool {
 }
 
 func (p *progressTracker) wait(csn relalg.CSN) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for p.progress < csn && !p.stopped {
-		p.cond.Wait()
+	return p.waitCtx(context.Background(), csn)
+}
+
+func (p *progressTracker) waitCtx(ctx context.Context, csn relalg.CSN) error {
+	for {
+		p.mu.Lock()
+		if p.progress >= csn {
+			p.mu.Unlock()
+			return nil
+		}
+		if p.stopped {
+			p.mu.Unlock()
+			return ErrStopped
+		}
+		ch := p.gen
+		p.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
 	}
-	if p.progress >= csn {
-		return nil
-	}
-	return ErrStopped
 }

@@ -1,6 +1,7 @@
 package capture
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -71,6 +72,16 @@ func (c *LogCapture) Progress() relalg.CSN { return c.track.get() }
 
 // WaitProgress implements Source.
 func (c *LogCapture) WaitProgress(csn relalg.CSN) error { return c.track.wait(csn) }
+
+// WaitProgressContext is WaitProgress with cancellation.
+func (c *LogCapture) WaitProgressContext(ctx context.Context, csn relalg.CSN) error {
+	return c.track.waitCtx(ctx, csn)
+}
+
+// OnProgress registers fn to run after every watermark advance (and once
+// when capture stops) — the event-driven wakeup hook for the maintenance
+// scheduler. fn runs on the capture goroutine and must not block.
+func (c *LogCapture) OnProgress(fn func(relalg.CSN)) { c.track.subscribe(fn) }
 
 // RowsCaptured returns the number of delta rows appended so far.
 func (c *LogCapture) RowsCaptured() int64 { return c.rowsCaptured.Load() }

@@ -1,6 +1,7 @@
 package capture
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -68,6 +69,11 @@ func (c *TriggerCapture) Progress() relalg.CSN {
 // the CSN without passing through the sink, so the wait polls the combined
 // watermark rather than blocking on sink notifications alone.
 func (c *TriggerCapture) WaitProgress(csn relalg.CSN) error {
+	return c.WaitProgressContext(context.Background(), csn)
+}
+
+// WaitProgressContext is WaitProgress with cancellation.
+func (c *TriggerCapture) WaitProgressContext(ctx context.Context, csn relalg.CSN) error {
 	for {
 		if c.Progress() >= csn {
 			return nil
@@ -75,9 +81,18 @@ func (c *TriggerCapture) WaitProgress(csn relalg.CSN) error {
 		if c.track.isStopped() {
 			return ErrStopped
 		}
-		time.Sleep(time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
 	}
 }
+
+// OnProgress registers fn to run after every captured commit — the
+// event-driven wakeup hook for the maintenance scheduler. fn runs inside
+// the writer's commit critical section and must not block.
+func (c *TriggerCapture) OnProgress(fn func(relalg.CSN)) { c.track.subscribe(fn) }
 
 // UOW returns the unit-of-work table.
 func (c *TriggerCapture) UOW() *UnitOfWork { return c.uow }

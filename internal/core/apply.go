@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/relalg"
@@ -191,14 +192,17 @@ func Materialize(db *engine.DB, view *ViewDef) (*MaterializedView, error) {
 
 // Applier is the apply driver of Figure 11: it rolls a materialized view
 // forward by applying timestamped view delta windows, independently of the
-// propagation process.
+// propagation process. Roll operations are serialized internally, so the
+// scheduler's apply job and on-demand Refresh calls from any number of
+// goroutines compose without double-applying a window.
 type Applier struct {
 	mv    *MaterializedView
 	delta *engine.DeltaTable
 	hwm   func() relalg.CSN
 
-	rowsApplied  int64
-	refreshCount int64
+	mu           sync.Mutex // serializes roll operations
+	rowsApplied  atomic.Int64
+	refreshCount atomic.Int64
 }
 
 // NewApplier creates an apply driver over the view delta. hwm reports the
@@ -211,16 +215,22 @@ func NewApplier(mv *MaterializedView, delta *engine.DeltaTable, hwm func() relal
 func (a *Applier) View() *MaterializedView { return a.mv }
 
 // RowsApplied returns the cumulative number of delta rows applied.
-func (a *Applier) RowsApplied() int64 { return a.rowsApplied }
+func (a *Applier) RowsApplied() int64 { return a.rowsApplied.Load() }
 
 // Refreshes returns the number of completed refresh operations.
-func (a *Applier) Refreshes() int64 { return a.refreshCount }
+func (a *Applier) Refreshes() int64 { return a.refreshCount.Load() }
 
 // RollTo performs point-in-time refresh: it advances the materialized view
 // from its current materialization time to target, which may be any CSN up
 // to the high-water mark ("roll the materialized view forward to any time
 // point up to the view delta's high-water mark").
 func (a *Applier) RollTo(target relalg.CSN) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rollLocked(target)
+}
+
+func (a *Applier) rollLocked(target relalg.CSN) error {
 	cur := a.mv.MatTime()
 	if target < cur {
 		return fmt.Errorf("%w: at %d, asked for %d", ErrBackward, cur, target)
@@ -235,19 +245,22 @@ func (a *Applier) RollTo(target relalg.CSN) error {
 	if err := a.mv.applyRows(win.Rows, target); err != nil {
 		return err
 	}
-	a.rowsApplied += int64(win.Len())
-	a.refreshCount++
+	a.rowsApplied.Add(int64(win.Len()))
+	a.refreshCount.Add(1)
 	return nil
 }
 
 // RollToHWM refreshes the view to the current high-water mark and returns
-// the time reached.
+// the time reached. The watermark is read and applied under one lock, so
+// concurrent callers cannot race a stale read into ErrBackward.
 func (a *Applier) RollToHWM() (relalg.CSN, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	hwm := a.hwm()
-	if hwm < a.mv.MatTime() {
-		return a.mv.MatTime(), nil
+	if cur := a.mv.MatTime(); hwm <= cur {
+		return cur, nil
 	}
-	return hwm, a.RollTo(hwm)
+	return hwm, a.rollLocked(hwm)
 }
 
 // PruneApplied discards view delta rows at or below the materialization

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/relalg"
@@ -316,9 +317,28 @@ func TestRollingOracleNoSkip(t *testing.T) {
 func TestRollingConcurrentWithWriters(t *testing.T) {
 	env := newEnv(t, chainView("v", 2))
 	rp := NewRollingPropagator(env.exec, 0, PerRelationIntervals(3, 8))
+	// Drive Step on a separate goroutine the way the scheduler does:
+	// event-free polling here, since the test owns both sides.
 	stop := make(chan struct{})
 	errs := make(chan error, 1)
-	go func() { errs <- rp.Run(stop) }()
+	go func() {
+		for {
+			select {
+			case <-stop:
+				errs <- nil
+				return
+			default:
+			}
+			if err := rp.Step(); err != nil {
+				if errors.Is(err, ErrNoProgress) {
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				errs <- err
+				return
+			}
+		}
+	}()
 
 	r := rand.New(rand.NewSource(41))
 	last := env.randomHistory(r, 60, 5)

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"sync"
-	"time"
 
 	"repro/internal/relalg"
 )
@@ -90,28 +89,9 @@ func (p *Propagator) Step() error {
 	return nil
 }
 
-// Run loops Step until stop is closed, idling briefly whenever capture has
-// no new work. Either the propagation or the apply process "can be
-// suspended during periods of high system load" (Section 1); Run simply
-// returns when stopped and can be restarted later from the same state.
-func (p *Propagator) Run(stop <-chan struct{}) error {
-	for {
-		select {
-		case <-stop:
-			return nil
-		default:
-		}
-		err := p.Step()
-		switch {
-		case err == nil:
-		case errors.Is(err, ErrNoProgress):
-			select {
-			case <-stop:
-				return nil
-			case <-time.After(time.Millisecond):
-			}
-		default:
-			return err
-		}
-	}
-}
+// There is deliberately no Run loop here: continuous propagation is
+// scheduled by internal/sched, which drives Step event-driven on capture
+// notifications instead of sleep-polling. Step's key scheduling property:
+// when it returns ErrNoProgress, the high-water mark equals the last
+// interval boundary, so waiting for capture progress to reach HWM()+1 is
+// exactly the event that makes the next Step productive.

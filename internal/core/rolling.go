@@ -1,9 +1,7 @@
 package core
 
 import (
-	"errors"
 	"sync"
-	"time"
 
 	"repro/internal/relalg"
 )
@@ -201,26 +199,8 @@ func (r *RollingPropagator) Step() error {
 	return nil
 }
 
-// Run loops Step until stop is closed, idling briefly when capture has no
-// new work.
-func (r *RollingPropagator) Run(stop <-chan struct{}) error {
-	for {
-		select {
-		case <-stop:
-			return nil
-		default:
-		}
-		err := r.Step()
-		switch {
-		case err == nil:
-		case errors.Is(err, ErrNoProgress):
-			select {
-			case <-stop:
-				return nil
-			case <-time.After(time.Millisecond):
-			}
-		default:
-			return err
-		}
-	}
-}
+// There is deliberately no Run loop here: continuous propagation is
+// scheduled by internal/sched (event-driven on capture notifications).
+// When Step returns ErrNoProgress every relation sits at the last minted
+// boundary, so HWM() equals that boundary and capture progress reaching
+// HWM()+1 is exactly the event that unblocks the next Step.

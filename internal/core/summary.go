@@ -79,6 +79,10 @@ func (sv *SummaryView) MatTime() relalg.CSN {
 func (sv *SummaryView) RollTo(target relalg.CSN) error {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
+	return sv.rollLocked(target)
+}
+
+func (sv *SummaryView) rollLocked(target relalg.CSN) error {
 	if target < sv.matTime {
 		return fmt.Errorf("%w: at %d, asked for %d", ErrBackward, sv.matTime, target)
 	}
@@ -136,13 +140,16 @@ func (sv *SummaryView) RollTo(target relalg.CSN) error {
 	return nil
 }
 
-// RollToHWM refreshes to the current high-water mark.
+// RollToHWM refreshes to the current high-water mark. The watermark is
+// read and applied under one lock so concurrent refreshes compose.
 func (sv *SummaryView) RollToHWM() (relalg.CSN, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
 	h := sv.hwm()
-	if h < sv.MatTime() {
-		return sv.MatTime(), nil
+	if h <= sv.matTime {
+		return sv.matTime, nil
 	}
-	return h, sv.RollTo(h)
+	return h, sv.rollLocked(h)
 }
 
 // Rows returns the groups sorted by key.

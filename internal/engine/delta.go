@@ -151,6 +151,23 @@ func (d *DeltaTable) PrunedThrough() relalg.CSN {
 	return d.pruned
 }
 
+// PendingAfter counts rows with ts > after, stopping once limit rows have
+// been seen (limit <= 0 counts all). It is the scheduler's backpressure
+// probe — pending un-applied view-delta rows between the materialization
+// time and the high-water mark — so it never materializes rows and walks
+// at most limit entries.
+func (d *DeltaTable) PendingAfter(after relalg.CSN, limit int) int {
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	n := 0
+	start := deltaKey(after+1, 0)
+	d.tree.Ascend(start, nil, func(_, _ []byte) bool {
+		n++
+		return limit <= 0 || n < limit
+	})
+	return n
+}
+
 // MaxTS returns the largest timestamp present (NullTS if empty).
 func (d *DeltaTable) MaxTS() relalg.CSN {
 	d.latch.RLock()

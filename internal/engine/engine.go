@@ -107,6 +107,11 @@ type DB struct {
 	// Snapshot counters (see readview.go).
 	snapshotsOpened atomic.Int64
 	versionsGCed    atomic.Int64
+
+	// schedStats, when set, reports the maintenance scheduler's counters
+	// (the scheduler lives above the engine; the hook pulls its snapshot
+	// into Stats so one call covers the whole instance).
+	schedStats atomic.Pointer[func() SchedStats]
 }
 
 // DefaultForceMaterialize seeds every newly opened DB's force-materialize
@@ -293,12 +298,40 @@ type Stats struct {
 	VersionsRetained  int64
 	VersionsCollected int64
 
+	// Sched holds the maintenance scheduler's counters when one is
+	// attached (SetSchedStats); zero otherwise.
+	Sched SchedStats
+
 	Txn txn.Stats
 }
 
+// SchedStats is a snapshot of the maintenance scheduler attached to this
+// database instance: worker-pool shape, event-driven wakeup activity, and
+// the summed apply backlog that drives backpressure.
+type SchedStats struct {
+	Workers     int
+	Jobs        int
+	JobsRunning int
+	Notifies    int64 // capture progress notifications delivered
+	Wakeups     int64 // job dispatches onto a worker
+	Steps       int64 // propagation/apply steps executed
+	Parks       int64 // backpressure parks
+	Backoffs    int64 // error backoffs
+	BacklogRows int64 // pending un-applied view-delta rows (summed)
+}
+
+// SetSchedStats attaches the maintenance scheduler's stats snapshot
+// function; Stats() consults it on every call.
+func (db *DB) SetSchedStats(fn func() SchedStats) { db.schedStats.Store(&fn) }
+
 // Stats returns a snapshot of engine counters.
 func (db *DB) Stats() Stats {
+	var ss SchedStats
+	if fn := db.schedStats.Load(); fn != nil {
+		ss = (*fn)()
+	}
 	return Stats{
+		Sched:              ss,
 		RowsScanned:        db.rowsScanned.Load(),
 		RowsJoined:         db.rowsJoined.Load(),
 		QueriesRun:         db.queriesRun.Load(),

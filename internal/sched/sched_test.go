@@ -1,0 +1,437 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/relalg"
+)
+
+var errNoWork = errors.New("no work")
+
+// classifyNoWork treats errNoWork as Idle, everything else per default.
+func classifyNoWork(err error) Outcome {
+	switch {
+	case err == nil:
+		return Progress
+	case errors.Is(err, errNoWork):
+		return Idle
+	default:
+		return Fail
+	}
+}
+
+// counterJob steps until its work counter drains, then reports Idle.
+type counterJob struct {
+	work atomic.Int64
+	done atomic.Int64
+}
+
+func (c *counterJob) step() error {
+	if c.work.Load() <= 0 {
+		return errNoWork
+	}
+	c.work.Add(-1)
+	c.done.Add(1)
+	return nil
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNotifyDrivesSteps(t *testing.T) {
+	s := New(2)
+	defer s.Close()
+	c := &counterJob{}
+	j := s.Register("count", c.step, Options{Classify: classifyNoWork, WakeOnNotify: true})
+	j.Start()
+
+	// Starting performs an initial catch-up pass: no work yet → Idle.
+	waitFor(t, func() bool { return !jobState2(j, stateRunnable, stateRunning) })
+
+	c.work.Store(10)
+	s.Notify(1)
+	waitFor(t, func() bool { return c.done.Load() == 10 })
+	if got := s.Stats().Notifies; got != 1 {
+		t.Fatalf("notifies = %d, want 1", got)
+	}
+	if s.Stats().Steps == 0 {
+		t.Fatal("no steps recorded")
+	}
+}
+
+// jobState2 reports whether j is in one of the given states.
+func jobState2(j *Job, states ...jobState) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, st := range states {
+		if j.state == st {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIdleJobDoesNotSpin(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	c := &counterJob{}
+	j := s.Register("idle", c.step, Options{Classify: classifyNoWork, WakeOnNotify: true})
+	j.Start()
+	waitFor(t, func() bool { return jobState2(j, stateIdle) })
+
+	before := s.Stats().Steps
+	time.Sleep(50 * time.Millisecond)
+	if after := s.Stats().Steps; after != before {
+		t.Fatalf("idle job stepped %d times without a notify", after-before)
+	}
+}
+
+func TestStartStopIdempotentUnderChurn(t *testing.T) {
+	s := New(4)
+	defer s.Close()
+	c := &counterJob{}
+	c.work.Store(1 << 30)
+	j := s.Register("churn", c.step, Options{Classify: classifyNoWork, WakeOnNotify: true})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				if (i+k)%2 == 0 {
+					j.Start()
+				} else {
+					if err := j.Stop(); err != nil {
+						t.Errorf("Stop: %v", err)
+					}
+				}
+				s.Notify(relalg.CSN(k))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Stop must drain: after the final Stop no step may still be running.
+	if err := j.Stop(); err != nil {
+		t.Fatalf("final Stop: %v", err)
+	}
+	before := c.done.Load()
+	time.Sleep(20 * time.Millisecond)
+	if after := c.done.Load(); after != before {
+		t.Fatalf("job stepped after Stop returned (%d → %d)", before, after)
+	}
+	if j.Running() {
+		t.Fatal("job still running after Stop")
+	}
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	j := s.Register("never", func() error { return errNoWork }, Options{Classify: classifyNoWork})
+	if err := j.Stop(); err != nil {
+		t.Fatalf("Stop without Start: %v", err)
+	}
+	if j.Running() {
+		t.Fatal("unstarted job reports running")
+	}
+}
+
+func TestBackoffThenFailStop(t *testing.T) {
+	boom := errors.New("boom")
+	var attempts atomic.Int64
+	s := New(1)
+	defer s.Close()
+	j := s.Register("fail", func() error {
+		attempts.Add(1)
+		return boom
+	}, Options{Classify: classifyNoWork, WakeOnNotify: true})
+	j.Start()
+
+	waitFor(t, func() bool { return !j.Running() })
+	if err := j.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want %v", err, boom)
+	}
+	// maxRetries failures back off, the next fail-stops.
+	if got := attempts.Load(); got != maxRetries+1 {
+		t.Fatalf("attempts = %d, want %d", got, maxRetries+1)
+	}
+	if s.Stats().Backoffs != maxRetries {
+		t.Fatalf("backoffs = %d, want %d", s.Stats().Backoffs, maxRetries)
+	}
+	// A failed job reports its error from Await and from Stop.
+	if err := j.Await(context.Background(), func() bool { return false }); !errors.Is(err, boom) {
+		t.Fatalf("Await on failed job = %v, want %v", err, boom)
+	}
+	if err := j.Stop(); !errors.Is(err, boom) {
+		t.Fatalf("Stop on failed job = %v, want %v", err, boom)
+	}
+	// Start clears the error and retries.
+	attempts.Store(0)
+	j.Start()
+	waitFor(t, func() bool { return attempts.Load() > 0 })
+}
+
+func TestTransientErrorRecovers(t *testing.T) {
+	boom := errors.New("boom")
+	var n atomic.Int64
+	s := New(1)
+	defer s.Close()
+	j := s.Register("flaky", func() error {
+		if n.Add(1) <= 3 {
+			return boom // fails thrice, then succeeds once, then idles
+		}
+		if n.Load() == 4 {
+			return nil
+		}
+		return errNoWork
+	}, Options{Classify: classifyNoWork, WakeOnNotify: true})
+	j.Start()
+	waitFor(t, func() bool { return n.Load() >= 5 })
+	if !j.Running() {
+		t.Fatalf("job fail-stopped on a recoverable error: %v", j.Err())
+	}
+}
+
+func TestHaltStopsCleanly(t *testing.T) {
+	halted := errors.New("source stopped")
+	s := New(1)
+	defer s.Close()
+	j := s.Register("halt", func() error { return halted }, Options{
+		Classify: func(err error) Outcome {
+			if errors.Is(err, halted) {
+				return Halt
+			}
+			return classifyNoWork(err)
+		},
+		WakeOnNotify: true,
+	})
+	j.Start()
+	waitFor(t, func() bool { return !j.Running() })
+	if err := j.Err(); err != nil {
+		t.Fatalf("halt is clean, Err = %v", err)
+	}
+}
+
+func TestCloseDrainsInFlightStep(t *testing.T) {
+	release := make(chan struct{})
+	var entered, finished atomic.Bool
+	s := New(1)
+	j := s.Register("slow", func() error {
+		entered.Store(true)
+		<-release
+		finished.Store(true)
+		return errNoWork
+	}, Options{Classify: classifyNoWork, WakeOnNotify: true})
+	j.Start()
+	waitFor(t, func() bool { return entered.Load() })
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a step was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the step finished")
+	}
+	if !finished.Load() {
+		t.Fatal("in-flight step was not drained")
+	}
+}
+
+func TestAwaitContextCancel(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	j := s.Register("wait", func() error { return errNoWork }, Options{Classify: classifyNoWork})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := j.Await(ctx, func() bool { return false }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Await = %v, want deadline exceeded", err)
+	}
+}
+
+func TestAwaitSeesProgress(t *testing.T) {
+	s := New(2)
+	defer s.Close()
+	c := &counterJob{}
+	j := s.Register("prog", c.step, Options{Classify: classifyNoWork, WakeOnNotify: true})
+	j.Start()
+
+	done := make(chan error, 1)
+	go func() { done <- j.Await(context.Background(), func() bool { return c.done.Load() >= 5 }) }()
+	c.work.Store(5)
+	s.Notify(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Await: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Await never observed progress")
+	}
+}
+
+func TestAwaitErrClosedOnShutdown(t *testing.T) {
+	s := New(1)
+	j := s.Register("orphan", func() error { return errNoWork }, Options{Classify: classifyNoWork})
+	done := make(chan error, 1)
+	go func() { done <- j.Await(context.Background(), func() bool { return false }) }()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Await = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Await hung across Close")
+	}
+}
+
+func TestBackpressureParksAndDemandBypasses(t *testing.T) {
+	var hwm atomic.Int64     // producer watermark
+	var backlog atomic.Int64 // unconsumed output
+	s := New(1)
+	defer s.Close()
+	j := s.Register("bp", func() error {
+		hwm.Add(1)
+		backlog.Add(1)
+		return nil
+	}, Options{
+		Classify:     classifyNoWork,
+		WakeOnNotify: true,
+		HWM:          func() relalg.CSN { return relalg.CSN(hwm.Load()) },
+		Backlog: func(limit int) int {
+			b := backlog.Load()
+			if int64(limit) < b {
+				return limit
+			}
+			return int(b)
+		},
+		MaxBacklog: 10,
+	})
+	j.Start()
+
+	// The job produces until the backlog limit parks it.
+	waitFor(t, func() bool { return jobState2(j, stateParked) })
+	if got := backlog.Load(); got > 10+maxStepsPerQuantum {
+		t.Fatalf("backlog overshot the limit: %d", got)
+	}
+	if s.Stats().Parks == 0 {
+		t.Fatal("no park recorded")
+	}
+	parkedAt := hwm.Load()
+	s.Notify(1) // notifications alone must not override backpressure
+	time.Sleep(20 * time.Millisecond)
+	if jobState2(j, stateRunning, stateRunnable) && hwm.Load() > parkedAt+maxStepsPerQuantum {
+		t.Fatal("parked job kept producing without demand")
+	}
+
+	// A demanded target past the watermark overrides parking…
+	target := hwm.Load() + 50
+	j.Demand(relalg.CSN(target))
+	waitFor(t, func() bool { return hwm.Load() >= target })
+
+	// …and consuming the backlog un-parks it for good.
+	waitFor(t, func() bool { return jobState2(j, stateParked) })
+	backlog.Store(0)
+	j.Kick()
+	pre := hwm.Load()
+	waitFor(t, func() bool { return hwm.Load() > pre })
+}
+
+func TestStepNowSerializesWithScheduledSteps(t *testing.T) {
+	var inStep atomic.Int32
+	var overlap atomic.Bool
+	c := &counterJob{}
+	c.work.Store(1 << 30)
+	s := New(4)
+	defer s.Close()
+	step := func() error {
+		if inStep.Add(1) > 1 {
+			overlap.Store(true)
+		}
+		defer inStep.Add(-1)
+		return c.step()
+	}
+	j := s.Register("serial", step, Options{Classify: classifyNoWork, WakeOnNotify: true})
+	j.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				if err := j.StepNow(); err != nil && !errors.Is(err, errNoWork) {
+					t.Errorf("StepNow: %v", err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		s.Notify(relalg.CSN(i))
+	}
+	wg.Wait()
+	if overlap.Load() {
+		t.Fatal("two steps of the same job ran concurrently")
+	}
+}
+
+func TestWorkerPoolFairness(t *testing.T) {
+	// Two long-running jobs on one worker must interleave via quantum
+	// yields rather than one starving the other.
+	var a, b counterJob
+	a.work.Store(1 << 30)
+	b.work.Store(1 << 30)
+	s := New(1)
+	defer s.Close()
+	ja := s.Register("a", a.step, Options{Classify: classifyNoWork, WakeOnNotify: true})
+	jb := s.Register("b", b.step, Options{Classify: classifyNoWork, WakeOnNotify: true})
+	ja.Start()
+	jb.Start()
+	s.Notify(1)
+	waitFor(t, func() bool { return a.done.Load() > 1000 && b.done.Load() > 1000 })
+}
+
+func TestUnregisterStopsJob(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	c := &counterJob{}
+	c.work.Store(1 << 30)
+	j := s.Register("gone", c.step, Options{Classify: classifyNoWork, WakeOnNotify: true})
+	j.Start()
+	s.Notify(1)
+	waitFor(t, func() bool { return c.done.Load() > 0 })
+	s.Unregister(j)
+	if got := s.Stats().Jobs; got != 0 {
+		t.Fatalf("jobs after unregister = %d", got)
+	}
+	before := c.done.Load()
+	s.Notify(2)
+	time.Sleep(20 * time.Millisecond)
+	if after := c.done.Load(); after != before {
+		t.Fatal("unregistered job still stepping")
+	}
+}

@@ -1,6 +1,8 @@
 package workload_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/relalg"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
@@ -59,23 +62,39 @@ func TestStarSchemaDivergenceRepro(t *testing.T) {
 	rp := core.NewRollingPropagator(exec, mv.MatTime(), core.FixedInterval(16))
 	applier := core.NewApplier(mv, dest, rp.HWM)
 
-	// Propagator on its own goroutine, driver on this one — the concurrent
-	// shape under which the divergence manifests.
-	stop := make(chan struct{})
-	propDone := make(chan error, 1)
-	go func() { propDone <- rp.Run(stop) }()
+	// Propagation on the maintenance scheduler, driver on this goroutine —
+	// the concurrent shape under which the divergence manifests.
+	s := sched.New(1)
+	defer s.Close()
+	job := s.Register("prop", rp.Step, sched.Options{
+		Classify: func(err error) sched.Outcome {
+			switch {
+			case err == nil:
+				return sched.Progress
+			case errors.Is(err, core.ErrNoProgress):
+				return sched.Idle
+			case errors.Is(err, capture.ErrStopped):
+				return sched.Halt
+			default:
+				return sched.Fail
+			}
+		},
+		WakeOnNotify: true,
+	})
+	cap.OnProgress(func(csn relalg.CSN) { s.Notify(csn) })
+	job.Start()
 
 	driver := workload.NewDriver(db, w, 2)
 	last, err := driver.Run(updates)
 	if err != nil {
-		close(stop)
 		t.Fatal(err)
 	}
-	for rp.HWM() < last {
-		time.Sleep(time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := job.Await(ctx, func() bool { return rp.HWM() >= last }); err != nil {
+		t.Fatal(err)
 	}
-	close(stop)
-	if err := <-propDone; err != nil {
+	if err := job.Stop(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/relalg"
+	"repro/internal/sched"
 	"repro/internal/tuple"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -39,11 +40,23 @@ type Options struct {
 	SyncOnCommit bool
 	// Capture selects the delta capture architecture.
 	Capture CaptureMode
+	// MaintenanceWorkers sizes the shared worker pool that runs every
+	// view's propagation and application jobs. Default 4, minimum 1.
+	MaintenanceWorkers int
 }
 
-// DB is an embedded database with incremental view maintenance.
+// defaultMaintenanceWorkers sizes the shared pool when Options leaves it
+// zero: enough for propagate and apply to overlap across a handful of
+// views without commandeering the writers' cores.
+const defaultMaintenanceWorkers = 4
+
+// DB is an embedded database with incremental view maintenance. All view
+// maintenance — propagation and application for every view — runs on one
+// event-driven scheduler with a bounded worker pool, woken by capture
+// progress notifications rather than polling.
 type DB struct {
 	eng     *engine.DB
+	sched   *sched.Scheduler
 	logCap  *capture.LogCapture
 	trigCap *capture.TriggerCapture
 	src     capture.Source
@@ -70,10 +83,30 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{eng: eng, views: make(map[string]*View)}
+	workers := opts.MaintenanceWorkers
+	if workers <= 0 {
+		workers = defaultMaintenanceWorkers
+	}
+	db.sched = sched.New(workers)
+	eng.SetSchedStats(func() engine.SchedStats {
+		st := db.sched.Stats()
+		return engine.SchedStats{
+			Workers:     st.Workers,
+			Jobs:        st.Jobs,
+			JobsRunning: st.Running,
+			Notifies:    st.Notifies,
+			Wakeups:     st.Wakeups,
+			Steps:       st.Steps,
+			Parks:       st.Parks,
+			Backoffs:    st.Backoffs,
+			BacklogRows: st.Backlog,
+		}
+	})
 	switch opts.Capture {
 	case CaptureTrigger:
 		db.trigCap = capture.NewTriggerCapture(eng)
 		db.src = db.trigCap
+		db.trigCap.OnProgress(func(csn relalg.CSN) { db.sched.Notify(csn) })
 	default:
 		// The capture goroutine starts lazily (on the first view definition
 		// or Source access) so that a reopened database can re-create its
@@ -81,6 +114,7 @@ func Open(opts Options) (*DB, error) {
 		// is consumed.
 		db.logCap = capture.NewLogCapture(eng)
 		db.src = db.logCap
+		db.logCap.OnProgress(func(csn relalg.CSN) { db.sched.Notify(csn) })
 	}
 	return db, nil
 }
@@ -104,21 +138,11 @@ func (db *DB) Recover() (CSN, error) {
 	return db.eng.Recover()
 }
 
-// Close stops view maintenance, the capture process, and the engine.
+// Close stops view maintenance, the capture process, and the engine. The
+// scheduler shuts down first, draining every in-flight propagation and
+// apply step before the engine goes away.
 func (db *DB) Close() error {
-	db.mu.Lock()
-	views := make([]*View, 0, len(db.views))
-	for _, v := range db.views {
-		views = append(views, v)
-	}
-	unions := append([]*UnionView(nil), db.unions...)
-	db.mu.Unlock()
-	for _, v := range views {
-		v.StopPropagation()
-	}
-	for _, uv := range unions {
-		uv.StopPropagation()
-	}
+	db.sched.Close()
 	err := db.eng.Close()
 	if db.logCap != nil {
 		db.logCap.Wait()
@@ -454,6 +478,16 @@ type Maintain struct {
 	// the adaptive policy: each relation's interval is sized so a forward
 	// query covers roughly this many delta rows.
 	AdaptiveTargetRows int
+	// AutoRefresh also schedules the apply side: the materialized tuples
+	// roll forward automatically as the high-water mark advances, instead
+	// of waiting for Refresh calls.
+	AutoRefresh bool
+	// MaxBacklog, when positive, parks propagation while more than this
+	// many un-applied view delta rows sit between the materialization time
+	// and the high-water mark (backpressure: don't mint deltas faster than
+	// anyone consumes them). Refresh, AutoRefresh, and CatchUp/WaitForHWM
+	// demand all un-park it.
+	MaxBacklog int
 }
 
 // DefineView materializes the view, wires up its delta table and
@@ -494,25 +528,41 @@ func (db *DB) DefineView(spec ViewSpec, opt Maintain) (*View, error) {
 		policy = core.FixedInterval(interval)
 	}
 
-	v := &View{db: db, def: def, exec: exec, mv: mv, dest: dest}
+	v := &View{def: def, exec: exec, mv: mv, dest: dest}
+	var step func() error
+	var hwm func() CSN
 	switch opt.Algorithm {
 	case AlgorithmStepwise:
 		p := core.NewPropagator(exec, mv.MatTime(), policy)
-		v.stepper = p.Step
-		v.hwm = p.HWM
-		v.runner = p.Run
+		step, hwm = p.Step, p.HWM
 	default:
 		rp := core.NewRollingPropagator(exec, mv.MatTime(), policy)
-		v.stepper = rp.Step
-		v.hwm = rp.HWM
-		v.runner = rp.Run
+		step, hwm = rp.Step, rp.HWM
 		v.rolling = rp
 	}
-	v.applier = core.NewApplier(mv, dest, v.hwm)
+	v.applier = core.NewApplier(mv, dest, hwm)
+	v.maintained = maintained{db: db, hwm: hwm}
+	v.prop = db.sched.Register("prop:"+def.Name, step, sched.Options{
+		HWM:      hwm,
+		Classify: classifyMaintenance,
+		Backlog: func(limit int) int {
+			return dest.PendingAfter(mv.MatTime(), limit)
+		},
+		MaxBacklog:   opt.MaxBacklog,
+		OnProgress:   v.notifyDeps,
+		WakeOnNotify: true,
+	})
+	if opt.AutoRefresh {
+		v.apply = db.sched.Register("apply:"+def.Name, applyStep(v.applier), sched.Options{
+			Classify:   classifyMaintenance,
+			OnProgress: v.prop.Kick, // applying shrank the backlog
+		})
+	}
 
 	db.mu.Lock()
 	if _, dup := db.views[def.Name]; dup {
 		db.mu.Unlock()
+		v.unregisterJobs()
 		return nil, fmt.Errorf("rollingjoin: view %q already defined", def.Name)
 	}
 	db.views[def.Name] = v
@@ -545,7 +595,9 @@ func (db *DB) DropView(name string) error {
 	if !ok {
 		return fmt.Errorf("rollingjoin: no view %q", name)
 	}
-	return v.StopPropagation()
+	err := v.StopPropagation()
+	v.unregisterJobs()
+	return err
 }
 
 // CSNAt translates a wall-clock instant to the last CSN committed at or

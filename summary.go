@@ -4,14 +4,19 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // Summary is a maintained aggregation (GROUP BY + COUNT(*)/SUM) over a
 // view, implemented with the summary-delta method: the view's timestamped
 // delta doubles as the aggregate delta, so summaries support the same
-// point-in-time refresh as the views they summarize.
+// point-in-time refresh as the views they summarize. A summary can also be
+// rolled forward automatically (StartAutoRefresh): its refresh job rides
+// the same maintenance scheduler as the view, kicked whenever the view's
+// propagation makes progress.
 type Summary struct {
 	inner *core.SummaryView
+	job   *sched.Job
 }
 
 // SummaryRow is one group of a summary: the group key, COUNT(*), and one
@@ -50,8 +55,26 @@ func (v *View) DefineSummary(name string, groupBy, sums []string) (*Summary, err
 	if err != nil {
 		return nil, err
 	}
-	return &Summary{inner: inner}, nil
+	sum := &Summary{inner: inner}
+	// Registered but not started: Refresh stays on-demand until the caller
+	// opts into StartAutoRefresh. The view's propagation job kicks it on
+	// every HWM advance.
+	sum.job = v.db.sched.Register("summary:"+name, summaryStep(inner), sched.Options{
+		Classify: classifyMaintenance,
+	})
+	v.addDep(sum.job)
+	return sum, nil
 }
+
+// StartAutoRefresh schedules the summary's refresh as a maintenance job:
+// the aggregates roll forward automatically whenever the underlying view's
+// high-water mark advances. Idempotent.
+func (s *Summary) StartAutoRefresh() { s.job.Start() }
+
+// StopAutoRefresh suspends automatic refresh, draining any in-flight roll
+// before returning. It returns the job's terminal error if refresh
+// fail-stopped. Idempotent; StartAutoRefresh resumes.
+func (s *Summary) StopAutoRefresh() error { return s.job.Stop() }
 
 // Refresh rolls the summary to the view delta high-water mark.
 func (s *Summary) Refresh() (CSN, error) { return s.inner.RollToHWM() }

@@ -3,28 +3,24 @@ package rollingjoin
 import (
 	"errors"
 	"fmt"
-	"sync"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/relalg"
+	"repro/internal/sched"
 )
 
 // UnionView is a materialized view defined as the multiset union of several
 // SPJ branches with identical output arity (the paper's union extension).
 // Each branch propagates independently into a shared timestamped view
 // delta; the union's high-water mark is the minimum across branches, and
-// point-in-time refresh works exactly as for plain views.
+// point-in-time refresh works exactly as for plain views. Like View it is
+// a thin handle over jobs on the database's maintenance scheduler.
 type UnionView struct {
-	db    *DB
-	inner *core.UnionView
-	mv    *core.MaterializedView
-	apply *core.Applier
+	maintained
 
-	mu      sync.Mutex
-	stop    chan struct{}
-	done    chan error
-	running bool
+	inner   *core.UnionView
+	mv      *core.MaterializedView
+	applier *core.Applier
 }
 
 // DefineUnionView creates and materializes a union view over the branch
@@ -73,8 +69,25 @@ func (db *DB) DefineUnionView(name string, branches []ViewSpec, opt Maintain) (*
 	if err != nil {
 		return nil, err
 	}
-	uv := &UnionView{db: db, inner: inner, mv: mv}
-	uv.apply = core.NewApplier(mv, inner.Dest(), inner.HWM)
+	uv := &UnionView{inner: inner, mv: mv}
+	uv.applier = core.NewApplier(mv, inner.Dest(), inner.HWM)
+	uv.maintained = maintained{db: db, hwm: inner.HWM}
+	uv.prop = db.sched.Register("prop:"+name, inner.Step, sched.Options{
+		HWM:      inner.HWM,
+		Classify: classifyMaintenance,
+		Backlog: func(limit int) int {
+			return inner.Dest().PendingAfter(mv.MatTime(), limit)
+		},
+		MaxBacklog:   opt.MaxBacklog,
+		OnProgress:   uv.notifyDeps,
+		WakeOnNotify: true,
+	})
+	if opt.AutoRefresh {
+		uv.apply = db.sched.Register("apply:"+name, applyStep(uv.applier), sched.Options{
+			Classify:   classifyMaintenance,
+			OnProgress: uv.prop.Kick,
+		})
+	}
 	db.mu.Lock()
 	db.unions = append(db.unions, uv)
 	db.mu.Unlock()
@@ -109,94 +122,19 @@ func (uv *UnionView) Rows() []Tuple {
 }
 
 // Refresh rolls the union view to its high-water mark.
-func (uv *UnionView) Refresh() (CSN, error) { return uv.apply.RollToHWM() }
+func (uv *UnionView) Refresh() (CSN, error) {
+	t, err := uv.applier.RollToHWM()
+	uv.prop.Kick()
+	return t, err
+}
 
 // RefreshTo rolls the union view to an exact commit.
-func (uv *UnionView) RefreshTo(t CSN) error { return uv.apply.RollTo(t) }
-
-// PropagateStep advances the branch with the lowest high-water mark.
-func (uv *UnionView) PropagateStep() error { return uv.inner.Step() }
+func (uv *UnionView) RefreshTo(t CSN) error {
+	err := uv.applier.RollTo(t)
+	uv.prop.Kick()
+	return err
+}
 
 // Relation exposes the materialized contents for experiments and the SQL
 // layer.
 func (uv *UnionView) Relation() *relalg.Relation { return uv.mv.AsRelation() }
-
-// CatchUp advances propagation until the high-water mark reaches target,
-// stepping synchronously when no background propagator is running.
-func (uv *UnionView) CatchUp(target CSN) error {
-	for uv.HWM() < target {
-		uv.mu.Lock()
-		running := uv.running
-		uv.mu.Unlock()
-		if running {
-			time.Sleep(100 * time.Microsecond)
-			continue
-		}
-		if err := uv.inner.Step(); err != nil {
-			if errors.Is(err, core.ErrNoProgress) {
-				time.Sleep(100 * time.Microsecond)
-				continue
-			}
-			return err
-		}
-	}
-	return nil
-}
-
-// WaitForHWM blocks until the high-water mark reaches target (propagation
-// must be running or driven concurrently).
-func (uv *UnionView) WaitForHWM(target CSN) {
-	for uv.HWM() < target {
-		time.Sleep(100 * time.Microsecond)
-	}
-}
-
-// StartPropagation launches background propagation across the branches.
-func (uv *UnionView) StartPropagation() {
-	uv.mu.Lock()
-	defer uv.mu.Unlock()
-	if uv.running {
-		return
-	}
-	uv.stop = make(chan struct{})
-	uv.done = make(chan error, 1)
-	uv.running = true
-	stop := uv.stop
-	go func() {
-		for {
-			select {
-			case <-stop:
-				uv.done <- nil
-				return
-			default:
-			}
-			if err := uv.inner.Step(); err != nil {
-				if errors.Is(err, core.ErrNoProgress) {
-					select {
-					case <-stop:
-						uv.done <- nil
-						return
-					case <-time.After(time.Millisecond):
-					}
-					continue
-				}
-				uv.done <- err
-				return
-			}
-		}
-	}()
-}
-
-// StopPropagation suspends propagation; it can be restarted.
-func (uv *UnionView) StopPropagation() error {
-	uv.mu.Lock()
-	if !uv.running {
-		uv.mu.Unlock()
-		return nil
-	}
-	close(uv.stop)
-	uv.running = false
-	done := uv.done
-	uv.mu.Unlock()
-	return <-done
-}

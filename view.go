@@ -2,7 +2,6 @@ package rollingjoin
 
 import (
 	"errors"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -18,30 +17,28 @@ var (
 	// ErrBackward is returned when a refresh target precedes the view's
 	// materialized state.
 	ErrBackward = core.ErrBackward
+	// ErrNoProgress is returned by PropagateStep when capture has nothing
+	// new: the high-water mark already sits at the last minted boundary.
+	ErrNoProgress = core.ErrNoProgress
 )
 
 // View is a materialized select-project-join view under asynchronous
 // incremental maintenance. Propagation (computing the timestamped view
 // delta) and application (rolling the materialized tuples forward) are
-// fully decoupled: propagation usually runs in a background goroutine,
-// while Refresh / RefreshTo apply accumulated changes on demand.
+// fully decoupled: both run as jobs on the database's maintenance
+// scheduler — propagation woken by capture notifications, application
+// either on demand (Refresh / RefreshTo) or scheduled (Maintain.AutoRefresh).
+// The View itself is a thin handle over those jobs.
 type View struct {
-	db   *DB
+	maintained
+
 	def  *core.ViewDef
 	exec *core.Executor
 	mv   *core.MaterializedView
 	dest *engine.DeltaTable
 
 	applier *core.Applier
-	stepper func() error
-	hwm     func() CSN
-	runner  func(stop <-chan struct{}) error
 	rolling *core.RollingPropagator // nil for AlgorithmStepwise
-
-	mu      sync.Mutex
-	stop    chan struct{}
-	done    chan error
-	running bool
 }
 
 // Name returns the view name.
@@ -76,12 +73,20 @@ func (v *View) Relation() *relalg.Relation { return v.mv.AsRelation() }
 
 // Refresh rolls the materialized view to the current high-water mark and
 // returns the CSN reached.
-func (v *View) Refresh() (CSN, error) { return v.applier.RollToHWM() }
+func (v *View) Refresh() (CSN, error) {
+	t, err := v.applier.RollToHWM()
+	v.prop.Kick() // applying shrinks the backlog; un-park propagation
+	return t, err
+}
 
 // RefreshTo performs point-in-time refresh: it rolls the view to exactly
 // the given CSN, which must lie between the current materialization time
 // and the high-water mark.
-func (v *View) RefreshTo(t CSN) error { return v.applier.RollTo(t) }
+func (v *View) RefreshTo(t CSN) error {
+	err := v.applier.RollTo(t)
+	v.prop.Kick()
+	return err
+}
 
 // RefreshToTime rolls the view to the last transaction committed at or
 // before the given wall-clock instant ("refresh the view to its 5:00 pm
@@ -95,73 +100,7 @@ func (v *View) RefreshToTime(t time.Time) (CSN, error) {
 		// The view is already past that instant.
 		return 0, core.ErrBackward
 	}
-	return csn, v.applier.RollTo(csn)
-}
-
-// WaitForHWM blocks until the high-water mark reaches target. Propagation
-// must be running (or driven concurrently via PropagateStep).
-func (v *View) WaitForHWM(target CSN) {
-	for v.hwm() < target {
-		time.Sleep(100 * time.Microsecond)
-	}
-}
-
-// PropagateStep runs one propagation step synchronously (Manual mode). It
-// returns core.ErrNoProgress when capture has nothing new.
-func (v *View) PropagateStep() error { return v.stepper() }
-
-// CatchUp advances propagation until the high-water mark reaches target.
-// With a background propagator running it simply waits; otherwise it drives
-// propagation steps synchronously. Refresh(CatchUp(db.LastCSN())) is
-// "refresh the view to now".
-func (v *View) CatchUp(target CSN) error {
-	for v.hwm() < target {
-		v.mu.Lock()
-		running := v.running
-		v.mu.Unlock()
-		if running {
-			time.Sleep(100 * time.Microsecond)
-			continue
-		}
-		if err := v.stepper(); err != nil {
-			if errors.Is(err, core.ErrNoProgress) {
-				time.Sleep(100 * time.Microsecond) // capture catching up
-				continue
-			}
-			return err
-		}
-	}
-	return nil
-}
-
-// StartPropagation launches the background propagation goroutine; it is a
-// no-op if already running.
-func (v *View) StartPropagation() {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.running {
-		return
-	}
-	v.stop = make(chan struct{})
-	v.done = make(chan error, 1)
-	v.running = true
-	go func() { v.done <- v.runner(v.stop) }()
-}
-
-// StopPropagation suspends the propagation process (it can be restarted —
-// the paper's "either process can be suspended during periods of high
-// system load"). It returns the propagation loop's terminal error, if any.
-func (v *View) StopPropagation() error {
-	v.mu.Lock()
-	if !v.running {
-		v.mu.Unlock()
-		return nil
-	}
-	close(v.stop)
-	v.running = false
-	done := v.done
-	v.mu.Unlock()
-	return <-done
+	return csn, v.RefreshTo(csn)
 }
 
 // PruneApplied discards view delta rows that can no longer be needed
@@ -175,10 +114,14 @@ type ViewStats struct {
 	SkippedEmptyWindows int64
 	DeltaRowsProduced   int64
 	DeltaRowsPending    int
-	RowsApplied         int64
-	Refreshes           int64
-	HWM                 CSN
-	MatTime             CSN
+	// DeltaRowsUnapplied counts view delta rows between the materialization
+	// time and the high-water mark: the apply backlog driving the
+	// scheduler's backpressure signal.
+	DeltaRowsUnapplied int
+	RowsApplied        int64
+	Refreshes          int64
+	HWM                CSN
+	MatTime            CSN
 }
 
 // Stats returns a snapshot of the view's maintenance counters.
@@ -190,6 +133,7 @@ func (v *View) Stats() ViewStats {
 		SkippedEmptyWindows: es.SkippedEmpty,
 		DeltaRowsProduced:   es.RowsProduced,
 		DeltaRowsPending:    v.dest.Len(),
+		DeltaRowsUnapplied:  v.dest.PendingAfter(v.mv.MatTime(), 0),
 		RowsApplied:         v.applier.RowsApplied(),
 		Refreshes:           v.applier.Refreshes(),
 		HWM:                 v.hwm(),
