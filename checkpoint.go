@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/capture"
+	"repro/internal/fault"
 	"repro/internal/relalg"
 )
 
@@ -54,20 +56,55 @@ func (db *DB) Checkpoint(path string) error {
 	}
 	offset := db.eng.Log().Size()
 
-	f, err := os.Create(path)
+	// Publish atomically: write and sync a temp file in the target
+	// directory, rename it over the destination, then fsync the directory
+	// so the rename itself is durable. A crash at any point leaves either
+	// the old checkpoint or the new one — never a torn file at path.
+	if err := fault.Inject(fault.PointCheckpointWrite); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := db.eng.WriteSnapshot(f, offset); err != nil {
 		f.Close()
-		os.Remove(path)
+		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := fault.Inject(fault.PointCheckpointRename); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a preceding rename inside it survives a
+// crash. Filesystems that refuse to sync directories are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
 }
 
 // Restore loads a snapshot written by Checkpoint into a freshly opened
@@ -89,10 +126,9 @@ func (db *DB) Restore(path string) (CSN, error) {
 	if db.logCap.Started() {
 		return 0, errors.New("rollingjoin: restore must run before any view definition or Source access")
 	}
-	// Claim the once so ensureCapture never starts the stale reader; the
-	// replacement capture below is started explicitly.
-	db.captureOnce.Do(func() {})
-
+	if err := fault.Inject(fault.PointRestore); err != nil {
+		return 0, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -106,8 +142,12 @@ func (db *DB) Restore(path string) (CSN, error) {
 	if _, err := db.eng.RecoverFrom(offset); err != nil {
 		return 0, err
 	}
-	// Point capture past the snapshot, re-wire its progress notifications
-	// to the maintenance scheduler, and start it.
+	// Claim the capture start only now that the snapshot is loaded: a
+	// failed Restore must leave the lazy start usable (the caller may fall
+	// back to Recover plus normal capture). The stale reader positioned at
+	// offset 0 is replaced with one pointed past the snapshot, its progress
+	// notifications re-wired to the maintenance scheduler, and started.
+	db.claimCapture()
 	db.logCap = capture.NewLogCaptureAt(db.eng, offset, db.eng.LastCSN())
 	db.src = db.logCap
 	db.logCap.OnProgress(func(csn relalg.CSN) { db.sched.Notify(csn) })

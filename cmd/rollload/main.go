@@ -26,6 +26,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/relalg"
 	"repro/internal/sched"
@@ -48,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 1, "concurrent propagation queries per view (worker pool size)")
 	report := flag.Duration("report", time.Second, "live report period")
 	seed := flag.Int64("seed", 1, "workload random seed")
+	faults := flag.Int64("faults", 0, "chaos smoke: inject a transient I/O error every Nth view apply (sched mode only)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -58,7 +60,7 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*kind, *mode, *n, *dims, *rows, *updates, *views, *maint, *interval, *adaptive, *indexed, *cached, *workers, *report, *seed); err != nil {
+	if err := run(*kind, *mode, *n, *dims, *rows, *updates, *views, *maint, *interval, *adaptive, *indexed, *cached, *workers, *report, *seed, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "rollload:", err)
 		os.Exit(1)
 	}
@@ -67,13 +69,14 @@ func main() {
 // viewInst is one maintained view instance: its own view delta, executor,
 // rolling propagator, and applier over the shared workload definition.
 type viewInst struct {
-	exec    *core.Executor
-	mv      *core.MaterializedView
-	dest    *engine.DeltaTable
-	rp      *core.RollingPropagator
-	applier *core.Applier
-	job     *sched.Job // sched mode
-	wakeups atomic.Int64
+	exec     *core.Executor
+	mv       *core.MaterializedView
+	dest     *engine.DeltaTable
+	rp       *core.RollingPropagator
+	applier  *core.Applier
+	job      *sched.Job // sched mode
+	applyJob *sched.Job // sched mode with -faults: background apply under injected errors
+	wakeups  atomic.Int64
 }
 
 func classify(err error) sched.Outcome {
@@ -89,7 +92,7 @@ func classify(err error) sched.Outcome {
 	}
 }
 
-func run(kind, mode string, n, dims, rows, updates, views, maint int, interval int64, adaptive int, indexed, cached bool, workers int, report time.Duration, seed int64) error {
+func run(kind, mode string, n, dims, rows, updates, views, maint int, interval int64, adaptive int, indexed, cached bool, workers int, report time.Duration, seed, faults int64) error {
 	var w *workload.Workload
 	switch kind {
 	case "chain":
@@ -101,6 +104,9 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 	}
 	if mode != "sched" && mode != "poll" {
 		return fmt.Errorf("unknown mode %q (sched or poll)", mode)
+	}
+	if faults > 0 && mode != "sched" {
+		return errors.New("-faults requires -mode sched (errors flow into the scheduler's backoff path)")
 	}
 	if views < 1 {
 		views = 1
@@ -168,12 +174,35 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 	if mode == "sched" {
 		s = sched.New(maint)
 		defer s.Close()
+		if faults > 0 {
+			// Chaos smoke: every Nth apply fails with a transient I/O error,
+			// which must ride the scheduler's retry/backoff path instead of
+			// killing the run.
+			fault.Set(fault.PointApply, fault.ErrEvery(faults, fault.ErrInjected))
+		}
 		for i, inst := range insts {
-			inst.job = s.Register(fmt.Sprintf("prop:%d", i), inst.rp.Step, sched.Options{
+			opts := sched.Options{
 				HWM:          inst.rp.HWM,
 				Classify:     classify,
 				WakeOnNotify: true,
-			})
+			}
+			if faults > 0 {
+				inst := inst
+				inst.applyJob = s.Register(fmt.Sprintf("apply:%d", i), func() error {
+					before := inst.mv.MatTime()
+					t, err := inst.applier.RollToHWM()
+					if err != nil {
+						return err
+					}
+					if t <= before {
+						return core.ErrNoProgress
+					}
+					return nil
+				}, sched.Options{Classify: classify})
+				inst.applyJob.Start()
+				opts.OnProgress = inst.applyJob.Kick
+			}
+			inst.job = s.Register(fmt.Sprintf("prop:%d", i), inst.rp.Step, opts)
 			inst.job.Start()
 		}
 		cap.OnProgress(func(csn relalg.CSN) { s.Notify(csn) })
@@ -266,6 +295,7 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 		}
 	}
 	wall := time.Since(start)
+	var faultTrips int64
 
 	// Drain event-driven (sched mode waits on job progress broadcasts; poll
 	// mode's loops keep stepping until every HWM reaches the last commit),
@@ -283,6 +313,23 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 				return err
 			}
 		}
+		for _, inst := range insts {
+			if inst.applyJob == nil {
+				continue
+			}
+			inst.applyJob.Kick()
+			target := inst.rp.HWM()
+			if err := inst.applyJob.Await(ctx, func() bool { return inst.mv.MatTime() >= target }); err != nil {
+				return err
+			}
+			if err := inst.applyJob.Stop(); err != nil {
+				return err
+			}
+		}
+		// Verification below recomputes without injection. Reset clears the
+		// counters too, so note the trip count first for the summary.
+		faultTrips = fault.Trips(fault.PointApply)
+		fault.Reset()
 	} else {
 		for _, inst := range insts {
 			for inst.rp.HWM() < last {
@@ -338,6 +385,10 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 		ss := s.Stats()
 		fmt.Printf("scheduler:            %d wakeups, %d steps, %d notifies, %d parks, %d backoffs (%d workers)\n",
 			ss.Wakeups, ss.Steps, ss.Notifies, ss.Parks, ss.Backoffs, ss.Workers)
+		if faults > 0 {
+			fmt.Printf("faults:               %d transient errors injected at %s (every %d applies), %d backoff retries absorbed them\n",
+				faultTrips, fault.PointApply, faults, ss.Backoffs)
+		}
 	} else {
 		var wakeups int64
 		for _, inst := range insts {

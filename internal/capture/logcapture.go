@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/relalg"
 	"repro/internal/tuple"
 	"repro/internal/wal"
@@ -159,6 +160,9 @@ func (c *LogCapture) apply(rec *wal.Record) error {
 	case wal.TypeAbort:
 		delete(c.pending, rec.TxID)
 	case wal.TypeCommit:
+		if err := fault.Inject(fault.PointCaptureReplay); err != nil {
+			return err
+		}
 		for _, ch := range c.pending[rec.TxID] {
 			if !c.db.HasDelta(ch.table) {
 				continue

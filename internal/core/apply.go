@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/relalg"
 	"repro/internal/tuple"
 )
@@ -231,6 +232,9 @@ func (a *Applier) RollTo(target relalg.CSN) error {
 }
 
 func (a *Applier) rollLocked(target relalg.CSN) error {
+	if err := fault.Inject(fault.PointApply); err != nil {
+		return err
+	}
 	cur := a.mv.MatTime()
 	if target < cur {
 		return fmt.Errorf("%w: at %d, asked for %d", ErrBackward, cur, target)

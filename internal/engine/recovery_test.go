@@ -60,6 +60,88 @@ func TestRecoverReplaysCommittedOnly(t *testing.T) {
 	}
 }
 
+func TestRecoverFromOffsetWithAbortsAndTornCommit(t *testing.T) {
+	dev := wal.NewMemDevice()
+	db, err := Open(Config{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateTable("r", ordersSchema())
+
+	// Prefix: a committed transaction the offset replay must skip (its
+	// effects would come from a snapshot in the real restore path).
+	tx := db.Begin()
+	tx.Insert("r", tuple.Tuple{tuple.Int(1), tuple.String_("prefix")})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	offset := db.Log().Size()
+
+	// Suffix: an aborted transaction interleaved with two committed ones,
+	// all self-contained (no references to prefix rows).
+	txA := db.Begin()
+	txA.Insert("r", tuple.Tuple{tuple.Int(2), tuple.String_("keep")})
+	txB := db.Begin()
+	txB.Insert("r", tuple.Tuple{tuple.Int(3), tuple.String_("aborted")})
+	if _, err := txA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txB.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	txC := db.Begin()
+	txC.Insert("r", tuple.Tuple{tuple.Int(4), tuple.String_("keep too")})
+	durable, err := txC.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preTorn := dev.Size()
+
+	// A final transaction whose commit record is torn mid-frame: the crash
+	// hit during the append, so the commit never became durable.
+	txD := db.Begin()
+	txD.Insert("r", tuple.Tuple{tuple.Int(5), tuple.String_("torn")})
+	if _, err := txD.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	full := make([]byte, dev.Size())
+	if _, err := dev.ReadAt(full, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the final frame (the commit record of txD): keep the
+	// pre-torn content plus half of what followed.
+	cut := preTorn + (dev.Size()-preTorn)/2
+	if cut <= preTorn || cut >= dev.Size() {
+		t.Fatalf("cut %d outside torn range (%d, %d)", cut, preTorn, dev.Size())
+	}
+
+	db2, err := Open(Config{Device: wal.NewMemDeviceFrom(full[:cut])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	db2.CreateTable("r", ordersSchema())
+	csn, err := db2.RecoverFrom(offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csn != durable {
+		t.Fatalf("recovered csn %d, want last durable commit %d", csn, durable)
+	}
+	rtx := db2.Begin()
+	rel, _ := rtx.Scan("r", nil)
+	rtx.Commit()
+	ids := map[int64]bool{}
+	for _, row := range rel.Rows {
+		ids[row.Tuple[0].AsInt()] = true
+	}
+	// Only the committed suffix rows: no prefix (before offset), no aborted
+	// row, no torn-commit row.
+	if len(ids) != 2 || !ids[2] || !ids[4] {
+		t.Fatalf("recovered rows %v, want {2, 4}", ids)
+	}
+}
+
 func TestRecoverUnknownTableFails(t *testing.T) {
 	dev := wal.NewMemDevice()
 	db, _ := Open(Config{Device: dev})

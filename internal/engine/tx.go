@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/relalg"
 	"repro/internal/tuple"
 	"repro/internal/txn"
@@ -195,6 +196,20 @@ func (tx *Tx) Commit() (relalg.CSN, error) {
 				stamp(csn)
 			}
 			tx.stamps = nil
+		}
+	}
+	if fault.Enabled() {
+		// The publish phase runs after the commit record is durable and
+		// cannot fail, so the failpoint's error is discarded: it exists for
+		// crash actions, which freeze the device between the durable commit
+		// and the in-memory version stamps. Wrapping only under fault.Enabled
+		// keeps the common path free of the extra closure allocation.
+		stamps := publish
+		publish = func(csn relalg.CSN) {
+			_ = fault.Inject(fault.PointPublish)
+			if stamps != nil {
+				stamps(csn)
+			}
 		}
 	}
 	return tx.db.tm.CommitPublish(tx.inner, func(csn relalg.CSN, wall time.Time) error {

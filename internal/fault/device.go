@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockDevice is the byte store the fault Device wraps. It is structurally
+// identical to wal.Device (this package cannot import wal, which imports it
+// back), so *wal.MemDevice and *wal.FileDevice satisfy it directly.
+type BlockDevice interface {
+	Append(p []byte) error
+	ReadAt(p []byte, off int64) (int, error)
+	Size() int64
+	Sync() error
+	Truncate(n int64) error
+	Close() error
+}
+
+// Device wraps a BlockDevice with crash-fault simulation. It tracks the
+// synced prefix (the bytes a crash is guaranteed to preserve), can tear the
+// final append (write only a prefix of it, as a power loss mid-write
+// would), flip bits seen by readers (media corruption), and inject
+// transient errors via the dev/append, dev/sync, and dev/read failpoints.
+//
+// Freeze simulates the instant of a crash: every later Append and Sync
+// fails with ErrCrash and persists nothing. CrashImage then produces the
+// bytes a post-crash reopen would observe.
+type Device struct {
+	mu       sync.Mutex
+	inner    BlockDevice
+	synced   int64
+	frozen   bool
+	tearNext int            // -1 = off; else keep this many bytes of the next append
+	flips    map[int64]byte // read overlay: offset -> xor mask
+}
+
+// NewDevice wraps inner; existing content counts as synced.
+func NewDevice(inner BlockDevice) *Device {
+	return &Device{inner: inner, synced: inner.Size(), tearNext: -1, flips: make(map[int64]byte)}
+}
+
+// Append implements wal.Device. A pending torn-write tears this append and
+// freezes the device: a torn final append is a crash by definition.
+func (d *Device) Append(p []byte) error {
+	if err := Inject(PointDevAppend); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.frozen {
+		return ErrCrash
+	}
+	if d.tearNext >= 0 {
+		keep := d.tearNext
+		if keep > len(p) {
+			keep = len(p)
+		}
+		d.tearNext = -1
+		d.frozen = true
+		if err := d.inner.Append(p[:keep]); err != nil {
+			return err
+		}
+		return ErrCrash
+	}
+	return d.inner.Append(p)
+}
+
+// ReadAt implements wal.Device, applying any injected bit flips.
+func (d *Device) ReadAt(p []byte, off int64) (int, error) {
+	if err := Inject(PointDevRead); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.readAtLocked(p, off)
+}
+
+func (d *Device) readAtLocked(p []byte, off int64) (int, error) {
+	n, err := d.inner.ReadAt(p, off)
+	for fo, mask := range d.flips {
+		if i := fo - off; i >= 0 && i < int64(n) {
+			p[i] ^= mask
+		}
+	}
+	return n, err
+}
+
+// Size implements wal.Device.
+func (d *Device) Size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Size()
+}
+
+// Sync implements wal.Device: it marks everything appended so far durable.
+func (d *Device) Sync() error {
+	if err := Inject(PointDevSync); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.frozen {
+		return ErrCrash
+	}
+	if err := d.inner.Sync(); err != nil {
+		return err
+	}
+	d.synced = d.inner.Size()
+	return nil
+}
+
+// Truncate implements wal.Device (torn-tail repair during log recovery).
+func (d *Device) Truncate(n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.frozen {
+		return ErrCrash
+	}
+	if err := d.inner.Truncate(n); err != nil {
+		return err
+	}
+	if d.synced > n {
+		d.synced = n
+	}
+	for fo := range d.flips {
+		if fo >= n {
+			delete(d.flips, fo)
+		}
+	}
+	return nil
+}
+
+// Close implements wal.Device. Closing a frozen device is a no-op so
+// post-crash teardown of the dead instance never errors.
+func (d *Device) Close() error {
+	d.mu.Lock()
+	frozen := d.frozen
+	d.mu.Unlock()
+	if frozen {
+		return nil
+	}
+	return d.inner.Close()
+}
+
+// Freeze simulates the crash instant: every subsequent Append and Sync
+// fails with ErrCrash and persists nothing.
+func (d *Device) Freeze() {
+	d.mu.Lock()
+	d.frozen = true
+	d.mu.Unlock()
+}
+
+// Frozen reports whether the device has crashed.
+func (d *Device) Frozen() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.frozen
+}
+
+// SyncedSize returns the length of the durable prefix.
+func (d *Device) SyncedSize() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.synced
+}
+
+// TearNextAppend arms a torn write: the next Append persists only its
+// first keep bytes, then the device freezes (see Append).
+func (d *Device) TearNextAppend(keep int) {
+	d.mu.Lock()
+	if keep < 0 {
+		keep = 0
+	}
+	d.tearNext = keep
+	d.mu.Unlock()
+}
+
+// FlipByte injects media corruption: readers observe the byte at off
+// inverted. Flipping twice restores it.
+func (d *Device) FlipByte(off int64) {
+	d.mu.Lock()
+	d.flips[off] ^= 0xFF
+	if d.flips[off] == 0 {
+		delete(d.flips, off)
+	}
+	d.mu.Unlock()
+}
+
+// CrashImage returns the bytes a post-crash reopen would observe: the
+// synced prefix plus up to extra bytes of the unsynced suffix (the torn
+// tail an OS page cache might have partially written), with bit flips
+// applied. extra < 0 keeps the whole unsynced suffix.
+func (d *Device) CrashImage(extra int64) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	size := d.inner.Size()
+	n := d.synced
+	if extra < 0 {
+		n = size
+	} else if n+extra < size {
+		n += extra
+	} else {
+		n = size
+	}
+	buf := make([]byte, n)
+	if n == 0 {
+		return buf, nil
+	}
+	got, err := d.readAtLocked(buf, 0)
+	if int64(got) != n {
+		return nil, fmt.Errorf("fault: crash image short read %d of %d: %w", got, n, err)
+	}
+	return buf, nil
+}

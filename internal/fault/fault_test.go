@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestInjectDisarmedIsNil(t *testing.T) {
+	defer Reset()
+	if Enabled() {
+		t.Fatal("enabled before arming")
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetClearReset(t *testing.T) {
+	defer Reset()
+	Set("p", ErrAlways(ErrInjected))
+	if !Enabled() {
+		t.Fatal("not enabled after Set")
+	}
+	if err := Inject("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if Evals("p") != 1 || Trips("p") != 1 {
+		t.Fatalf("counters %d/%d", Evals("p"), Trips("p"))
+	}
+	Clear("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("cleared point still trips: %v", err)
+	}
+	if Evals("p") != 2 || Trips("p") != 1 {
+		t.Fatalf("counters after clear %d/%d", Evals("p"), Trips("p"))
+	}
+	Reset()
+	if Enabled() || Evals("p") != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestErrTimesAndEvery(t *testing.T) {
+	defer Reset()
+	Set("t", ErrTimes(2, ErrInjected))
+	for i := 0; i < 2; i++ {
+		if err := Inject("t"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("eval %d: want error", i)
+		}
+	}
+	if err := Inject("t"); err != nil {
+		t.Fatalf("third eval should pass: %v", err)
+	}
+	Set("e", ErrEvery(3, ErrInjected))
+	var trips int
+	for i := 0; i < 9; i++ {
+		if Inject("e") != nil {
+			trips++
+		}
+	}
+	if trips != 3 {
+		t.Fatalf("err-every:3 tripped %d of 9", trips)
+	}
+}
+
+func TestParse(t *testing.T) {
+	defer Reset()
+	if err := Parse("a=err, b=err:2 ,c=err-every:4"); err != nil {
+		t.Fatal(err)
+	}
+	if Inject("a") == nil || Inject("b") == nil {
+		t.Fatal("armed points should trip")
+	}
+	if err := Parse("a=off"); err != nil {
+		t.Fatal(err)
+	}
+	if Inject("a") != nil {
+		t.Fatal("a=off should disarm")
+	}
+	for _, bad := range []string{"noequals", "a=err:0", "a=err:x", "a=wat"} {
+		if Parse(bad) == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+type memBlock struct {
+	buf    []byte
+	synced int
+}
+
+func (m *memBlock) Append(p []byte) error { m.buf = append(m.buf, p...); return nil }
+func (m *memBlock) ReadAt(p []byte, off int64) (int, error) {
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, errors.New("eof")
+	}
+	return n, nil
+}
+func (m *memBlock) Size() int64            { return int64(len(m.buf)) }
+func (m *memBlock) Sync() error            { m.synced = len(m.buf); return nil }
+func (m *memBlock) Truncate(n int64) error { m.buf = m.buf[:n]; return nil }
+func (m *memBlock) Close() error           { return nil }
+
+func TestDeviceFreeze(t *testing.T) {
+	defer Reset()
+	d := NewDevice(&memBlock{})
+	if err := d.Append([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append([]byte("efgh")); err != nil {
+		t.Fatal(err)
+	}
+	d.Freeze()
+	if !d.Frozen() {
+		t.Fatal("not frozen")
+	}
+	if err := d.Append([]byte("x")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("append after freeze: %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrCrash) {
+		t.Fatalf("sync after freeze: %v", err)
+	}
+	// Only the synced prefix is guaranteed; extra pulls in unsynced bytes.
+	img, err := d.CrashImage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, []byte("abcd")) {
+		t.Fatalf("crash image %q", img)
+	}
+	img, _ = d.CrashImage(2)
+	if !bytes.Equal(img, []byte("abcdef")) {
+		t.Fatalf("crash image with extra %q", img)
+	}
+	img, _ = d.CrashImage(-1)
+	if !bytes.Equal(img, []byte("abcdefgh")) {
+		t.Fatalf("full crash image %q", img)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close of frozen device: %v", err)
+	}
+}
+
+func TestDeviceTearNextAppend(t *testing.T) {
+	defer Reset()
+	inner := &memBlock{}
+	d := NewDevice(inner)
+	d.Append([]byte("good"))
+	d.Sync()
+	d.TearNextAppend(2)
+	if err := d.Append([]byte("late")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("torn append should crash: %v", err)
+	}
+	if !d.Frozen() {
+		t.Fatal("torn append must freeze the device")
+	}
+	if string(inner.buf) != "goodla" {
+		t.Fatalf("inner content %q, want torn prefix", inner.buf)
+	}
+	img, _ := d.CrashImage(-1)
+	if string(img) != "goodla" {
+		t.Fatalf("crash image %q", img)
+	}
+}
+
+func TestDeviceFlipByte(t *testing.T) {
+	defer Reset()
+	d := NewDevice(&memBlock{})
+	d.Append([]byte{1, 2, 3})
+	d.FlipByte(1)
+	got := make([]byte, 3)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2^0xFF || got[2] != 3 {
+		t.Fatalf("flip not visible: %v", got)
+	}
+	d.FlipByte(1) // toggle back
+	d.ReadAt(got, 0)
+	if got[1] != 2 {
+		t.Fatalf("double flip should restore: %v", got)
+	}
+}
+
+func TestDevicePoints(t *testing.T) {
+	defer Reset()
+	d := NewDevice(&memBlock{})
+	Set(PointDevAppend, ErrTimes(1, ErrInjected))
+	if err := d.Append([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dev/append: %v", err)
+	}
+	if err := d.Append([]byte("x")); err != nil {
+		t.Fatalf("transient error should clear: %v", err)
+	}
+	Set(PointDevSync, ErrAlways(ErrInjected))
+	if err := d.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dev/sync: %v", err)
+	}
+}
+
+func TestCrashOnHit(t *testing.T) {
+	defer Reset()
+	d := NewDevice(&memBlock{})
+	Set("hit", CrashOnHit(3, d))
+	for i := 0; i < 2; i++ {
+		if err := Inject("hit"); err != nil {
+			t.Fatalf("eval %d should pass: %v", i, err)
+		}
+	}
+	if err := Inject("hit"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("third eval should crash: %v", err)
+	}
+	if !d.Frozen() {
+		t.Fatal("crash action must freeze")
+	}
+}

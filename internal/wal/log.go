@@ -3,10 +3,13 @@ package wal
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // Device is the byte store underneath a Log: an append-only region that can
@@ -20,6 +23,8 @@ type Device interface {
 	Size() int64
 	// Sync makes previous appends durable.
 	Sync() error
+	// Truncate cuts the device to n bytes (torn-tail repair on recovery).
+	Truncate(n int64) error
 	// Close releases the device.
 	Close() error
 }
@@ -33,6 +38,12 @@ type MemDevice struct {
 
 // NewMemDevice returns an empty in-memory device.
 func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// NewMemDeviceFrom returns an in-memory device seeded with a copy of buf —
+// how crash-recovery tests reopen a crash image.
+func NewMemDeviceFrom(buf []byte) *MemDevice {
+	return &MemDevice{buf: append([]byte(nil), buf...)}
+}
 
 // Append implements Device.
 func (d *MemDevice) Append(p []byte) error {
@@ -76,11 +87,15 @@ func (d *MemDevice) Corrupt(off int64) {
 	d.mu.Unlock()
 }
 
-// Truncate cuts the device to n bytes; used by torn-write tests.
-func (d *MemDevice) Truncate(n int64) {
+// Truncate implements Device.
+func (d *MemDevice) Truncate(n int64) error {
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 || n > int64(len(d.buf)) {
+		return fmt.Errorf("wal: truncate to %d outside device of %d bytes", n, len(d.buf))
+	}
 	d.buf = d.buf[:n]
-	d.mu.Unlock()
+	return nil
 }
 
 // FileDevice is a file-backed Device.
@@ -128,6 +143,17 @@ func (d *FileDevice) Size() int64 {
 // Sync implements Device.
 func (d *FileDevice) Sync() error { return d.f.Sync() }
 
+// Truncate implements Device.
+func (d *FileDevice) Truncate(n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.f.Truncate(n); err != nil {
+		return err
+	}
+	d.size = n
+	return nil
+}
+
 // Close implements Device.
 func (d *FileDevice) Close() error { return d.f.Close() }
 
@@ -139,6 +165,21 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrClosed is returned by blocking reads after the log is closed.
 var ErrClosed = errors.New("wal: log closed")
+
+// CorruptError reports mid-log corruption: a fully present frame whose CRC
+// or payload fails to validate. Unlike a torn tail — an append cut short by
+// a crash, which recovery silently truncates — corruption inside the log
+// body means durable data was damaged, and replaying past it could silently
+// lose committed transactions, so it surfaces as an error with the frame's
+// byte offset. errors.Is(err, ErrCorrupt) matches.
+type CorruptError struct{ Offset int64 }
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt record at byte offset %d", e.Offset)
+}
+
+// Unwrap lets errors.Is match ErrCorrupt.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 
 // Log is the append-only transaction log. Appends are serialized; any
 // number of Readers may tail the log concurrently.
@@ -152,41 +193,68 @@ type Log struct {
 }
 
 // NewLog creates a log on the given device, scanning existing content to
-// find the end of the last complete, uncorrupted frame (recovery).
+// find the end of the last complete, uncorrupted frame (recovery). A torn
+// tail — a final append cut short by a crash — is truncated away so new
+// appends start at a frame boundary instead of interleaving with the
+// garbage suffix; corruption inside the log body fails with *CorruptError.
 func NewLog(dev Device) (*Log, error) {
 	l := &Log{dev: dev}
 	l.cond = sync.NewCond(&l.mu)
-	end, err := scanEnd(dev)
+	end, torn, err := scanEnd(dev)
 	if err != nil {
 		return nil, err
+	}
+	if torn {
+		if terr := dev.Truncate(end); terr != nil {
+			return nil, fmt.Errorf("wal: truncating torn tail at %d: %w", end, terr)
+		}
 	}
 	l.size = end
 	return l, nil
 }
 
 // scanEnd walks frames from offset 0 and returns the offset just past the
-// last valid frame. Torn or corrupt tails are ignored, which is the
-// recovery semantic: an unsynced partial append never happened.
-func scanEnd(dev Device) (int64, error) {
+// last valid frame, distinguishing the two ways a log can end badly:
+//
+//   - torn tail: the trailing bytes are too short to hold the frame they
+//     started (header or payload runs past the end of the device). That is
+//     the signature of an append interrupted by a crash; the partial frame
+//     was never synced, so recovery treats it as "never happened" and the
+//     caller truncates it.
+//   - mid-log corruption: a frame is fully present but its CRC or payload
+//     fails to validate. Durable bytes were damaged; silently stopping here
+//     would drop every later committed transaction, so it is an error
+//     carrying the bad frame's offset.
+func scanEnd(dev Device) (end int64, torn bool, err error) {
+	size := dev.Size()
 	var off int64
 	var hdr [frameHeader]byte
 	for {
+		if off+frameHeader > size {
+			return off, off < size, nil // trailing bytes shorter than a header
+		}
 		if _, err := dev.ReadAt(hdr[:], off); err != nil {
-			return off, nil // short header: end of valid log
+			return 0, false, fmt.Errorf("wal: recovery read at %d: %w", off, err)
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		next := off + frameHeader + int64(n)
+		if next > size {
+			// The payload (or a garbage length field from a torn header
+			// write) runs past the device: torn tail either way.
+			return off, true, nil
+		}
 		payload := make([]byte, n)
 		if _, err := dev.ReadAt(payload, off+frameHeader); err != nil {
-			return off, nil // torn payload
+			return 0, false, fmt.Errorf("wal: recovery read at %d: %w", off+frameHeader, err)
 		}
 		if crc32.Checksum(payload, crcTable) != crc {
-			return off, nil // corrupt frame
+			return off, false, &CorruptError{Offset: off}
 		}
 		if _, err := decodeRecord(payload); err != nil {
-			return off, nil
+			return off, false, &CorruptError{Offset: off}
 		}
-		off += frameHeader + int64(n)
+		off = next
 	}
 }
 
@@ -197,6 +265,9 @@ func (l *Log) Append(r *Record) (int64, error) {
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
+	}
+	if err := fault.Inject(fault.PointWALAppend); err != nil {
+		return 0, err
 	}
 	l.buf = l.buf[:0]
 	l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0)
@@ -214,7 +285,12 @@ func (l *Log) Append(r *Record) (int64, error) {
 }
 
 // Sync flushes the device.
-func (l *Log) Sync() error { return l.dev.Sync() }
+func (l *Log) Sync() error {
+	if err := fault.Inject(fault.PointWALSync); err != nil {
+		return err
+	}
+	return l.dev.Sync()
+}
 
 // Size returns the log's current size in bytes (end of last complete frame).
 func (l *Log) Size() int64 {
@@ -282,11 +358,11 @@ func (r *Reader) Next() (*Record, error) {
 		return nil, err
 	}
 	if crc32.Checksum(payload, crcTable) != crc {
-		return nil, ErrCorrupt
+		return nil, &CorruptError{Offset: r.off}
 	}
 	rec, err := decodeRecord(payload)
 	if err != nil {
-		return nil, err
+		return nil, &CorruptError{Offset: r.off}
 	}
 	r.off += frameHeader + int64(n)
 	return rec, nil

@@ -75,7 +75,7 @@ func TestReaderFromOffset(t *testing.T) {
 	}
 }
 
-func TestRecoveryScansToLastGoodFrame(t *testing.T) {
+func TestRecoveryTruncatesTornTail(t *testing.T) {
 	dev := NewMemDevice()
 	l, _ := NewLog(dev)
 	for _, rec := range sampleRecords() {
@@ -91,25 +91,58 @@ func TestRecoveryScansToLastGoodFrame(t *testing.T) {
 	if l2.Size() != goodSize {
 		t.Fatalf("recovered size %d, want %d", l2.Size(), goodSize)
 	}
-	// All records readable up to the good size.
+	// The torn tail must be physically removed so new appends start at a
+	// frame boundary instead of interleaving with the garbage suffix.
+	if dev.Size() != goodSize {
+		t.Fatalf("device size %d after recovery, want torn tail truncated to %d", dev.Size(), goodSize)
+	}
+	// All records readable up to the good size, and a fresh append lands
+	// cleanly after them.
+	if _, err := l2.Append(&Record{Type: TypeBegin, TxID: 77}); err != nil {
+		t.Fatal(err)
+	}
 	r := l2.NewReader(0)
 	count := 0
+	var last *Record
 	for {
-		_, err := r.Next()
+		rec, err := r.Next()
 		if errors.Is(err, ErrNoMore) {
 			break
 		}
 		if err != nil {
 			t.Fatal(err)
 		}
+		last = rec
 		count++
 	}
-	if count != len(sampleRecords()) {
+	if count != len(sampleRecords())+1 {
 		t.Fatalf("recovered %d records", count)
+	}
+	if last.Type != TypeBegin || last.TxID != 77 {
+		t.Fatalf("post-recovery append mangled: %+v", last)
 	}
 }
 
-func TestRecoveryStopsAtCorruptPayload(t *testing.T) {
+func TestRecoveryTruncatesTornPayload(t *testing.T) {
+	dev := NewMemDevice()
+	l, _ := NewLog(dev)
+	for _, rec := range sampleRecords() {
+		l.Append(rec)
+	}
+	goodSize := l.Size()
+	// A torn append that got the header plus part of the payload down: the
+	// declared frame length runs past the device end.
+	dev.Append([]byte{200, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3})
+	l2, err := NewLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Size() != goodSize || dev.Size() != goodSize {
+		t.Fatalf("recovered size %d device %d, want both %d", l2.Size(), dev.Size(), goodSize)
+	}
+}
+
+func TestRecoveryFailsOnMidLogCorruption(t *testing.T) {
 	dev := NewMemDevice()
 	l, _ := NewLog(dev)
 	var sizes []int64
@@ -117,14 +150,47 @@ func TestRecoveryStopsAtCorruptPayload(t *testing.T) {
 		l.Append(rec)
 		sizes = append(sizes, l.Size())
 	}
-	// Corrupt a byte inside the 4th record's payload.
+	// Corrupt a byte inside the 4th record's payload: the frame is fully
+	// present, so this is damaged durable data, not a torn tail. Recovery
+	// must refuse rather than silently drop the later committed records.
 	dev.Corrupt(sizes[2] + frameHeader)
-	l2, err := NewLog(dev)
-	if err != nil {
+	_, err := NewLog(dev)
+	if err == nil {
+		t.Fatal("want error for mid-log corruption, got clean recovery")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %T", err)
+	}
+	if ce.Offset != sizes[2] {
+		t.Fatalf("corrupt offset %d, want %d", ce.Offset, sizes[2])
+	}
+	// Nothing was truncated: the damaged evidence is preserved.
+	if dev.Size() != sizes[len(sizes)-1] {
+		t.Fatalf("device size changed to %d", dev.Size())
+	}
+}
+
+func TestReaderReportsCorruptOffset(t *testing.T) {
+	dev := NewMemDevice()
+	l, _ := NewLog(dev)
+	var offs []int64
+	for _, rec := range sampleRecords() {
+		off, _ := l.Append(rec)
+		offs = append(offs, off)
+	}
+	dev.Corrupt(offs[1] + frameHeader)
+	r := l.NewReader(0)
+	if _, err := r.Next(); err != nil {
 		t.Fatal(err)
 	}
-	if l2.Size() != sizes[2] {
-		t.Fatalf("recovered size %d, want %d", l2.Size(), sizes[2])
+	_, err := r.Next()
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Offset != offs[1] {
+		t.Fatalf("want CorruptError at %d, got %v", offs[1], err)
 	}
 }
 

@@ -108,6 +108,20 @@ func (m *maintained) StopPropagation() error {
 // scheduled for this view.
 func (m *maintained) Maintaining() bool { return m.prop.Running() }
 
+// Err returns the terminal error of a fail-stopped maintenance job (nil
+// while maintenance is healthy). A job fail-stops after its step errors
+// through the scheduler's whole retry/backoff budget; StartPropagation
+// clears the state and resumes from the last good position.
+func (m *maintained) Err() error {
+	if err := m.prop.Err(); err != nil {
+		return err
+	}
+	if m.apply != nil {
+		return m.apply.Err()
+	}
+	return nil
+}
+
 // WaitForHWM blocks until the high-water mark reaches target.
 // Propagation must be running (or driven concurrently via
 // PropagateStep/CatchUp). The wait is event-driven — the goroutine

@@ -36,6 +36,10 @@ type Options struct {
 	// WALPath, when non-empty, backs the write-ahead log with a file;
 	// otherwise the log lives in memory.
 	WALPath string
+	// Device, when non-nil, backs the log with the given device directly
+	// and takes precedence over WALPath. Crash tests use this to interpose
+	// a fault-injecting device.
+	Device wal.Device
 	// SyncOnCommit fsyncs the log inside every commit (file-backed only).
 	SyncOnCommit bool
 	// Capture selects the delta capture architecture.
@@ -61,7 +65,11 @@ type DB struct {
 	trigCap *capture.TriggerCapture
 	src     capture.Source
 
-	captureOnce sync.Once
+	// capMu/capClaimed guard the one-shot capture start. A plain once
+	// cannot express Restore's needs: a failed restore must leave the
+	// claim unconsumed so a later view definition can still start capture.
+	capMu      sync.Mutex
+	capClaimed bool
 
 	mu     sync.Mutex
 	views  map[string]*View
@@ -71,7 +79,9 @@ type DB struct {
 // Open creates a database instance and starts its capture process.
 func Open(opts Options) (*DB, error) {
 	cfg := engine.Config{SyncOnCommit: opts.SyncOnCommit}
-	if opts.WALPath != "" {
+	if opts.Device != nil {
+		cfg.Device = opts.Device
+	} else if opts.WALPath != "" {
 		dev, err := wal.OpenFileDevice(opts.WALPath)
 		if err != nil {
 			return nil, err
@@ -122,11 +132,22 @@ func Open(opts Options) (*DB, error) {
 // ensureCapture starts the log-capture goroutine exactly once (no-op in
 // trigger mode).
 func (db *DB) ensureCapture() {
-	db.captureOnce.Do(func() {
-		if db.logCap != nil {
-			db.logCap.Start()
-		}
-	})
+	if db.claimCapture() && db.logCap != nil {
+		db.logCap.Start()
+	}
+}
+
+// claimCapture consumes the one-shot capture-start claim, reporting whether
+// this caller won it. Restore claims it only after the snapshot loads, so a
+// failed restore leaves lazy capture start intact.
+func (db *DB) claimCapture() bool {
+	db.capMu.Lock()
+	defer db.capMu.Unlock()
+	if db.capClaimed {
+		return false
+	}
+	db.capClaimed = true
+	return true
 }
 
 // Recover replays the write-ahead log into the base tables, restoring a

@@ -122,6 +122,10 @@ type ViewStats struct {
 	Refreshes          int64
 	HWM                CSN
 	MatTime            CSN
+	// MaintenanceErr is non-nil once a maintenance job has fail-stopped:
+	// its step kept returning an error through the scheduler's full
+	// retry/backoff budget. Start/StartPropagation clears it.
+	MaintenanceErr error
 }
 
 // Stats returns a snapshot of the view's maintenance counters.
@@ -138,6 +142,7 @@ func (v *View) Stats() ViewStats {
 		Refreshes:           v.applier.Refreshes(),
 		HWM:                 v.hwm(),
 		MatTime:             v.mv.MatTime(),
+		MaintenanceErr:      v.Err(),
 	}
 }
 
