@@ -53,6 +53,7 @@ type report struct {
 	CacheAB     []bench.CacheABEntry     `json:"cache_ab,omitempty"`
 	SnapshotAB  []bench.SnapshotABEntry  `json:"snapshot_ab,omitempty"`
 	MultiViewAB []bench.MultiViewABEntry `json:"multiview_ab,omitempty"`
+	PartitionAB []bench.PartitionABEntry `json:"partition_ab,omitempty"`
 	Failed      int                      `json:"failed"`
 }
 
@@ -67,6 +68,7 @@ func main() {
 	var cacheEntries []bench.CacheABEntry
 	var snapshotEntries []bench.SnapshotABEntry
 	var multiViewEntries []bench.MultiViewABEntry
+	var partitionEntries []bench.PartitionABEntry
 	experiments := []experiment{
 		{"F4", "ComputeDelta query structure (Figure 4 / Equation 3)",
 			func(bench.Scale) (fmt.Stringer, error) { return bench.F4() }},
@@ -118,6 +120,12 @@ func main() {
 				multiViewEntries = entries
 				return tbl, err
 			}},
+		{"PARTITION", "1 vs N partitions vs N+heavy/light on a skewed star schema",
+			func(s bench.Scale) (fmt.Stringer, error) {
+				tbl, entries, err := bench.PartitionAB(s)
+				partitionEntries = entries
+				return tbl, err
+			}},
 	}
 
 	selected := map[string]bool{}
@@ -129,7 +137,7 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.ToUpper(strings.TrimSpace(id))
 			if !known[id] {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT MULTIVIEW)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT MULTIVIEW PARTITION)\n", id)
 				os.Exit(2)
 			}
 			selected[id] = true
@@ -174,6 +182,7 @@ func main() {
 	rep.CacheAB = cacheEntries
 	rep.SnapshotAB = snapshotEntries
 	rep.MultiViewAB = multiViewEntries
+	rep.PartitionAB = partitionEntries
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

@@ -47,6 +47,8 @@ func main() {
 	indexed := flag.Bool("index", false, "create hash indexes on the join columns")
 	cached := flag.Bool("cache", false, "enable the join-state cache for propagation queries")
 	workers := flag.Int("workers", 1, "concurrent propagation queries per view (worker pool size)")
+	partitions := flag.Int("partitions", 0, "hash partitions per base table (0 = ROLLINGJOIN_PARTITIONS env, then 1)")
+	skew := flag.Float64("skew", 0, "zipf exponent for fact-table keys in the star workload (0 = uniform)")
 	report := flag.Duration("report", time.Second, "live report period")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	faults := flag.Int64("faults", 0, "chaos smoke: inject a transient I/O error every Nth view apply (sched mode only)")
@@ -60,7 +62,7 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*kind, *mode, *n, *dims, *rows, *updates, *views, *maint, *interval, *adaptive, *indexed, *cached, *workers, *report, *seed, *faults); err != nil {
+	if err := run(*kind, *mode, *n, *dims, *rows, *updates, *views, *maint, *interval, *adaptive, *indexed, *cached, *workers, *partitions, *skew, *report, *seed, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "rollload:", err)
 		os.Exit(1)
 	}
@@ -92,13 +94,13 @@ func classify(err error) sched.Outcome {
 	}
 }
 
-func run(kind, mode string, n, dims, rows, updates, views, maint int, interval int64, adaptive int, indexed, cached bool, workers int, report time.Duration, seed, faults int64) error {
+func run(kind, mode string, n, dims, rows, updates, views, maint int, interval int64, adaptive int, indexed, cached bool, workers, partitions int, skew float64, report time.Duration, seed, faults int64) error {
 	var w *workload.Workload
 	switch kind {
 	case "chain":
 		w = workload.Chain(n, rows, rows/10+1)
 	case "star":
-		w = workload.StarSchema(dims, rows, rows/10+1, 20)
+		w = workload.StarSchemaSkewed(dims, rows, rows/10+1, 20, skew)
 	default:
 		return fmt.Errorf("unknown workload %q", kind)
 	}
@@ -112,7 +114,7 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 		views = 1
 	}
 
-	db, err := engine.Open(engine.Config{})
+	db, err := engine.Open(engine.Config{Partitions: partitions})
 	if err != nil {
 		return err
 	}
@@ -181,6 +183,11 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 			fault.Set(fault.PointApply, fault.ErrEvery(faults, fault.ErrInjected))
 		}
 		for i, inst := range insts {
+			if db.Partitions() > 1 {
+				// Per-slice jobs of a partitioned step fan out to the
+				// shared maintenance pool.
+				inst.exec.Spawn = s.TrySpawn
+			}
 			opts := sched.Options{
 				HWM:          inst.rp.HWM,
 				Classify:     classify,
@@ -236,8 +243,8 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 		}
 	}
 
-	fmt.Printf("workload=%s mode=%s views=%d view=%s relations=%d initial-rows=%d updates=%d\n\n",
-		kind, mode, views, w.View.Name, w.View.N(), rows, updates)
+	fmt.Printf("workload=%s mode=%s views=%d view=%s relations=%d initial-rows=%d updates=%d partitions=%d\n\n",
+		kind, mode, views, w.View.Name, w.View.N(), rows, updates, db.Partitions())
 
 	minHWM := func() relalg.CSN {
 		h := insts[0].rp.HWM()
@@ -398,6 +405,16 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 	}
 	fmt.Printf("engine:               %d rows scanned, %d joined, %d index probes\n",
 		st.RowsScanned, st.RowsJoined, st.IndexProbes)
+	if st.Partitions > 1 {
+		var sliceJobs int64
+		for _, v := range st.PartSliceJobs {
+			sliceJobs += v
+		}
+		fmt.Printf("partitions:           %d-way, %d slice jobs, %d heavy keys, %d migrations\n",
+			st.Partitions, sliceJobs, st.HeavyKeys, st.KeyMigrations)
+		fmt.Printf("  per partition:      scanned=%v delta=%v jobs=%v cache=%v\n",
+			st.PartRowsScanned, st.PartDeltaRows, st.PartSliceJobs, st.PartCacheRows)
+	}
 	if cached {
 		fmt.Printf("join cache:           %d hits, %d misses, %d maint rows, %d builds, %d rows resident (~%d KiB)\n",
 			st.CacheHits, st.CacheMisses, st.CacheMaintRows, st.CacheBuilds,

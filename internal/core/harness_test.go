@@ -54,7 +54,15 @@ func chainView(name string, n int) *ViewDef {
 
 func newEnv(t *testing.T, view *ViewDef) *testEnv {
 	t.Helper()
-	db, err := engine.Open(engine.Config{})
+	return newEnvCfg(t, view, engine.Config{})
+}
+
+// newEnvCfg is newEnv with an explicit engine configuration; partition
+// tests use it to pin Partitions per subtest (an explicit 1 bypasses the
+// ROLLINGJOIN_PARTITIONS environment hook).
+func newEnvCfg(t *testing.T, view *ViewDef, cfg engine.Config) *testEnv {
+	t.Helper()
+	db, err := engine.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

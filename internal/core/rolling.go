@@ -188,7 +188,15 @@ func (r *RollingPropagator) Step() error {
 	for j := range tauOld {
 		tauOld[j] = w
 	}
-	if err := r.exec.propagatePosition(AllBase(r.exec.view), tauOld, hi, 0, i); err != nil {
+	// With a partitioned engine the step decomposes into independent
+	// per-slice jobs (heavy keys plus light hash partitions) that fan out
+	// to the scheduler pool and merge under the shared boundary ledger:
+	// cell[i] advances once, below, after every slice has completed.
+	if specs := r.exec.sliceSpecs(i); len(specs) > 0 {
+		if err := r.exec.propagateSlices(AllBase(r.exec.view), tauOld, hi, i, specs); err != nil {
+			return err
+		}
+	} else if err := r.exec.propagatePosition(AllBase(r.exec.view), tauOld, hi, 0, i); err != nil {
 		return err
 	}
 

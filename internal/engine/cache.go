@@ -66,18 +66,75 @@ type cachedRow struct {
 // CachedIndex is the resident hash index for one (table, column) pair:
 // committed rows grouped by join-key encoding, net counts, maintained to
 // the applied watermark.
+//
+// With engine partitioning (Partitions = N > 1) the resident state is
+// sharded N ways by the same join-key hash the storage uses, plus one
+// dedicated partition for heavy-classified keys. When the cached column
+// is the table's partition column the maintenance step folds each
+// partition's own delta window (WindowPart) straight into its shard —
+// cache maintenance touches only its partition's slice of the delta
+// stream. Keys migrate between a hash shard and the heavy partition as
+// the classifier reclassifies them (migrateKey); a key's bucket lives in
+// exactly one map at a time, and all routing goes through bucketMap /
+// lookupBucket so folds, probes, and scans agree.
 type CachedIndex struct {
-	table string
-	col   int
+	table   string
+	col     int
+	nparts  int  // resident shard count (>= 1)
+	aligned bool // col == table partition column: per-partition maintenance
 
 	// mu protects everything below. Queries hold it in read mode ("pinned")
 	// while executing; build, advance, and invalidation take write mode.
 	mu      sync.RWMutex
 	built   bool
 	applied relalg.CSN
-	rows    map[string][]cachedRow
+	shards  []map[string][]cachedRow
+	heavy   map[string][]cachedRow // buckets migrated to the heavy partition
 	nrows   int
 	bytes   int64
+}
+
+// newCachedIndex allocates the shard maps for a state.
+func newCachedIndex(table string, col, nparts int, aligned bool) *CachedIndex {
+	if nparts < 1 {
+		nparts = 1
+	}
+	st := &CachedIndex{table: table, col: col, nparts: nparts, aligned: aligned}
+	st.allocLocked()
+	return st
+}
+
+func (st *CachedIndex) allocLocked() {
+	st.shards = make([]map[string][]cachedRow, st.nparts)
+	for i := range st.shards {
+		st.shards[i] = make(map[string][]cachedRow)
+	}
+	st.heavy = make(map[string][]cachedRow)
+}
+
+// bucketMap returns the map a key's bucket lives in: the heavy partition
+// when the key has been migrated there, its hash shard otherwise. Caller
+// holds mu.
+func (st *CachedIndex) bucketMap(key string) map[string][]cachedRow {
+	if _, ok := st.heavy[key]; ok {
+		return st.heavy
+	}
+	if st.nparts <= 1 {
+		return st.shards[0]
+	}
+	return st.shards[hashPartEnc([]byte(key), st.nparts)]
+}
+
+// lookupBucket returns the resident bucket for a key (nil if absent).
+// Caller holds mu (typically in read mode, via a pin).
+func (st *CachedIndex) lookupBucket(key string) []cachedRow {
+	if b, ok := st.heavy[key]; ok {
+		return b
+	}
+	if st.nparts <= 1 {
+		return st.shards[0][key]
+	}
+	return st.shards[hashPartEnc([]byte(key), st.nparts)][key]
 }
 
 // Table returns the cached table's name.
@@ -91,7 +148,7 @@ func (st *CachedIndex) Column() int { return st.col }
 func (st *CachedIndex) resetLocked(db *DB) {
 	db.cacheResidentRows.Add(-int64(st.nrows))
 	db.cacheResidentBytes.Add(-st.bytes)
-	st.rows = make(map[string][]cachedRow)
+	st.allocLocked()
 	st.nrows = 0
 	st.bytes = 0
 	st.built = false
@@ -107,7 +164,8 @@ func (st *CachedIndex) foldLocked(db *DB, row tuple.Tuple, count int64) {
 	}
 	key := string(tuple.EncodeKeyValue(nil, row[st.col]))
 	enc := string(tuple.EncodeRow(nil, row))
-	bucket := st.rows[key]
+	m := st.bucketMap(key)
+	bucket := m[key]
 	for i := range bucket {
 		if bucket[i].enc == enc {
 			bucket[i].row.Count += count
@@ -115,9 +173,9 @@ func (st *CachedIndex) foldLocked(db *DB, row tuple.Tuple, count int64) {
 				bucket[i] = bucket[len(bucket)-1]
 				bucket = bucket[:len(bucket)-1]
 				if len(bucket) == 0 {
-					delete(st.rows, key)
+					delete(m, key)
 				} else {
-					st.rows[key] = bucket
+					m[key] = bucket
 				}
 				st.nrows--
 				st.bytes -= int64(len(enc) + cachedRowOverhead)
@@ -127,7 +185,7 @@ func (st *CachedIndex) foldLocked(db *DB, row tuple.Tuple, count int64) {
 			return
 		}
 	}
-	st.rows[key] = append(bucket, cachedRow{
+	m[key] = append(bucket, cachedRow{
 		enc: enc,
 		row: relalg.Row{Tuple: row, Count: count, TS: relalg.NullTS},
 	})
@@ -176,6 +234,28 @@ func (st *CachedIndex) advanceLocked(db *DB, ts relalg.CSN) error {
 	}
 	if d.PrunedThrough() > st.applied {
 		return errCacheStale
+	}
+	if st.aligned && st.nparts == d.Partitions() {
+		// The cached column is the table's partition column: fold each
+		// partition's own delta slice, so maintenance work decomposes by
+		// partition and the per-partition counters attribute it.
+		total := 0
+		for p := 0; p < st.nparts; p++ {
+			win := d.WindowPart(p, st.applied, ts)
+			if d.PrunedThrough() > st.applied {
+				return errCacheStale
+			}
+			for _, row := range win.Rows {
+				st.foldLocked(db, row.Tuple, row.Count)
+			}
+			total += len(win.Rows)
+			if n := len(win.Rows); n > 0 && p < len(db.partCacheRows) {
+				db.partCacheRows[p].Add(int64(n))
+			}
+		}
+		db.cacheMaintRows.Add(int64(total))
+		st.applied = ts
+		return nil
 	}
 	win := d.Window(st.applied, ts)
 	// Re-check after materializing: a concurrent PruneThrough may have
@@ -281,10 +361,51 @@ func (jc *JoinCache) state(table string, col int) *CachedIndex {
 	k := cacheKey{table, col}
 	st := jc.states[k]
 	if st == nil {
-		st = &CachedIndex{table: table, col: col, rows: make(map[string][]cachedRow)}
+		nparts, aligned := 1, false
+		if t, err := jc.db.Table(table); err == nil && t.nparts > 1 {
+			nparts = t.nparts
+			aligned = col == t.partCol
+		}
+		st = newCachedIndex(table, col, nparts, aligned)
 		jc.states[k] = st
 	}
 	return st
+}
+
+// migrateKey moves a key's resident bucket between its hash shard and the
+// heavy partition in every cached index that groups this table by its
+// partition column. Invoked by the classifier on a class flip; the bucket
+// move happens under the state's write lock, so pinned readers never see a
+// key in both places. States keyed on other columns don't bucket by this
+// key and are untouched.
+func (jc *JoinCache) migrateKey(table, enc string, toHeavy bool) error {
+	jc.mu.Lock()
+	var targets []*CachedIndex
+	for k, st := range jc.states {
+		if k.table == table && st.aligned {
+			targets = append(targets, st)
+		}
+	}
+	jc.mu.Unlock()
+	for _, st := range targets {
+		st.mu.Lock()
+		if !st.built {
+			st.mu.Unlock()
+			continue
+		}
+		if toHeavy {
+			h := st.shards[hashPartEnc([]byte(enc), st.nparts)]
+			if b, ok := h[enc]; ok {
+				st.heavy[enc] = b
+				delete(h, enc)
+			}
+		} else if b, ok := st.heavy[enc]; ok {
+			st.shards[hashPartEnc([]byte(enc), st.nparts)][enc] = b
+			delete(st.heavy, enc)
+		}
+		st.mu.Unlock()
+	}
+	return nil
 }
 
 // anyState returns an existing cached index for the table (lowest column
@@ -506,7 +627,12 @@ type cacheScan struct {
 // Open implements exec.Operator.
 func (s *cacheScan) Open() error {
 	s.buckets = s.buckets[:0]
-	for _, b := range s.st.rows {
+	for _, m := range s.st.shards {
+		for _, b := range m {
+			s.buckets = append(s.buckets, b)
+		}
+	}
+	for _, b := range s.st.heavy {
 		s.buckets = append(s.buckets, b)
 	}
 	s.bi, s.ri = 0, 0
@@ -563,7 +689,7 @@ func (db *DB) buildPlanCached(q *Query, use *cacheUse) (exec.Operator, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &deltaScan{db: db, d: d, lo: in.Lo, hi: in.Hi, pred: in.Pred}, nil
+			return &deltaScan{db: db, d: d, lo: in.Lo, hi: in.Hi, pred: in.Pred, spec: in.Part}, nil
 		case InputBase:
 			return &cacheScan{db: db, st: use.byInput[i], pred: in.Pred}, nil
 		default:
@@ -612,7 +738,7 @@ func (db *DB) buildPlanCached(q *Query, use *cacheUse) (exec.Operator, error) {
 					LeftCol: on[0].LeftCol,
 					ProbeFn: func(v tuple.Value, emit func(relalg.Row)) {
 						key := tuple.EncodeKeyValue(nil, v)
-						bucket := st.rows[string(key)]
+						bucket := st.lookupBucket(string(key))
 						if len(bucket) == 0 {
 							db.cacheMisses.Add(1)
 							return
@@ -693,6 +819,13 @@ func (db *DB) buildPlanCached(q *Query, use *cacheUse) (exec.Operator, error) {
 // runs in its own transaction, which takes no table locks — cached
 // propagation never blocks writers.
 func (db *DB) ExecutePropagationCached(q *Query, sign int64, dest *DeltaTable, minTS relalg.CSN, wait func(relalg.CSN) error) (relalg.CSN, int, int, error) {
+	db.coPartition(q)
+	for _, in := range q.Inputs {
+		if in.Part.sliced() {
+			db.NotePartSliceJob(in.Part.shard())
+			break
+		}
+	}
 	if q.AsOf != relalg.NullTS && q.AsOf > minTS {
 		minTS = q.AsOf
 	}

@@ -16,18 +16,41 @@ import (
 //
 // Base-table delta tables are appended by the capture process; view delta
 // tables are appended by propagation-query transactions.
+//
+// Like its base table, a delta table can be hash-partitioned: with
+// Partitions = N > 1, a change record lives in shard
+// hashPart(row[partCol], N). The sequence counter stays global, so keys
+// remain unique across shards and a merged iteration reproduces exactly
+// the single-tree (timestamp, sequence) order; WindowPart exposes the
+// per-partition delta cursor that partitioned propagation and cache
+// maintenance consume.
 type DeltaTable struct {
 	base   string
 	schema *tuple.Schema
 
+	nparts  int
+	partCol int
+
 	latch  sync.RWMutex
-	tree   *btree.Tree // (ts 8B BE, seq 8B BE) -> (count varint, row)
+	shards []*btree.Tree // (ts 8B BE, seq 8B BE) -> (count varint, row)
 	seq    uint64
 	pruned relalg.CSN // highest PruneThrough bound ever applied
+
+	// onAppend, when set, is called after a successful append with the
+	// record's partition and row, outside the latch (frequency sketch and
+	// per-partition counters; see heavy.go).
+	onAppend func(part int, row tuple.Tuple)
 }
 
-func newDeltaTable(base string, schema *tuple.Schema) *DeltaTable {
-	return &DeltaTable{base: base, schema: schema, tree: btree.New()}
+func newDeltaTable(base string, schema *tuple.Schema, nparts, partCol int) *DeltaTable {
+	if nparts < 1 {
+		nparts = 1
+	}
+	shards := make([]*btree.Tree, nparts)
+	for i := range shards {
+		shards[i] = btree.New()
+	}
+	return &DeltaTable{base: base, schema: schema, nparts: nparts, partCol: partCol, shards: shards}
 }
 
 // Base returns the name of the table this delta describes.
@@ -37,11 +60,28 @@ func (d *DeltaTable) Base() string { return d.base }
 // implicit, carried by the relation rows).
 func (d *DeltaTable) Schema() *tuple.Schema { return d.schema }
 
+// Partitions returns the delta table's hash-partition count.
+func (d *DeltaTable) Partitions() int { return d.nparts }
+
 // Len returns the number of stored delta rows.
 func (d *DeltaTable) Len() int {
 	d.latch.RLock()
 	defer d.latch.RUnlock()
-	return d.tree.Len()
+	n := 0
+	for _, sh := range d.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// PartLen returns the number of stored delta rows in partition p.
+func (d *DeltaTable) PartLen(p int) int {
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	if p < 0 || p >= len(d.shards) {
+		return 0
+	}
+	return d.shards[p].Len()
 }
 
 func deltaKey(ts relalg.CSN, seq uint64) []byte {
@@ -68,37 +108,109 @@ func decodeDeltaVal(b []byte) (int64, tuple.Tuple) {
 	return count, row
 }
 
+// partFor returns the shard a change record for row routes to.
+func (d *DeltaTable) partFor(row tuple.Tuple) int {
+	if d.nparts <= 1 {
+		return 0
+	}
+	return hashPart(row[d.partCol], d.nparts)
+}
+
 // Append adds one change record with the given timestamp and count. It
 // returns a handle that Remove accepts (for transactional undo).
 func (d *DeltaTable) Append(ts relalg.CSN, count int64, row tuple.Tuple) (handle []byte) {
 	d.latch.Lock()
-	defer d.latch.Unlock()
 	d.seq++
+	part := d.partFor(row)
 	k := deltaKey(ts, d.seq)
-	d.tree.Put(k, encodeDeltaVal(count, row))
-	return k
+	d.shards[part].Put(k, encodeDeltaVal(count, row))
+	note := d.onAppend
+	d.latch.Unlock()
+	if note != nil {
+		note(part, row)
+	}
+	// The handle carries the shard so Remove routes without rehashing.
+	return append(k, byte(part))
 }
 
 // Remove deletes a previously appended record by handle (undo path).
 func (d *DeltaTable) Remove(handle []byte) {
 	d.latch.Lock()
 	defer d.latch.Unlock()
-	d.tree.Delete(handle)
+	if len(handle) == 17 {
+		d.shards[int(handle[16])].Delete(handle[:16])
+		return
+	}
+	for _, sh := range d.shards {
+		if sh.Delete(handle) {
+			return
+		}
+	}
+}
+
+// ascendMerged iterates the union of the shard trees in key order (the
+// global (timestamp, sequence) order), calling fn until it returns false.
+// Keys are globally unique (one sequence counter), so the merged order is
+// exactly the order of the unpartitioned single tree. Caller holds the
+// latch.
+func (d *DeltaTable) ascendMerged(start, end []byte, fn func(k, v []byte) bool) {
+	if len(d.shards) == 1 {
+		d.shards[0].Ascend(start, end, fn)
+		return
+	}
+	its := make([]*btree.Iterator, 0, len(d.shards))
+	for _, sh := range d.shards {
+		var it *btree.Iterator
+		if start == nil {
+			it = sh.First()
+		} else {
+			it = sh.Seek(start)
+		}
+		if it.Valid() {
+			its = append(its, it)
+		}
+	}
+	for {
+		best := -1
+		for i, it := range its {
+			if !it.Valid() {
+				continue
+			}
+			if best < 0 || string(it.Key()) < string(its[best].Key()) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		it := its[best]
+		if end != nil && string(it.Key()) >= string(end) {
+			return
+		}
+		if !fn(it.Key(), it.Value()) {
+			return
+		}
+		it.Next()
+	}
 }
 
 // Window materializes σ_{lo,hi}: all rows with lo < ts <= hi, in timestamp
 // order. The caller is responsible for ensuring the window is closed (the
 // capture process has progressed past hi) so the result is immutable.
 func (d *DeltaTable) Window(lo, hi relalg.CSN) *relalg.Relation {
+	return d.WindowSpec(nil, lo, hi)
+}
+
+// WindowPart materializes the slice of σ_{lo,hi} that falls in hash
+// partition p: the per-partition delta cursor.
+func (d *DeltaTable) WindowPart(p int, lo, hi relalg.CSN) *relalg.Relation {
 	out := relalg.NewRelation(d.schema)
-	if hi <= lo {
+	if hi <= lo || p < 0 || p >= len(d.shards) {
 		return out
 	}
 	d.latch.RLock()
 	defer d.latch.RUnlock()
-	start := deltaKey(lo+1, 0)
-	end := deltaKey(hi+1, 0)
-	d.tree.Ascend(start, end, func(k, v []byte) bool {
+	d.shards[p].Ascend(deltaKey(lo+1, 0), deltaKey(hi+1, 0), func(k, v []byte) bool {
 		ts := relalg.CSN(binary.BigEndian.Uint64(k[0:8]))
 		count, row := decodeDeltaVal(v)
 		out.Add(row, count, ts)
@@ -107,12 +219,70 @@ func (d *DeltaTable) Window(lo, hi relalg.CSN) *relalg.Relation {
 	return out
 }
 
+// WindowSpec materializes the slice of σ_{lo,hi} selected by spec (nil =
+// the full window).
+func (d *DeltaTable) WindowSpec(spec *PartSpec, lo, hi relalg.CSN) *relalg.Relation {
+	out := relalg.NewRelation(d.schema)
+	if hi <= lo {
+		return out
+	}
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	start := deltaKey(lo+1, 0)
+	end := deltaKey(hi+1, 0)
+	add := func(k, v []byte) bool {
+		ts := relalg.CSN(binary.BigEndian.Uint64(k[0:8]))
+		count, row := decodeDeltaVal(v)
+		if spec.sliced() && !spec.admits(row[d.partCol], spec.N == d.nparts) {
+			return true
+		}
+		out.Add(row, count, ts)
+		return true
+	}
+	if spec.sliced() && spec.N == d.nparts {
+		d.shards[spec.shard()].Ascend(start, end, add)
+	} else {
+		d.ascendMerged(start, end, add)
+	}
+	return out
+}
+
+// SliceEmpty reports whether the slice of σ_{lo,hi} selected by spec has
+// no rows (a cheap pre-check before spawning a per-partition propagation
+// job).
+func (d *DeltaTable) SliceEmpty(spec *PartSpec, lo, hi relalg.CSN) bool {
+	if hi <= lo {
+		return true
+	}
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	start := deltaKey(lo+1, 0)
+	end := deltaKey(hi+1, 0)
+	empty := true
+	probe := func(k, v []byte) bool {
+		if spec.sliced() {
+			_, row := decodeDeltaVal(v)
+			if !spec.admits(row[d.partCol], spec.N == d.nparts) {
+				return true
+			}
+		}
+		empty = false
+		return false
+	}
+	if spec.sliced() && spec.N == d.nparts {
+		d.shards[spec.shard()].Ascend(start, end, probe)
+	} else {
+		d.ascendMerged(start, end, probe)
+	}
+	return empty
+}
+
 // All materializes the entire delta table in timestamp order.
 func (d *DeltaTable) All() *relalg.Relation {
 	out := relalg.NewRelation(d.schema)
 	d.latch.RLock()
 	defer d.latch.RUnlock()
-	d.tree.Ascend(nil, nil, func(k, v []byte) bool {
+	d.ascendMerged(nil, nil, func(k, v []byte) bool {
 		ts := relalg.CSN(binary.BigEndian.Uint64(k[0:8]))
 		count, row := decodeDeltaVal(v)
 		out.Add(row, count, ts)
@@ -130,16 +300,20 @@ func (d *DeltaTable) PruneThrough(hi relalg.CSN) int {
 	if hi > d.pruned {
 		d.pruned = hi
 	}
-	var doomed [][]byte
+	n := 0
 	end := deltaKey(hi+1, 0)
-	d.tree.Ascend(nil, end, func(k, _ []byte) bool {
-		doomed = append(doomed, k)
-		return true
-	})
-	for _, k := range doomed {
-		d.tree.Delete(k)
+	for _, sh := range d.shards {
+		var doomed [][]byte
+		sh.Ascend(nil, end, func(k, _ []byte) bool {
+			doomed = append(doomed, k)
+			return true
+		})
+		for _, k := range doomed {
+			sh.Delete(k)
+		}
+		n += len(doomed)
 	}
-	return len(doomed)
+	return n
 }
 
 // PrunedThrough returns the highest timestamp bound ever passed to
@@ -161,10 +335,15 @@ func (d *DeltaTable) PendingAfter(after relalg.CSN, limit int) int {
 	defer d.latch.RUnlock()
 	n := 0
 	start := deltaKey(after+1, 0)
-	d.tree.Ascend(start, nil, func(_, _ []byte) bool {
-		n++
-		return limit <= 0 || n < limit
-	})
+	for _, sh := range d.shards {
+		sh.Ascend(start, nil, func(_, _ []byte) bool {
+			n++
+			return limit <= 0 || n < limit
+		})
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
 	return n
 }
 
@@ -172,9 +351,16 @@ func (d *DeltaTable) PendingAfter(after relalg.CSN, limit int) int {
 func (d *DeltaTable) MaxTS() relalg.CSN {
 	d.latch.RLock()
 	defer d.latch.RUnlock()
-	it := d.tree.Last()
-	if !it.Valid() {
-		return relalg.NullTS
+	max := relalg.NullTS
+	for _, sh := range d.shards {
+		it := sh.Last()
+		if !it.Valid() {
+			continue
+		}
+		ts := relalg.CSN(binary.BigEndian.Uint64(it.Key()[0:8]))
+		if max == relalg.NullTS || ts > max {
+			max = ts
+		}
 	}
-	return relalg.CSN(binary.BigEndian.Uint64(it.Key()[0:8]))
+	return max
 }

@@ -14,7 +14,9 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +56,16 @@ type Config struct {
 	Device wal.Device
 	// SyncOnCommit forces a log sync inside every commit.
 	SyncOnCommit bool
+	// Partitions hash-partitions every base table's version store and
+	// delta table by join-key (column 0) hash into N partitions, enabling
+	// per-partition propagation slices and sharded join-state caches.
+	// 0 defers to the ROLLINGJOIN_PARTITIONS environment variable (the
+	// test hook for running the whole suite partitioned), then defaults
+	// to 1 — the unpartitioned seed behavior, byte for byte.
+	Partitions int
+	// DisableHeavySplit turns off the heavy/light key classifier while
+	// keeping plain hash partitioning (the "plain hash" A/B arm).
+	DisableHeavySplit bool
 }
 
 // DB is an embedded database instance.
@@ -61,9 +73,17 @@ type DB struct {
 	tm  *txn.Manager
 	log *wal.Log
 
-	mu     sync.RWMutex // guards the catalog maps
-	tables map[string]*Table
-	deltas map[string]*DeltaTable // keyed by base-table name
+	mu       sync.RWMutex // guards the catalog maps
+	tables   map[string]*Table
+	deltas   map[string]*DeltaTable // keyed by base-table name
+	sketches map[string]*keySketch  // per-table heavy/light frequency sketches
+
+	// nparts is the instance-wide hash-partition count (>= 1); every base
+	// table and base delta is partitioned the same N ways on column 0, so
+	// equal join keys land in the same partition everywhere (the
+	// co-partitioning requirement, DESIGN.md §8).
+	nparts     int
+	heavySplit bool
 
 	sinkMu      sync.RWMutex
 	triggerSink TriggerSink
@@ -107,6 +127,16 @@ type DB struct {
 	// Snapshot counters (see readview.go).
 	snapshotsOpened atomic.Int64
 	versionsGCed    atomic.Int64
+
+	// Per-partition counters (partition.go / heavy.go): rows scanned by
+	// sliced scans, delta rows routed to each partition, per-partition
+	// propagation slice jobs, cache fold rows per partition, and
+	// heavy/light migrations.
+	partScanned   []atomic.Int64
+	partDeltaRows []atomic.Int64
+	partSliceJobs []atomic.Int64
+	partCacheRows []atomic.Int64
+	keyMigrations atomic.Int64
 
 	// schedStats, when set, reports the maintenance scheduler's counters
 	// (the scheduler lives above the engine; the hook pulls its snapshot
@@ -153,17 +183,59 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	nparts := cfg.Partitions
+	if nparts == 0 {
+		if env := os.Getenv("ROLLINGJOIN_PARTITIONS"); env != "" {
+			if v, perr := strconv.Atoi(env); perr == nil && v >= 1 {
+				nparts = v
+			}
+		}
+	}
+	if nparts < 1 {
+		nparts = 1
+	}
 	db := &DB{
-		tm:     txn.NewManager(),
-		log:    log,
-		tables: make(map[string]*Table),
-		deltas: make(map[string]*DeltaTable),
-		cfg:    cfg,
+		tm:            txn.NewManager(),
+		log:           log,
+		tables:        make(map[string]*Table),
+		deltas:        make(map[string]*DeltaTable),
+		sketches:      make(map[string]*keySketch),
+		nparts:        nparts,
+		heavySplit:    nparts > 1 && !cfg.DisableHeavySplit,
+		cfg:           cfg,
+		partScanned:   make([]atomic.Int64, nparts),
+		partDeltaRows: make([]atomic.Int64, nparts),
+		partSliceJobs: make([]atomic.Int64, nparts),
+		partCacheRows: make([]atomic.Int64, nparts),
 	}
 	db.forceMaterialize.Store(DefaultForceMaterialize)
 	db.joinCache.Store(DefaultJoinCache)
 	db.cache = newJoinCache(db)
 	return db, nil
+}
+
+// Partitions returns the instance-wide hash-partition count (1 =
+// unpartitioned).
+func (db *DB) Partitions() int { return db.nparts }
+
+// HeavySplitEnabled reports whether the heavy/light key classifier is
+// active.
+func (db *DB) HeavySplitEnabled() bool { return db.heavySplit }
+
+// addPartScanned attributes rows scanned by a partition-sliced scan to its
+// partition counter (only when the slice's N matches the instance's).
+func (db *DB) addPartScanned(part, n int, rows int64) {
+	if n == db.nparts && part >= 0 && part < len(db.partScanned) {
+		db.partScanned[part].Add(rows)
+	}
+}
+
+// NotePartSliceJob counts one per-partition propagation slice job executed
+// against partition part.
+func (db *DB) NotePartSliceJob(part int) {
+	if part >= 0 && part < len(db.partSliceJobs) {
+		db.partSliceJobs[part].Add(1)
+	}
 }
 
 // Close closes the log; in-flight blocking readers are woken.
@@ -189,7 +261,7 @@ func (db *DB) CreateTable(name string, schema *tuple.Schema) (*Table, error) {
 	if _, ok := db.tables[name]; ok {
 		return nil, fmt.Errorf("%w: table %q", ErrExists, name)
 	}
-	t := newTable(name, schema)
+	t := newTable(name, schema, db.nparts, 0)
 	db.tables[name] = t
 	return t, nil
 }
@@ -206,7 +278,20 @@ func (db *DB) CreateDelta(base string) (*DeltaTable, error) {
 	if _, ok := db.deltas[base]; ok {
 		return nil, fmt.Errorf("%w: delta for %q", ErrExists, base)
 	}
-	d := newDeltaTable(base, bt.schema)
+	d := newDeltaTable(base, bt.schema, bt.nparts, bt.partCol)
+	if bt.nparts > 1 {
+		var sk *keySketch
+		if db.heavySplit {
+			sk = newKeySketch(db, base)
+			db.sketches[base] = sk
+		}
+		d.onAppend = func(part int, row tuple.Tuple) {
+			db.partDeltaRows[part].Add(1)
+			if sk != nil {
+				sk.note(tuple.EncodeKeyValue(nil, row[bt.partCol]))
+			}
+		}
+	}
 	db.deltas[base] = d
 	return d, nil
 }
@@ -219,7 +304,7 @@ func (db *DB) CreateStandaloneDelta(name string, schema *tuple.Schema) (*DeltaTa
 	if _, ok := db.deltas[name]; ok {
 		return nil, fmt.Errorf("%w: delta %q", ErrExists, name)
 	}
-	d := newDeltaTable(name, schema)
+	d := newDeltaTable(name, schema, 1, 0)
 	db.deltas[name] = d
 	return d, nil
 }
@@ -298,6 +383,23 @@ type Stats struct {
 	VersionsRetained  int64
 	VersionsCollected int64
 
+	// Partitioning counters. Partitions is the instance-wide partition
+	// count; the per-partition slices have that length (all zeros at
+	// Partitions == 1). PartRowsScanned counts rows read by
+	// partition-sliced scans, PartDeltaRows the change records routed to
+	// each partition, PartSliceJobs the per-partition propagation slice
+	// jobs executed, and PartCacheRows the delta rows folded into each
+	// cache shard. HeavyKeys is the number of join keys currently
+	// classified heavy across all tables; KeyMigrations counts completed
+	// heavy<->light migrations.
+	Partitions      int
+	PartRowsScanned []int64
+	PartDeltaRows   []int64
+	PartSliceJobs   []int64
+	PartCacheRows   []int64
+	HeavyKeys       int64
+	KeyMigrations   int64
+
 	// Sched holds the maintenance scheduler's counters when one is
 	// attached (SetSchedStats); zero otherwise.
 	Sched SchedStats
@@ -330,7 +432,27 @@ func (db *DB) Stats() Stats {
 	if fn := db.schedStats.Load(); fn != nil {
 		ss = (*fn)()
 	}
+	snap := func(cs []atomic.Int64) []int64 {
+		out := make([]int64, len(cs))
+		for i := range cs {
+			out[i] = cs[i].Load()
+		}
+		return out
+	}
+	var heavy int64
+	db.mu.RLock()
+	for _, sk := range db.sketches {
+		heavy += int64(sk.heavyCount())
+	}
+	db.mu.RUnlock()
 	return Stats{
+		Partitions:      db.nparts,
+		PartRowsScanned: snap(db.partScanned),
+		PartDeltaRows:   snap(db.partDeltaRows),
+		PartSliceJobs:   snap(db.partSliceJobs),
+		PartCacheRows:   snap(db.partCacheRows),
+		HeavyKeys:       heavy,
+		KeyMigrations:   db.keyMigrations.Load(),
 		Sched:              ss,
 		RowsScanned:        db.rowsScanned.Load(),
 		RowsJoined:         db.rowsJoined.Load(),

@@ -99,10 +99,12 @@ func (db *DB) CreateIndex(table, column string) (*Index, error) {
 		}
 	}
 	ix := newIndex(table, col)
-	it := t.heap.First()
-	for ; it.Valid(); it.Next() {
-		_, _, row := decodeVersionedRow(it.Value())
-		ix.insert(row[col], rowidFromKey(it.Key()))
+	for _, sh := range t.shards {
+		it := sh.First()
+		for ; it.Valid(); it.Next() {
+			_, _, row := decodeVersionedRow(it.Value())
+			ix.insert(row[col], rowidFromKey(it.Key()))
+		}
 	}
 	t.indexes = append(t.indexes, ix)
 	return ix, nil
@@ -139,7 +141,7 @@ func (t *Table) probeAsOf(ix *Index, v tuple.Value, pred relalg.Predicate, asOf 
 	defer t.latch.RUnlock()
 	out := make([]tuple.Tuple, 0, len(ids))
 	for _, id := range ids {
-		val, ok := t.heap.Get(rowKey(id))
+		val, ok := t.heapOf(id).Get(rowKey(id))
 		if !ok {
 			continue
 		}

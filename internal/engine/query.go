@@ -41,15 +41,28 @@ type Input struct {
 	Rel *relalg.Relation
 	// Pred is an optional pushdown predicate over this input's schema.
 	Pred relalg.Predicate
+	// Part restricts the input to one hash-partition slice (nil = the
+	// full input). Propagation sets it on the introduced delta position;
+	// coPartition extends it to equality-connected inputs so each slice
+	// job touches 1/N of the co-partitioned storage.
+	Part *PartSpec
 }
 
 // String renders the input in the paper's notation.
 func (in Input) String() string {
+	slice := ""
+	if in.Part.sliced() {
+		if in.Part.Key != nil {
+			slice = fmt.Sprintf("[heavy/%d]", in.Part.N)
+		} else {
+			slice = fmt.Sprintf("[%d/%d]", in.Part.Part, in.Part.N)
+		}
+	}
 	switch in.Kind {
 	case InputBase:
-		return in.Table
+		return in.Table + slice
 	case InputDelta:
-		return fmt.Sprintf("Δ%s(%d,%d]", in.Table, in.Lo, in.Hi)
+		return fmt.Sprintf("Δ%s(%d,%d]%s", in.Table, in.Lo, in.Hi, slice)
 	default:
 		return "<rel>"
 	}
@@ -235,7 +248,7 @@ func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &deltaScan{db: db, d: d, lo: in.Lo, hi: in.Hi, pred: in.Pred}, nil
+			return &deltaScan{db: db, d: d, lo: in.Lo, hi: in.Hi, pred: in.Pred, spec: in.Part}, nil
 		case InputRelation:
 			return exec.NewRelationScan(in.Rel, in.Pred), nil
 		default:
@@ -243,7 +256,7 @@ func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &tableScan{db: db, t: t, pred: in.Pred, asOf: q.AsOf}, nil
+			return &tableScan{db: db, t: t, pred: in.Pred, asOf: q.AsOf, spec: in.Part}, nil
 		}
 	}
 
@@ -384,6 +397,7 @@ func (tx *Tx) snapshotFor(q *Query) (*Snapshot, error) {
 // and the root materializes the result as a relation. Counts multiply and
 // timestamps combine by minimum per the paper's rule.
 func (tx *Tx) EvalQuery(q *Query) (*relalg.Relation, error) {
+	tx.db.coPartition(q)
 	if tx.db.forceMaterialize.Load() {
 		return tx.MaterializeExec(q)
 	}
@@ -406,6 +420,7 @@ func (tx *Tx) EvalQuery(q *Query) (*relalg.Relation, error) {
 // materializing the result. The batch is reused between calls; the sink
 // must copy any rows it keeps. It returns the result row and batch counts.
 func (tx *Tx) StreamQuery(q *Query, sink func(*relalg.Batch) error) (rows, batches int64, err error) {
+	tx.db.coPartition(q)
 	if tx.db.forceMaterialize.Load() {
 		rel, err := tx.MaterializeExec(q)
 		if err != nil {
@@ -439,6 +454,7 @@ func (tx *Tx) StreamQuery(q *Query, sink func(*relalg.Batch) error) (rows, batch
 // callers go through EvalQuery.
 func (tx *Tx) MaterializeExec(q *Query) (*relalg.Relation, error) {
 	db := tx.db
+	db.coPartition(q)
 	db.addQuery()
 	arities, offsets, err := db.arities(q)
 	if err != nil {
@@ -467,7 +483,7 @@ func (tx *Tx) MaterializeExec(q *Query) (*relalg.Relation, error) {
 			if err != nil {
 				return nil, err
 			}
-			rel := d.Window(in.Lo, in.Hi)
+			rel := d.WindowSpec(in.Part, in.Lo, in.Hi)
 			if in.Pred != nil {
 				rel = relalg.Select(rel, in.Pred)
 			}
@@ -490,7 +506,7 @@ func (tx *Tx) MaterializeExec(q *Query) (*relalg.Relation, error) {
 			if err != nil {
 				return nil, err
 			}
-			rel := t.scanAsOf(q.Inputs[i].Pred, q.AsOf)
+			rel := t.scanAsOfPart(q.Inputs[i].Pred, q.AsOf, q.Inputs[i].Part)
 			db.addScanned(int64(rel.Len()))
 			rels[i] = rel
 			return rel, nil
@@ -685,6 +701,12 @@ func indexJoin(db *DB, left *relalg.Relation, t *Table, ix *Index, leftCol int, 
 // query t_e is q.AsOf — executed time equals intended time by
 // construction. This is the Execute primitive of Figures 4 and 10.
 func (db *DB) ExecutePropagation(q *Query, sign int64, dest *DeltaTable) (relalg.CSN, int, int, error) {
+	for _, in := range q.Inputs {
+		if in.Part.sliced() {
+			db.NotePartSliceJob(in.Part.shard())
+			break
+		}
+	}
 	tx := db.Begin()
 	rows, batches, err := tx.StreamQuery(q, func(b *relalg.Batch) error {
 		for _, row := range b.Rows {

@@ -82,8 +82,11 @@ func (db *DB) recover(offset int64) (relalg.CSN, error) {
 func (t *Table) removeMatching(row tuple.Tuple) bool {
 	t.latch.Lock()
 	defer t.latch.Unlock()
+	// A row replayed by recovery routes to the same shard a live insert
+	// would, so only that shard can hold a match.
+	sh := t.shards[t.shardForRow(row)]
 	var foundKey []byte
-	it := t.heap.First()
+	it := sh.First()
 	for ; it.Valid(); it.Next() {
 		_, dead, got := decodeVersionedRow(it.Value())
 		if dead != csnNone {
@@ -97,7 +100,7 @@ func (t *Table) removeMatching(row tuple.Tuple) bool {
 	if foundKey == nil {
 		return false
 	}
-	t.heap.Delete(foundKey)
+	sh.Delete(foundKey)
 	for _, ix := range t.indexes {
 		ix.remove(row[ix.column], rowidFromKey(foundKey))
 	}

@@ -14,6 +14,14 @@ import (
 // because the planner has already taken the table-level S lock, so no
 // writer of the scanned table can reach the latch while the scan streams,
 // and concurrent propagation queries share the read latch.
+//
+// Both scans accept an optional PartSpec: a sliced scan reads only the
+// matching hash shard (plus a per-row key filter for heavy/light slices),
+// which is how a per-partition propagation job touches 1/N of the
+// storage. An unsliced scan over a partitioned structure walks the shards
+// one after another; relational consumers are multiset operators, so the
+// shard-major order is immaterial (and with one shard it is exactly the
+// seed order).
 
 // tableScan streams a base table's heap in batches, applying an optional
 // pushdown predicate. Rows carry count +1 and the null timestamp, like
@@ -25,7 +33,11 @@ type tableScan struct {
 	t    *Table
 	pred relalg.Predicate
 	asOf relalg.CSN
+	spec *PartSpec
 
+	shards  []*btree.Tree
+	pure    bool // shards are hash-pure for spec (single matching shard)
+	cur     int
 	it      *btree.Iterator
 	latched bool
 	scanned int64
@@ -35,14 +47,24 @@ type tableScan struct {
 func (s *tableScan) Open() error {
 	s.t.latch.RLock()
 	s.latched = true
-	s.it = s.t.heap.First()
+	s.shards, s.pure = s.t.sliceShards(s.spec)
+	s.cur = 0
+	s.it = s.shards[0].First()
 	return nil
 }
 
 // Next implements exec.Operator.
 func (s *tableScan) Next(out *relalg.Batch) (bool, error) {
 	out.Reset()
-	for s.it.Valid() && out.Len() < exec.BatchSize {
+	for out.Len() < exec.BatchSize {
+		if !s.it.Valid() {
+			s.cur++
+			if s.cur >= len(s.shards) {
+				break
+			}
+			s.it = s.shards[s.cur].First()
+			continue
+		}
 		born, dead, row := decodeVersionedRow(s.it.Value())
 		s.it.Next()
 		if s.asOf == relalg.NullTS {
@@ -50,6 +72,9 @@ func (s *tableScan) Next(out *relalg.Batch) (bool, error) {
 				continue
 			}
 		} else if !visibleAt(born, dead, s.asOf) {
+			continue
+		}
+		if s.spec.sliced() && !s.spec.admits(row[s.t.partCol], s.pure) {
 			continue
 		}
 		if s.pred != nil && !s.pred.Eval(row) {
@@ -67,20 +92,30 @@ func (s *tableScan) Close() error {
 		s.latched = false
 		s.t.latch.RUnlock()
 		s.db.addScanned(s.scanned)
+		if s.spec.sliced() {
+			s.db.addPartScanned(s.spec.shard(), s.spec.N, s.scanned)
+		}
 	}
 	return nil
 }
 
 // deltaScan streams the delta-table window (lo, hi] in timestamp order,
 // with the window bounds and the optional pushdown predicate applied
-// directly at the scan — no intermediate relation is materialized.
+// directly at the scan — no intermediate relation is materialized. A
+// sliced scan is the per-partition delta cursor: it seeks into just the
+// slice's shard.
 type deltaScan struct {
 	db     *DB
 	d      *DeltaTable
 	lo, hi relalg.CSN
 	pred   relalg.Predicate
+	spec   *PartSpec
 
+	shards  []*btree.Tree
+	pure    bool
+	cur     int
 	it      *btree.Iterator
+	start   []byte
 	end     []byte
 	latched bool
 	scanned int64
@@ -93,8 +128,16 @@ func (s *deltaScan) Open() error {
 	}
 	s.d.latch.RLock()
 	s.latched = true
-	s.it = s.d.tree.Seek(deltaKey(s.lo+1, 0))
+	if s.spec.sliced() && s.spec.N == s.d.nparts {
+		s.shards = s.d.shards[s.spec.shard() : s.spec.shard()+1]
+		s.pure = true
+	} else {
+		s.shards = s.d.shards
+	}
+	s.start = deltaKey(s.lo+1, 0)
 	s.end = deltaKey(s.hi+1, 0)
+	s.cur = 0
+	s.it = s.shards[0].Seek(s.start)
 	return nil
 }
 
@@ -104,14 +147,22 @@ func (s *deltaScan) Next(out *relalg.Batch) (bool, error) {
 	if !s.latched {
 		return false, nil
 	}
-	for s.it.Valid() && out.Len() < exec.BatchSize {
-		k := s.it.Key()
-		if string(k) >= string(s.end) {
-			break
+	for out.Len() < exec.BatchSize {
+		if !s.it.Valid() || string(s.it.Key()) >= string(s.end) {
+			s.cur++
+			if s.cur >= len(s.shards) {
+				break
+			}
+			s.it = s.shards[s.cur].Seek(s.start)
+			continue
 		}
+		k := s.it.Key()
 		ts := relalg.CSN(binary.BigEndian.Uint64(k[0:8]))
 		count, row := decodeDeltaVal(s.it.Value())
 		s.it.Next()
+		if s.spec.sliced() && !s.spec.admits(row[s.d.partCol], s.pure) {
+			continue
+		}
 		if s.pred != nil && !s.pred.Eval(row) {
 			continue
 		}
@@ -127,6 +178,9 @@ func (s *deltaScan) Close() error {
 		s.latched = false
 		s.d.latch.RUnlock()
 		s.db.addScanned(s.scanned)
+		if s.spec.sliced() {
+			s.db.addPartScanned(s.spec.shard(), s.spec.N, s.scanned)
+		}
 	}
 	return nil
 }

@@ -54,6 +54,13 @@ const (
 	// PointRestore fires at the start of snapshot restore, before any state
 	// is loaded.
 	PointRestore = "restore"
+	// PointMigrate fires as the heavy/light classifier migrates a join key
+	// between the generic hash path and a dedicated heavy partition
+	// (engine partitioning, DESIGN.md §8). An injected error aborts the
+	// migration, leaving the old classification; a crash here must be
+	// recoverable because classifier and resident partial state are
+	// volatile and rebuilt from durable storage.
+	PointMigrate = "migrate"
 	// PointDevAppend/Sync/Read fire inside the fault Device wrapper itself,
 	// below the WAL framing layer.
 	PointDevAppend = "dev/append"

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -68,6 +69,11 @@ type TableSpec struct {
 	// InsertFraction is the probability an update is an insert (the rest
 	// are deletes). Values above 0.5 grow the table over time.
 	InsertFraction float64
+	// Skew, when positive, draws join keys from a Zipfian distribution
+	// with this exponent instead of uniformly — a few hot keys absorb most
+	// of the traffic, the regime the heavy/light partition split targets.
+	// Zero keeps the exact uniform draw sequence of earlier revisions.
+	Skew float64
 }
 
 // Workload is a schema plus its update mix and the view defined over it.
@@ -147,6 +153,27 @@ func StarSchema(dims, factRows, dimRows int, factWeight float64) *Workload {
 	return w
 }
 
+// StarSchemaSkewed is StarSchema with Zipfian fact-table keys: the skewed
+// star workload the PARTITION experiment runs, where a handful of hot keys
+// dominate the fact table's update stream.
+func StarSchemaSkewed(dims, factRows, dimRows int, factWeight, skew float64) *Workload {
+	w := StarSchema(dims, factRows, dimRows, factWeight)
+	w.Tables[0].Skew = skew
+	return w
+}
+
+// keyPicker returns a draw function over [0, KeyDomain) honoring the
+// spec's skew: Zipfian when Skew > 0, otherwise the exact r.Intn sequence
+// of earlier revisions (so seeded runs without skew reproduce byte for
+// byte).
+func keyPicker(spec TableSpec, r *rand.Rand) func() int64 {
+	if spec.Skew > 0 {
+		z := NewZipf(r, spec.KeyDomain, spec.Skew)
+		return func() int64 { return int64(z.Next()) }
+	}
+	return func() int64 { return int64(r.Intn(spec.KeyDomain)) }
+}
+
 // Setup creates the workload's tables (with delta tables) in db and loads
 // the initial rows in bulk transactions.
 func (w *Workload) Setup(db *engine.DB, r *rand.Rand) error {
@@ -159,9 +186,10 @@ func (w *Workload) Setup(db *engine.DB, r *rand.Rand) error {
 		}
 	}
 	for _, spec := range w.Tables {
+		pick := keyPicker(spec, r)
 		tx := db.Begin()
 		for i := 0; i < spec.InitialRows; i++ {
-			k := int64(r.Intn(spec.KeyDomain))
+			k := pick()
 			if err := tx.Insert(spec.Name, tuple.Tuple{tuple.Int(k), tuple.Int(int64(i))}); err != nil {
 				tx.Abort()
 				return err
@@ -180,12 +208,15 @@ type Driver struct {
 	w       *Workload
 	r       *rand.Rand
 	weights []float64 // cumulative update weights
+	pickers []func() int64
 	nextVal int64
 
 	// OpsPerTxn is the number of row operations per transaction (default 1).
 	OpsPerTxn int
 
-	committed int64
+	// committed is atomic: monitoring goroutines (cmd/rollload's reporter)
+	// read it while the drive loop increments it.
+	committed atomic.Int64
 }
 
 // NewDriver creates an update driver with its own random stream.
@@ -195,22 +226,23 @@ func NewDriver(db *engine.DB, w *Workload, seed int64) *Driver {
 	for _, t := range w.Tables {
 		sum += t.UpdateWeight
 		d.weights = append(d.weights, sum)
+		d.pickers = append(d.pickers, keyPicker(t, d.r))
 	}
 	return d
 }
 
 // Committed returns the number of committed update transactions.
-func (d *Driver) Committed() int64 { return d.committed }
+func (d *Driver) Committed() int64 { return d.committed.Load() }
 
 // pickTable selects a table according to the update weights.
-func (d *Driver) pickTable() TableSpec {
+func (d *Driver) pickTable() (TableSpec, int) {
 	u := d.r.Float64() * d.weights[len(d.weights)-1]
 	for i, c := range d.weights {
 		if u <= c {
-			return d.w.Tables[i]
+			return d.w.Tables[i], i
 		}
 	}
-	return d.w.Tables[len(d.w.Tables)-1]
+	return d.w.Tables[len(d.w.Tables)-1], len(d.w.Tables) - 1
 }
 
 // Step runs one update transaction and returns its commit CSN.
@@ -219,8 +251,8 @@ func (d *Driver) Step() (relalg.CSN, error) {
 		tx := d.db.Begin()
 		ok := true
 		for op := 0; op < d.OpsPerTxn; op++ {
-			spec := d.pickTable()
-			k := int64(d.r.Intn(spec.KeyDomain))
+			spec, ti := d.pickTable()
+			k := d.pickers[ti]()
 			var err error
 			if d.r.Float64() < spec.InsertFraction {
 				d.nextVal++
@@ -241,7 +273,7 @@ func (d *Driver) Step() (relalg.CSN, error) {
 		if err != nil {
 			return 0, err
 		}
-		d.committed++
+		d.committed.Add(1)
 		return csn, nil
 	}
 }

@@ -47,6 +47,15 @@ type Options struct {
 	// MaintenanceWorkers sizes the shared worker pool that runs every
 	// view's propagation and application jobs. Default 4, minimum 1.
 	MaintenanceWorkers int
+	// Partitions hash-partitions every base table's version store and
+	// delta window by join key into this many partitions; a co-partitioned
+	// join's propagation step fans out into per-partition jobs on the
+	// maintenance pool. 0 defers to the ROLLINGJOIN_PARTITIONS environment
+	// variable, then 1 (the unpartitioned behavior).
+	Partitions int
+	// DisableHeavySplit turns off the heavy/light key classifier, keeping
+	// every key on the generic hash path (the plain-hash A/B arm).
+	DisableHeavySplit bool
 }
 
 // defaultMaintenanceWorkers sizes the shared pool when Options leaves it
@@ -78,7 +87,11 @@ type DB struct {
 
 // Open creates a database instance and starts its capture process.
 func Open(opts Options) (*DB, error) {
-	cfg := engine.Config{SyncOnCommit: opts.SyncOnCommit}
+	cfg := engine.Config{
+		SyncOnCommit:      opts.SyncOnCommit,
+		Partitions:        opts.Partitions,
+		DisableHeavySplit: opts.DisableHeavySplit,
+	}
 	if opts.Device != nil {
 		cfg.Device = opts.Device
 	} else if opts.WALPath != "" {
@@ -534,6 +547,11 @@ func (db *DB) DefineView(spec ViewSpec, opt Maintain) (*View, error) {
 	}
 	exec := core.NewExecutor(db.eng, db.src, def, dest)
 	exec.SkipEmptyWindows = !opt.KeepEmptyWindowQueries
+	if db.eng.Partitions() > 1 {
+		// Per-partition slice jobs of one propagation step fan out to the
+		// shared maintenance pool, falling back inline when it is busy.
+		exec.Spawn = db.sched.TrySpawn
+	}
 
 	interval := opt.Interval
 	if interval <= 0 {
