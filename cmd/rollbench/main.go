@@ -54,6 +54,7 @@ type report struct {
 	SnapshotAB  []bench.SnapshotABEntry  `json:"snapshot_ab,omitempty"`
 	MultiViewAB []bench.MultiViewABEntry `json:"multiview_ab,omitempty"`
 	PartitionAB []bench.PartitionABEntry `json:"partition_ab,omitempty"`
+	BatchAB     []bench.BatchABEntry     `json:"batch_ab,omitempty"`
 	Failed      int                      `json:"failed"`
 }
 
@@ -69,6 +70,7 @@ func main() {
 	var snapshotEntries []bench.SnapshotABEntry
 	var multiViewEntries []bench.MultiViewABEntry
 	var partitionEntries []bench.PartitionABEntry
+	var batchEntries []bench.BatchABEntry
 	experiments := []experiment{
 		{"F4", "ComputeDelta query structure (Figure 4 / Equation 3)",
 			func(bench.Scale) (fmt.Stringer, error) { return bench.F4() }},
@@ -126,6 +128,12 @@ func main() {
 				partitionEntries = entries
 				return tbl, err
 			}},
+		{"BATCH", "row vs columnar batch layout vs columnar+arena",
+			func(s bench.Scale) (fmt.Stringer, error) {
+				tbl, entries, err := bench.BatchAB(s)
+				batchEntries = entries
+				return tbl, err
+			}},
 	}
 
 	selected := map[string]bool{}
@@ -137,7 +145,7 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.ToUpper(strings.TrimSpace(id))
 			if !known[id] {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT MULTIVIEW PARTITION)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT MULTIVIEW PARTITION BATCH)\n", id)
 				os.Exit(2)
 			}
 			selected[id] = true
@@ -183,6 +191,7 @@ func main() {
 	rep.SnapshotAB = snapshotEntries
 	rep.MultiViewAB = multiViewEntries
 	rep.PartitionAB = partitionEntries
+	rep.BatchAB = batchEntries
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

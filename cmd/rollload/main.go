@@ -48,6 +48,7 @@ func main() {
 	cached := flag.Bool("cache", false, "enable the join-state cache for propagation queries")
 	workers := flag.Int("workers", 1, "concurrent propagation queries per view (worker pool size)")
 	partitions := flag.Int("partitions", 0, "hash partitions per base table (0 = ROLLINGJOIN_PARTITIONS env, then 1)")
+	batch := flag.Int("batch", 0, "executor batch size in rows (0 = ROLLINGJOIN_BATCH env, then 256)")
 	skew := flag.Float64("skew", 0, "zipf exponent for fact-table keys in the star workload (0 = uniform)")
 	report := flag.Duration("report", time.Second, "live report period")
 	seed := flag.Int64("seed", 1, "workload random seed")
@@ -62,7 +63,7 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*kind, *mode, *n, *dims, *rows, *updates, *views, *maint, *interval, *adaptive, *indexed, *cached, *workers, *partitions, *skew, *report, *seed, *faults); err != nil {
+	if err := run(*kind, *mode, *n, *dims, *rows, *updates, *views, *maint, *interval, *adaptive, *indexed, *cached, *workers, *partitions, *batch, *skew, *report, *seed, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "rollload:", err)
 		os.Exit(1)
 	}
@@ -94,7 +95,7 @@ func classify(err error) sched.Outcome {
 	}
 }
 
-func run(kind, mode string, n, dims, rows, updates, views, maint int, interval int64, adaptive int, indexed, cached bool, workers, partitions int, skew float64, report time.Duration, seed, faults int64) error {
+func run(kind, mode string, n, dims, rows, updates, views, maint int, interval int64, adaptive int, indexed, cached bool, workers, partitions, batch int, skew float64, report time.Duration, seed, faults int64) error {
 	var w *workload.Workload
 	switch kind {
 	case "chain":
@@ -114,7 +115,7 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 		views = 1
 	}
 
-	db, err := engine.Open(engine.Config{Partitions: partitions})
+	db, err := engine.Open(engine.Config{Partitions: partitions, BatchSize: batch})
 	if err != nil {
 		return err
 	}
@@ -243,8 +244,8 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 		}
 	}
 
-	fmt.Printf("workload=%s mode=%s views=%d view=%s relations=%d initial-rows=%d updates=%d partitions=%d\n\n",
-		kind, mode, views, w.View.Name, w.View.N(), rows, updates, db.Partitions())
+	fmt.Printf("workload=%s mode=%s views=%d view=%s relations=%d initial-rows=%d updates=%d partitions=%d batch=%d\n\n",
+		kind, mode, views, w.View.Name, w.View.N(), rows, updates, db.Partitions(), db.BatchSize())
 
 	minHWM := func() relalg.CSN {
 		h := insts[0].rp.HWM()
@@ -405,6 +406,16 @@ func run(kind, mode string, n, dims, rows, updates, views, maint int, interval i
 	}
 	fmt.Printf("engine:               %d rows scanned, %d joined, %d index probes\n",
 		st.RowsScanned, st.RowsJoined, st.IndexProbes)
+	if st.BatchesProduced > 0 {
+		rowsPerBatch := float64(st.BatchRows) / float64(st.BatchesProduced)
+		keepPct := 100.0
+		if st.FilterRowsIn > 0 {
+			keepPct = 100 * float64(st.FilterRowsKept) / float64(st.FilterRowsIn)
+		}
+		fmt.Printf("batch pipeline:       %d batches (%.1f rows/batch, cap %d), filters kept %d/%d rows (%.0f%%), arena ~%d KiB\n",
+			st.BatchesProduced, rowsPerBatch, db.BatchSize(),
+			st.FilterRowsKept, st.FilterRowsIn, keepPct, st.ArenaBytes/1024)
+	}
 	if st.Partitions > 1 {
 		var sliceJobs int64
 		for _, v := range st.PartSliceJobs {

@@ -642,7 +642,7 @@ func (s *cacheScan) Open() error {
 // Next implements exec.Operator.
 func (s *cacheScan) Next(out *relalg.Batch) (bool, error) {
 	out.Reset()
-	for s.bi < len(s.buckets) && out.Len() < exec.BatchSize {
+	for s.bi < len(s.buckets) && out.Len() < s.db.batchSize {
 		b := s.buckets[s.bi]
 		if s.ri >= len(b) {
 			s.bi++
@@ -675,7 +675,7 @@ func (s *cacheScan) Close() error {
 // scan otherwise. It is buildPlan with the heap leaves (and their table
 // locks) replaced by resident state; delta windows stream off their trees
 // unchanged.
-func (db *DB) buildPlanCached(q *Query, use *cacheUse) (exec.Operator, error) {
+func (db *DB) buildPlanCached(q *Query, use *cacheUse, a *exec.Arena) (exec.Operator, error) {
 	arities, offsets, err := db.arities(q)
 	if err != nil {
 		return nil, err
@@ -733,12 +733,15 @@ func (db *DB) buildPlanCached(q *Query, use *cacheUse) (exec.Operator, error) {
 		if q.Inputs[i].Kind == InputBase && len(on) == 1 {
 			if st := use.byInput[i]; st.col == on[0].RightCol {
 				pred := q.Inputs[i].Pred
+				var keyBuf []byte // reused across probes; lookupBucket does not retain it
 				joined = &exec.CachedProbeJoin{
 					Left:    cur,
 					LeftCol: on[0].LeftCol,
+					Size:    db.batchSize,
+					A:       a,
 					ProbeFn: func(v tuple.Value, emit func(relalg.Row)) {
-						key := tuple.EncodeKeyValue(nil, v)
-						bucket := st.lookupBucket(string(key))
+						keyBuf = tuple.EncodeKeyValue(keyBuf[:0], v)
+						bucket := st.lookupBucket(string(keyBuf))
 						if len(bucket) == 0 {
 							db.cacheMisses.Add(1)
 							return
@@ -764,6 +767,8 @@ func (db *DB) buildPlanCached(q *Query, use *cacheUse) (exec.Operator, error) {
 				On:    on,
 				// The cache scan streams; hash the delta-anchored prefix.
 				BuildLeft: q.Inputs[i].Kind == InputBase,
+				Size:      db.batchSize,
+				A:         a,
 			}
 		}
 		cur = &exec.Tap{Child: joined, OnBatch: func(rows int) { db.addJoined(int64(rows)) }}
@@ -797,7 +802,7 @@ func (db *DB) buildPlanCached(q *Query, use *cacheUse) (exec.Operator, error) {
 		residuals = append(residuals, q.Residual)
 	}
 	if len(residuals) > 0 {
-		cur = &exec.Filter{Child: cur, Pred: residuals}
+		cur = &exec.Filter{Child: cur, Pred: residuals, OnFilter: db.noteFilter}
 	}
 
 	if q.Project != nil {
@@ -842,20 +847,34 @@ func (db *DB) ExecutePropagationCached(q *Query, sign int64, dest *DeltaTable, m
 	}
 	defer use.release()
 	db.addQuery()
-	root, err := db.buildPlanCached(q, use)
+	a := exec.NewArena()
+	defer func() {
+		db.noteArena(a)
+		a.Release()
+	}()
+	root, err := db.buildPlanCached(q, use, a)
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	tx := db.Begin()
-	rows, batches, err := exec.Drain(root, func(b *relalg.Batch) error {
-		for _, row := range b.Rows {
-			if row.TS == relalg.NullTS {
+	var encBuf []byte
+	rows, batches, err := exec.DrainWith(root, a, db.batchSize, func(b *relalg.Batch) error {
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			ts := b.TSAt(i)
+			if ts == relalg.NullTS {
 				return fmt.Errorf("engine: propagation query %s produced a null-timestamp row", q)
 			}
-			tx.AppendDelta(dest, row.TS, sign*row.Count, row.Tuple)
+			encBuf = b.EncodeRowAt(encBuf[:0], i)
+			var pv tuple.Value
+			if b.Arity() > dest.partCol {
+				pv = b.ValueAt(i, dest.partCol)
+			}
+			tx.AppendDeltaEncoded(dest, ts, sign*b.CountAt(i), encBuf, pv)
 		}
 		return nil
 	})
+	db.noteBatches(rows, batches)
 	if err != nil {
 		tx.Abort()
 		return 0, 0, 0, err

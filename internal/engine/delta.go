@@ -37,9 +37,9 @@ type DeltaTable struct {
 	pruned relalg.CSN // highest PruneThrough bound ever applied
 
 	// onAppend, when set, is called after a successful append with the
-	// record's partition and row, outside the latch (frequency sketch and
-	// per-partition counters; see heavy.go).
-	onAppend func(part int, row tuple.Tuple)
+	// record's partition and partition-column value, outside the latch
+	// (frequency sketch and per-partition counters; see heavy.go).
+	onAppend func(part int, key tuple.Value)
 }
 
 func newDeltaTable(base string, schema *tuple.Schema, nparts, partCol int) *DeltaTable {
@@ -127,9 +127,35 @@ func (d *DeltaTable) Append(ts relalg.CSN, count int64, row tuple.Tuple) (handle
 	note := d.onAppend
 	d.latch.Unlock()
 	if note != nil {
-		note(part, row)
+		note(part, row[d.partCol])
 	}
 	// The handle carries the shard so Remove routes without rehashing.
+	return append(k, byte(part))
+}
+
+// AppendEncoded adds one change record whose row is already in
+// tuple.EncodeRow form — the columnar propagation egress, which
+// serializes straight from batch columns without materializing tuples.
+// partVal must be the row's partition-column value (it routes the shard
+// and feeds the append hook). The encoded row is copied into a fresh
+// value buffer, so the caller may reuse encRow.
+func (d *DeltaTable) AppendEncoded(ts relalg.CSN, count int64, encRow []byte, partVal tuple.Value) (handle []byte) {
+	val := make([]byte, 0, binary.MaxVarintLen64+len(encRow))
+	val = binary.AppendVarint(val, count)
+	val = append(val, encRow...)
+	d.latch.Lock()
+	d.seq++
+	part := 0
+	if d.nparts > 1 {
+		part = hashPart(partVal, d.nparts)
+	}
+	k := deltaKey(ts, d.seq)
+	d.shards[part].Put(k, val)
+	note := d.onAppend
+	d.latch.Unlock()
+	if note != nil {
+		note(part, partVal)
+	}
 	return append(k, byte(part))
 }
 

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/relalg"
 	"repro/internal/tuple"
 	"repro/internal/txn"
@@ -66,6 +67,10 @@ type Config struct {
 	// DisableHeavySplit turns off the heavy/light key classifier while
 	// keeping plain hash partitioning (the "plain hash" A/B arm).
 	DisableHeavySplit bool
+	// BatchSize is the row capacity the streaming scans and join operators
+	// aim for per batch. 0 defers to the ROLLINGJOIN_BATCH environment
+	// variable, then to exec.DefaultBatchSize.
+	BatchSize int
 }
 
 // DB is an embedded database instance.
@@ -81,9 +86,13 @@ type DB struct {
 	// nparts is the instance-wide hash-partition count (>= 1); every base
 	// table and base delta is partitioned the same N ways on column 0, so
 	// equal join keys land in the same partition everywhere (the
-	// co-partitioning requirement, DESIGN.md §8).
+	// co-partitioning requirement, DESIGN.md §9).
 	nparts     int
 	heavySplit bool
+
+	// batchSize is the per-instance batch row capacity (Config.BatchSize
+	// resolved against ROLLINGJOIN_BATCH and the exec default).
+	batchSize int
 
 	sinkMu      sync.RWMutex
 	triggerSink TriggerSink
@@ -127,6 +136,15 @@ type DB struct {
 	// Snapshot counters (see readview.go).
 	snapshotsOpened atomic.Int64
 	versionsGCed    atomic.Int64
+
+	// Batch-layer counters (query.go): batches and rows produced by
+	// streaming pipelines, filter traffic for the selection-vector hit
+	// rate, and the resident bytes of the last released pipeline arena.
+	batchesProduced atomic.Int64
+	batchRows       atomic.Int64
+	filterRowsIn    atomic.Int64
+	filterRowsKept  atomic.Int64
+	arenaBytes      atomic.Int64
 
 	// Per-partition counters (partition.go / heavy.go): rows scanned by
 	// sliced scans, delta rows routed to each partition, per-partition
@@ -194,6 +212,17 @@ func Open(cfg Config) (*DB, error) {
 	if nparts < 1 {
 		nparts = 1
 	}
+	bsz := cfg.BatchSize
+	if bsz == 0 {
+		if env := os.Getenv("ROLLINGJOIN_BATCH"); env != "" {
+			if v, perr := strconv.Atoi(env); perr == nil && v >= 1 {
+				bsz = v
+			}
+		}
+	}
+	if bsz < 1 {
+		bsz = exec.DefaultBatchSize
+	}
 	db := &DB{
 		tm:            txn.NewManager(),
 		log:           log,
@@ -202,6 +231,7 @@ func Open(cfg Config) (*DB, error) {
 		sketches:      make(map[string]*keySketch),
 		nparts:        nparts,
 		heavySplit:    nparts > 1 && !cfg.DisableHeavySplit,
+		batchSize:     bsz,
 		cfg:           cfg,
 		partScanned:   make([]atomic.Int64, nparts),
 		partDeltaRows: make([]atomic.Int64, nparts),
@@ -217,6 +247,10 @@ func Open(cfg Config) (*DB, error) {
 // Partitions returns the instance-wide hash-partition count (1 =
 // unpartitioned).
 func (db *DB) Partitions() int { return db.nparts }
+
+// BatchSize returns the per-instance batch row capacity the streaming
+// pipelines use.
+func (db *DB) BatchSize() int { return db.batchSize }
 
 // HeavySplitEnabled reports whether the heavy/light key classifier is
 // active.
@@ -285,10 +319,10 @@ func (db *DB) CreateDelta(base string) (*DeltaTable, error) {
 			sk = newKeySketch(db, base)
 			db.sketches[base] = sk
 		}
-		d.onAppend = func(part int, row tuple.Tuple) {
+		d.onAppend = func(part int, key tuple.Value) {
 			db.partDeltaRows[part].Add(1)
 			if sk != nil {
-				sk.note(tuple.EncodeKeyValue(nil, row[bt.partCol]))
+				sk.note(tuple.EncodeKeyValue(nil, key))
 			}
 		}
 	}
@@ -400,6 +434,18 @@ type Stats struct {
 	HeavyKeys       int64
 	KeyMigrations   int64
 
+	// Batch-layer counters. BatchesProduced and BatchRows count the
+	// batches and rows streamed out of query pipelines (rows/batch is
+	// their ratio). FilterRowsIn and FilterRowsKept count rows entering
+	// and surviving vectorized filters (their ratio is the
+	// selection-vector hit rate). ArenaBytes is the resident footprint of
+	// the most recently released pipeline arena.
+	BatchesProduced int64
+	BatchRows       int64
+	FilterRowsIn    int64
+	FilterRowsKept  int64
+	ArenaBytes      int64
+
 	// Sched holds the maintenance scheduler's counters when one is
 	// attached (SetSchedStats); zero otherwise.
 	Sched SchedStats
@@ -446,13 +492,13 @@ func (db *DB) Stats() Stats {
 	}
 	db.mu.RUnlock()
 	return Stats{
-		Partitions:      db.nparts,
-		PartRowsScanned: snap(db.partScanned),
-		PartDeltaRows:   snap(db.partDeltaRows),
-		PartSliceJobs:   snap(db.partSliceJobs),
-		PartCacheRows:   snap(db.partCacheRows),
-		HeavyKeys:       heavy,
-		KeyMigrations:   db.keyMigrations.Load(),
+		Partitions:         db.nparts,
+		PartRowsScanned:    snap(db.partScanned),
+		PartDeltaRows:      snap(db.partDeltaRows),
+		PartSliceJobs:      snap(db.partSliceJobs),
+		PartCacheRows:      snap(db.partCacheRows),
+		HeavyKeys:          heavy,
+		KeyMigrations:      db.keyMigrations.Load(),
 		Sched:              ss,
 		RowsScanned:        db.rowsScanned.Load(),
 		RowsJoined:         db.rowsJoined.Load(),
@@ -467,6 +513,11 @@ func (db *DB) Stats() Stats {
 		CacheInvalidations: db.cacheInvalidations.Load(),
 		CacheResidentRows:  db.cacheResidentRows.Load(),
 		CacheResidentBytes: db.cacheResidentBytes.Load(),
+		BatchesProduced:    db.batchesProduced.Load(),
+		BatchRows:          db.batchRows.Load(),
+		FilterRowsIn:       db.filterRowsIn.Load(),
+		FilterRowsKept:     db.filterRowsKept.Load(),
+		ArenaBytes:         db.arenaBytes.Load(),
 		SnapshotsOpened:    db.snapshotsOpened.Load(),
 		PublishStalls:      db.tm.Stats().PublishStalls,
 		VersionsRetained:   db.DeadVersionsRetained(),
@@ -476,6 +527,27 @@ func (db *DB) Stats() Stats {
 }
 
 func (db *DB) addScanned(n int64) { db.rowsScanned.Add(n) }
+
+// noteBatches records one drained pipeline's batch and row counts.
+func (db *DB) noteBatches(rows, batches int64) {
+	db.batchesProduced.Add(batches)
+	db.batchRows.Add(rows)
+}
+
+// noteFilter records one vectorized filter application (rows in, kept).
+func (db *DB) noteFilter(in, kept int) {
+	db.filterRowsIn.Add(int64(in))
+	db.filterRowsKept.Add(int64(kept))
+}
+
+// addFilterStats is noteFilter for scan-side accumulated counts.
+func (db *DB) addFilterStats(in, kept int64) {
+	db.filterRowsIn.Add(in)
+	db.filterRowsKept.Add(kept)
+}
+
+// noteArena records a released pipeline arena's resident footprint.
+func (db *DB) noteArena(a *exec.Arena) { db.arenaBytes.Store(a.Footprint()) }
 
 func (db *DB) addJoined(n int64) { db.rowsJoined.Add(n) }
 

@@ -225,8 +225,9 @@ func (tx *Tx) lockBases(q *Query) error {
 // leaf scans; each join position is planned as either an index-nested-loop
 // probe (single equi-join condition with an index on the joined base
 // column) or a hash join whose build side is the small delta-anchored
-// prefix when the other side is a streaming base scan.
-func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
+// prefix when the other side is a streaming base scan. The arena (may be
+// nil) recycles the pipeline's batches and hash tables across steps.
+func (tx *Tx) buildPlan(q *Query, a *exec.Arena) (exec.Operator, *tuple.Schema, error) {
 	db := tx.db
 	arities, offsets, err := db.arities(q)
 	if err != nil {
@@ -250,7 +251,9 @@ func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
 			}
 			return &deltaScan{db: db, d: d, lo: in.Lo, hi: in.Hi, pred: in.Pred, spec: in.Part}, nil
 		case InputRelation:
-			return exec.NewRelationScan(in.Rel, in.Pred), nil
+			scan := exec.NewRelationScan(in.Rel, in.Pred)
+			scan.Size = db.batchSize
+			return scan, nil
 		default:
 			t, err := db.Table(in.Table)
 			if err != nil {
@@ -307,6 +310,8 @@ func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
 						db.addProbes(1)
 						return t.probeAsOf(ix, v, pred, q.AsOf)
 					},
+					Size: db.batchSize,
+					A:    a,
 				}
 			}
 		}
@@ -323,6 +328,8 @@ func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
 				// side; hash the already-materialized (delta-sized) input
 				// otherwise, mirroring the build-on-the-small-side rule.
 				BuildLeft: q.Inputs[i].Kind == InputBase,
+				Size:      db.batchSize,
+				A:         a,
 			}
 		}
 		cur = &exec.Tap{Child: joined, OnBatch: func(rows int) { db.addJoined(int64(rows)) }}
@@ -364,7 +371,7 @@ func (tx *Tx) buildPlan(q *Query) (exec.Operator, *tuple.Schema, error) {
 		residuals = append(residuals, q.Residual)
 	}
 	if len(residuals) > 0 {
-		cur = &exec.Filter{Child: cur, Pred: residuals}
+		cur = &exec.Filter{Child: cur, Pred: residuals, OnFilter: db.noteFilter}
 	}
 
 	schema := cs
@@ -409,11 +416,24 @@ func (tx *Tx) EvalQuery(q *Query) (*relalg.Relation, error) {
 		defer snap.Close()
 	}
 	tx.db.addQuery()
-	root, schema, err := tx.buildPlan(q)
+	a := exec.NewArena()
+	root, schema, err := tx.buildPlan(q, a)
+	if err != nil {
+		a.Release()
+		return nil, err
+	}
+	out := relalg.NewRelation(schema)
+	rows, batches, err := exec.DrainWith(root, a, tx.db.batchSize, func(b *relalg.Batch) error {
+		out.Rows = b.MaterializeInto(out.Rows)
+		return nil
+	})
+	tx.db.noteBatches(rows, batches)
+	tx.db.noteArena(a)
+	a.Release()
 	if err != nil {
 		return nil, err
 	}
-	return exec.Collect(root, schema)
+	return out, nil
 }
 
 // StreamQuery evaluates q and feeds every result batch to sink instead of
@@ -429,7 +449,7 @@ func (tx *Tx) StreamQuery(q *Query, sink func(*relalg.Batch) error) (rows, batch
 		if len(rel.Rows) == 0 {
 			return 0, 0, nil
 		}
-		return int64(len(rel.Rows)), 1, sink(&relalg.Batch{Rows: rel.Rows})
+		return int64(len(rel.Rows)), 1, sink(relalg.BatchFromRows(rel.Rows))
 	}
 	snap, err := tx.snapshotFor(q)
 	if err != nil {
@@ -439,11 +459,17 @@ func (tx *Tx) StreamQuery(q *Query, sink func(*relalg.Batch) error) (rows, batch
 		defer snap.Close()
 	}
 	tx.db.addQuery()
-	root, _, err := tx.buildPlan(q)
+	a := exec.NewArena()
+	root, _, err := tx.buildPlan(q, a)
 	if err != nil {
+		a.Release()
 		return 0, 0, err
 	}
-	return exec.Drain(root, sink)
+	rows, batches, err = exec.DrainWith(root, a, tx.db.batchSize, sink)
+	tx.db.noteBatches(rows, batches)
+	tx.db.noteArena(a)
+	a.Release()
+	return rows, batches, err
 }
 
 // MaterializeExec is the pre-pipeline evaluation path: every input is
@@ -708,12 +734,24 @@ func (db *DB) ExecutePropagation(q *Query, sign int64, dest *DeltaTable) (relalg
 		}
 	}
 	tx := db.Begin()
+	// Columnar egress: serialize each result row straight from the batch's
+	// columns into the delta table's row encoding; no tuples materialize
+	// between the pipeline root and storage. encBuf is reused per row
+	// (AppendEncoded copies into the value buffer the B+ tree retains).
+	var encBuf []byte
 	rows, batches, err := tx.StreamQuery(q, func(b *relalg.Batch) error {
-		for _, row := range b.Rows {
-			if row.TS == relalg.NullTS {
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			ts := b.TSAt(i)
+			if ts == relalg.NullTS {
 				return fmt.Errorf("engine: propagation query %s produced a null-timestamp row", q)
 			}
-			tx.AppendDelta(dest, row.TS, sign*row.Count, row.Tuple)
+			encBuf = b.EncodeRowAt(encBuf[:0], i)
+			var pv tuple.Value
+			if b.Arity() > dest.partCol {
+				pv = b.ValueAt(i, dest.partCol)
+			}
+			tx.AppendDeltaEncoded(dest, ts, sign*b.CountAt(i), encBuf, pv)
 		}
 		return nil
 	})

@@ -2,9 +2,9 @@ package engine
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"repro/internal/btree"
-	"repro/internal/exec"
 	"repro/internal/relalg"
 )
 
@@ -22,6 +22,12 @@ import (
 // one after another; relational consumers are multiset operators, so the
 // shard-major order is immaterial (and with one shard it is exactly the
 // seed order).
+//
+// Both scans are the columnar ingress: stored rows decode straight from
+// their on-disk encodings into the output batch's column vectors (string
+// payloads interning into the column dictionaries), then slice admission
+// and pushdown predicates narrow the batch with its selection vector.
+// Tuples are never materialized on this path.
 
 // tableScan streams a base table's heap in batches, applying an optional
 // pushdown predicate. Rows carry count +1 and the null timestamp, like
@@ -35,12 +41,13 @@ type tableScan struct {
 	asOf relalg.CSN
 	spec *PartSpec
 
-	shards  []*btree.Tree
-	pure    bool // shards are hash-pure for spec (single matching shard)
-	cur     int
-	it      *btree.Iterator
-	latched bool
-	scanned int64
+	shards     []*btree.Tree
+	pure       bool // shards are hash-pure for spec (single matching shard)
+	cur        int
+	it         *btree.Iterator
+	latched    bool
+	scanned    int64
+	fin, fkept int64 // pushdown-filter traffic (rows in, rows kept)
 }
 
 // Open implements exec.Operator.
@@ -53,37 +60,65 @@ func (s *tableScan) Open() error {
 	return nil
 }
 
+// decodeVersionHeader splits a heap value into its version header and the
+// still-encoded row payload (the columnar ingress does not materialize
+// the tuple).
+func decodeVersionHeader(v []byte) (born, dead relalg.CSN, enc []byte) {
+	if len(v) < 16 {
+		panic("engine: corrupt heap row: short version header")
+	}
+	born = relalg.CSN(binary.BigEndian.Uint64(v[0:8]))
+	dead = relalg.CSN(binary.BigEndian.Uint64(v[8:16]))
+	return born, dead, v[16:]
+}
+
 // Next implements exec.Operator.
 func (s *tableScan) Next(out *relalg.Batch) (bool, error) {
-	out.Reset()
-	for out.Len() < exec.BatchSize {
-		if !s.it.Valid() {
-			s.cur++
-			if s.cur >= len(s.shards) {
-				break
-			}
-			s.it = s.shards[s.cur].First()
-			continue
-		}
-		born, dead, row := decodeVersionedRow(s.it.Value())
-		s.it.Next()
-		if s.asOf == relalg.NullTS {
-			if dead != csnNone {
+	max := s.db.batchSize
+	for {
+		out.Reset()
+		exhausted := false
+		for out.Len() < max {
+			if !s.it.Valid() {
+				s.cur++
+				if s.cur >= len(s.shards) {
+					exhausted = true
+					break
+				}
+				s.it = s.shards[s.cur].First()
 				continue
 			}
-		} else if !visibleAt(born, dead, s.asOf) {
-			continue
+			born, dead, enc := decodeVersionHeader(s.it.Value())
+			s.it.Next()
+			if s.asOf == relalg.NullTS {
+				if dead != csnNone {
+					continue
+				}
+			} else if !visibleAt(born, dead, s.asOf) {
+				continue
+			}
+			if _, err := out.AppendDecodedRow(enc, 1, relalg.NullTS); err != nil {
+				return false, fmt.Errorf("engine: corrupt heap row: %w", err)
+			}
 		}
-		if s.spec.sliced() && !s.spec.admits(row[s.t.partCol], s.pure) {
-			continue
+		if s.spec.sliced() {
+			pc := s.t.partCol
+			out.Retain(func(i int) bool { return s.spec.admits(out.ValueAt(i, pc), s.pure) })
 		}
-		if s.pred != nil && !s.pred.Eval(row) {
-			continue
+		if s.pred != nil {
+			before := int64(out.Len())
+			relalg.FilterBatch(s.pred, out)
+			s.fin += before
+			s.fkept += int64(out.Len())
 		}
-		out.Add(row, 1, relalg.NullTS)
+		s.scanned += int64(out.Len())
+		if out.Len() > 0 {
+			return true, nil
+		}
+		if exhausted {
+			return false, nil
+		}
 	}
-	s.scanned += int64(out.Len())
-	return out.Len() > 0, nil
 }
 
 // Close implements exec.Operator.
@@ -92,6 +127,7 @@ func (s *tableScan) Close() error {
 		s.latched = false
 		s.t.latch.RUnlock()
 		s.db.addScanned(s.scanned)
+		s.db.addFilterStats(s.fin, s.fkept)
 		if s.spec.sliced() {
 			s.db.addPartScanned(s.spec.shard(), s.spec.N, s.scanned)
 		}
@@ -111,14 +147,15 @@ type deltaScan struct {
 	pred   relalg.Predicate
 	spec   *PartSpec
 
-	shards  []*btree.Tree
-	pure    bool
-	cur     int
-	it      *btree.Iterator
-	start   []byte
-	end     []byte
-	latched bool
-	scanned int64
+	shards     []*btree.Tree
+	pure       bool
+	cur        int
+	it         *btree.Iterator
+	start      []byte
+	end        []byte
+	latched    bool
+	scanned    int64
+	fin, fkept int64
 }
 
 // Open implements exec.Operator.
@@ -147,29 +184,49 @@ func (s *deltaScan) Next(out *relalg.Batch) (bool, error) {
 	if !s.latched {
 		return false, nil
 	}
-	for out.Len() < exec.BatchSize {
-		if !s.it.Valid() || string(s.it.Key()) >= string(s.end) {
-			s.cur++
-			if s.cur >= len(s.shards) {
-				break
+	max := s.db.batchSize
+	for {
+		out.Reset()
+		exhausted := false
+		for out.Len() < max {
+			if !s.it.Valid() || string(s.it.Key()) >= string(s.end) {
+				s.cur++
+				if s.cur >= len(s.shards) {
+					exhausted = true
+					break
+				}
+				s.it = s.shards[s.cur].Seek(s.start)
+				continue
 			}
-			s.it = s.shards[s.cur].Seek(s.start)
-			continue
+			ts := relalg.CSN(binary.BigEndian.Uint64(s.it.Key()[0:8]))
+			v := s.it.Value()
+			count, n := binary.Varint(v)
+			if n <= 0 {
+				panic("engine: corrupt delta value")
+			}
+			s.it.Next()
+			if _, err := out.AppendDecodedRow(v[n:], count, ts); err != nil {
+				return false, fmt.Errorf("engine: corrupt delta row: %w", err)
+			}
 		}
-		k := s.it.Key()
-		ts := relalg.CSN(binary.BigEndian.Uint64(k[0:8]))
-		count, row := decodeDeltaVal(s.it.Value())
-		s.it.Next()
-		if s.spec.sliced() && !s.spec.admits(row[s.d.partCol], s.pure) {
-			continue
+		if s.spec.sliced() {
+			pc := s.d.partCol
+			out.Retain(func(i int) bool { return s.spec.admits(out.ValueAt(i, pc), s.pure) })
 		}
-		if s.pred != nil && !s.pred.Eval(row) {
-			continue
+		if s.pred != nil {
+			before := int64(out.Len())
+			relalg.FilterBatch(s.pred, out)
+			s.fin += before
+			s.fkept += int64(out.Len())
 		}
-		out.Add(row, count, ts)
+		s.scanned += int64(out.Len())
+		if out.Len() > 0 {
+			return true, nil
+		}
+		if exhausted {
+			return false, nil
+		}
 	}
-	s.scanned += int64(out.Len())
-	return out.Len() > 0, nil
 }
 
 // Close implements exec.Operator.
@@ -178,6 +235,7 @@ func (s *deltaScan) Close() error {
 		s.latched = false
 		s.d.latch.RUnlock()
 		s.db.addScanned(s.scanned)
+		s.db.addFilterStats(s.fin, s.fkept)
 		if s.spec.sliced() {
 			s.db.addPartScanned(s.spec.shard(), s.spec.N, s.scanned)
 		}

@@ -183,6 +183,14 @@ func (tx *Tx) AppendDelta(d *DeltaTable, ts relalg.CSN, count int64, row tuple.T
 	tx.inner.OnAbort(func() { d.Remove(h) })
 }
 
+// AppendDeltaEncoded is AppendDelta for a row already in tuple.EncodeRow
+// form (the columnar propagation egress); partVal is the row's
+// partition-column value.
+func (tx *Tx) AppendDeltaEncoded(d *DeltaTable, ts relalg.CSN, count int64, encRow []byte, partVal tuple.Value) {
+	h := d.AppendEncoded(ts, count, encRow, partVal)
+	tx.inner.OnAbort(func() { d.Remove(h) })
+}
+
 // Commit finishes the transaction. The commit hook appends the WAL commit
 // record and notifies the trigger sink while holding the commit mutex, so
 // the log order, CSN order, and trigger-capture order all match the

@@ -1,17 +1,19 @@
 // Package exec is the physical-plan layer: a batched iterator ("Volcano
-// with vectors") operator protocol over reusable tuple batches. The engine
-// planner lowers each propagation query to a tree of these operators, so
-// deltas stream through the pipeline instead of materializing every input
-// and every intermediate join result as a relalg.Relation — the shape DBSP
-// and DBToaster show is required for incremental maintenance to pay off at
-// scale.
+// with vectors") operator protocol over reusable columnar batches. The
+// engine planner lowers each propagation query to a tree of these
+// operators, so deltas stream through the pipeline instead of
+// materializing every input and every intermediate join result as a
+// relalg.Relation — the shape DBSP and DBToaster show is required for
+// incremental maintenance to pay off at scale.
 //
 // Protocol: Open prepares the operator (acquiring latches, building hash
 // tables); Next fills the caller-provided batch and reports whether it
 // produced any rows — a false return means the operator is exhausted, and a
 // true return carries at least one row; Close releases resources and must
-// be idempotent. Operators own the batches they hand to their children, so
-// a pipeline in steady state allocates output tuples but no containers.
+// be idempotent. Operators own the batches they hand to their children and
+// check them into their Arena (when attached) at Close; filters narrow
+// batches with selection vectors and projections permute columns in place,
+// so a steady-state pipeline moves column payloads without allocating.
 package exec
 
 import (
@@ -21,27 +23,28 @@ import (
 	"repro/internal/tuple"
 )
 
-// BatchSize is the number of rows operators aim to put in one batch — the
-// pipeline's vectorization knob. Larger batches amortize per-batch overhead;
-// smaller batches keep intermediate working sets cache-resident. Operators
-// may overshoot it when a single probe row fans out to many matches.
-var BatchSize = 256
+// DefaultBatchSize is the batch row-capacity operators use when their
+// Size field is zero — the pipeline's vectorization knob. Larger batches
+// amortize per-batch overhead; smaller batches keep intermediate working
+// sets cache-resident. Per-database values come from engine.Config
+// (ROLLINGJOIN_BATCH); operators may overshoot when a single probe row
+// fans out to many matches.
+const DefaultBatchSize = 256
 
-// DisableBatchPool turns off batch-container recycling, making every
-// operator allocate fresh batches (the pre-pool behavior). A/B knob for the
-// allocation benchmarks; set before starting work, like BatchSize.
-var DisableBatchPool = false
+func batchSize(n int) int {
+	if n > 0 {
+		return n
+	}
+	return DefaultBatchSize
+}
 
-// batchPool recycles the Batch containers operators feed their children.
-// Propagation runs thousands of short pipelines, each of which previously
-// allocated one batch per operator; recycling them removes that steady-state
-// garbage. Row contents are not pooled — Reset truncates but keeps capacity,
-// and sinks are already required to copy rows they retain.
-var batchPool = sync.Pool{New: func() any { return relalg.NewBatch(BatchSize) }}
+// batchPool is the global fallback recycler used by operators with no
+// Arena attached (hand-built trees in tests, one-off drains).
+var batchPool = sync.Pool{New: func() any { return relalg.NewBatch(DefaultBatchSize) }}
 
 func getBatch() *relalg.Batch {
 	if DisableBatchPool {
-		return relalg.NewBatch(BatchSize)
+		return relalg.NewBatch(DefaultBatchSize)
 	}
 	b := batchPool.Get().(*relalg.Batch)
 	b.Reset()
@@ -73,7 +76,7 @@ type Operator interface {
 func Collect(op Operator, schema *tuple.Schema) (*relalg.Relation, error) {
 	out := relalg.NewRelation(schema)
 	_, _, err := Drain(op, func(b *relalg.Batch) error {
-		out.Rows = append(out.Rows, b.Rows...)
+		out.Rows = b.MaterializeInto(out.Rows)
 		return nil
 	})
 	return out, err
@@ -83,13 +86,19 @@ func Collect(op Operator, schema *tuple.Schema) (*relalg.Relation, error) {
 // row and batch counts. The batch passed to sink is reused across calls;
 // the sink must copy rows it wants to keep.
 func Drain(op Operator, sink func(*relalg.Batch) error) (rows, batches int64, err error) {
+	return DrainWith(op, nil, 0, sink)
+}
+
+// DrainWith is Drain with an explicit arena (nil falls back to the
+// global pool) and batch-capacity hint for the root batch.
+func DrainWith(op Operator, a *Arena, size int, sink func(*relalg.Batch) error) (rows, batches int64, err error) {
 	if err := op.Open(); err != nil {
 		op.Close()
 		return 0, 0, err
 	}
 	defer op.Close()
-	b := getBatch()
-	defer putBatch(b)
+	b := a.Batch(batchSize(size))
+	defer a.PutBatch(b)
 	for {
 		ok, err := op.Next(b)
 		if err != nil {
@@ -112,6 +121,8 @@ func Drain(op Operator, sink func(*relalg.Batch) error) (rows, batches int64, er
 type RelationScan struct {
 	Rel  *relalg.Relation
 	Pred relalg.Predicate
+	// Size caps rows per batch; 0 means DefaultBatchSize.
+	Size int
 
 	pos int
 }
@@ -130,7 +141,8 @@ func (s *RelationScan) Open() error {
 // Next implements Operator.
 func (s *RelationScan) Next(out *relalg.Batch) (bool, error) {
 	out.Reset()
-	for s.pos < len(s.Rel.Rows) && out.Len() < BatchSize {
+	max := batchSize(s.Size)
+	for s.pos < len(s.Rel.Rows) && out.Len() < max {
 		row := s.Rel.Rows[s.pos]
 		s.pos++
 		if s.Pred != nil && !s.Pred.Eval(row.Tuple) {
@@ -144,29 +156,31 @@ func (s *RelationScan) Next(out *relalg.Batch) (bool, error) {
 // Close implements Operator.
 func (s *RelationScan) Close() error { return nil }
 
-// Filter passes through the rows of its child that satisfy Pred.
+// Filter narrows each child batch to the rows satisfying Pred, in place
+// via the batch's selection vector — no rows are copied.
 type Filter struct {
 	Child Operator
 	Pred  relalg.Predicate
-
-	in *relalg.Batch
+	// OnFilter, when set, observes each non-empty child batch as
+	// (rows in, rows kept) — the selection-vector stats hook.
+	OnFilter func(in, kept int)
 }
 
 // Open implements Operator.
-func (f *Filter) Open() error {
-	f.in = getBatch()
-	return f.Child.Open()
-}
+func (f *Filter) Open() error { return f.Child.Open() }
 
 // Next implements Operator.
 func (f *Filter) Next(out *relalg.Batch) (bool, error) {
-	out.Reset()
 	for {
-		ok, err := f.Child.Next(f.in)
+		ok, err := f.Child.Next(out)
 		if err != nil || !ok {
-			return out.Len() > 0, err
+			return false, err
 		}
-		relalg.FilterInto(out, f.in, f.Pred)
+		in := out.Len()
+		relalg.FilterBatch(f.Pred, out)
+		if f.OnFilter != nil {
+			f.OnFilter(in, out.Len())
+		}
 		if out.Len() > 0 {
 			return true, nil
 		}
@@ -174,45 +188,32 @@ func (f *Filter) Next(out *relalg.Batch) (bool, error) {
 }
 
 // Close implements Operator.
-func (f *Filter) Close() error {
-	putBatch(f.in)
-	f.in = nil
-	return f.Child.Close()
-}
+func (f *Filter) Close() error { return f.Child.Close() }
 
-// Project maps each child row onto the columns at Idx (the batched form of
-// relalg.Project; it also serves as the column-permutation step restoring
-// declaration order after a reordered join pipeline).
+// Project maps each child batch onto the columns at Idx (the batched
+// form of relalg.Project; it also serves as the column-permutation step
+// restoring declaration order after a reordered join pipeline). In the
+// columnar layout this is a column move, not a copy.
 type Project struct {
 	Child Operator
 	Idx   []int
-
-	in *relalg.Batch
 }
 
 // Open implements Operator.
-func (p *Project) Open() error {
-	p.in = getBatch()
-	return p.Child.Open()
-}
+func (p *Project) Open() error { return p.Child.Open() }
 
 // Next implements Operator.
 func (p *Project) Next(out *relalg.Batch) (bool, error) {
-	out.Reset()
-	ok, err := p.Child.Next(p.in)
+	ok, err := p.Child.Next(out)
 	if err != nil || !ok {
 		return false, err
 	}
-	relalg.ProjectInto(out, p.in, p.Idx)
+	out.ProjectInPlace(p.Idx)
 	return out.Len() > 0, nil
 }
 
 // Close implements Operator.
-func (p *Project) Close() error {
-	putBatch(p.in)
-	p.in = nil
-	return p.Child.Close()
-}
+func (p *Project) Close() error { return p.Child.Close() }
 
 // Tap invokes OnBatch on every batch flowing through it (stats hooks).
 type Tap struct {

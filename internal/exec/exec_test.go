@@ -61,9 +61,6 @@ func sameRows(t *testing.T, got, want *relalg.Relation) {
 }
 
 func TestRelationScanBatches(t *testing.T) {
-	old := BatchSize
-	BatchSize = 4
-	defer func() { BatchSize = old }()
 	schema := intSchema("a")
 	src := relalg.NewRelation(schema)
 	for i := 0; i < 11; i++ {
@@ -71,10 +68,11 @@ func TestRelationScanBatches(t *testing.T) {
 	}
 	var rows, batches int
 	op := NewRelationScan(src, nil)
+	op.Size = 4
 	if err := op.Open(); err != nil {
 		t.Fatal(err)
 	}
-	b := relalg.NewBatch(BatchSize)
+	b := relalg.NewBatch(op.Size)
 	for {
 		ok, err := op.Next(b)
 		if err != nil {
@@ -237,11 +235,10 @@ func TestTapCountsRows(t *testing.T) {
 }
 
 func TestDrainCounts(t *testing.T) {
-	old := BatchSize
-	BatchSize = 2
-	defer func() { BatchSize = old }()
 	src := rel(intSchema("a"), row(1, 1, 1), row(1, 2, 2), row(1, 3, 3))
-	rows, batches, err := Drain(NewRelationScan(src, nil), func(*relalg.Batch) error { return nil })
+	scan := NewRelationScan(src, nil)
+	scan.Size = 2
+	rows, batches, err := Drain(scan, func(*relalg.Batch) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,22 +6,30 @@ import (
 )
 
 // HashJoin is the batched equi-join operator. One child (chosen by
-// BuildLeft) is drained into a hash table at Open; the other streams
-// through, probing. The output row layout is always left ⧺ right with the
-// paper's combination rule (count product, min non-null timestamp),
-// regardless of which side is built, so the planner can put the hash table
-// on the small delta side and stream the large base scan without disturbing
-// the schema. With no conditions it degenerates to a cross product. An
-// empty build side short-circuits: the probe child is never even opened.
+// BuildLeft) is drained into a columnar hash table at Open; the other
+// streams through, probing chain-wise: hash straight off the probe
+// batch's columns, Seek/Next/Match down the bucket chain, and append
+// matches as column moves. The output row layout is always left ⧺ right
+// with the paper's combination rule (count product, min non-null
+// timestamp), regardless of which side is built, so the planner can put
+// the hash table on the small delta side and stream the large base scan
+// without disturbing the schema. With no conditions it degenerates to a
+// cross product. An empty build side short-circuits: the probe child is
+// never even opened.
 type HashJoin struct {
 	Left, Right Operator
 	On          []relalg.JoinOn
 	// BuildLeft selects the build side: true hashes Left and streams Right.
 	BuildLeft bool
+	// Size caps probe-batch rows; 0 means DefaultBatchSize.
+	Size int
+	// A, when set, recycles the probe batch and hash table.
+	A *Arena
 
 	ht          *relalg.HashTable
 	probe       Operator
 	probeCols   []int
+	buildCols   []int
 	in          *relalg.Batch
 	probeOpened bool
 	done        bool
@@ -29,23 +37,27 @@ type HashJoin struct {
 
 // Open implements Operator: it fully drains the build side.
 func (j *HashJoin) Open() error {
-	buildCols := make([]int, len(j.On))
-	probeCols := make([]int, len(j.On))
+	if cap(j.buildCols) < len(j.On) {
+		j.buildCols = make([]int, len(j.On))
+		j.probeCols = make([]int, len(j.On))
+	}
+	j.buildCols = j.buildCols[:len(j.On)]
+	j.probeCols = j.probeCols[:len(j.On)]
 	build := j.Right
 	j.probe = j.Left
 	for i, c := range j.On {
-		buildCols[i], probeCols[i] = c.RightCol, c.LeftCol
+		j.buildCols[i], j.probeCols[i] = c.RightCol, c.LeftCol
 	}
 	if j.BuildLeft {
 		build = j.Left
 		j.probe = j.Right
 		for i, c := range j.On {
-			buildCols[i], probeCols[i] = c.LeftCol, c.RightCol
+			j.buildCols[i], j.probeCols[i] = c.LeftCol, c.RightCol
 		}
 	}
-	j.probeCols = probeCols
-	j.ht = relalg.NewHashTable(buildCols)
-	j.in = getBatch()
+	j.done = false
+	j.ht = j.A.Table(j.buildCols)
+	j.in = j.A.Batch(batchSize(j.Size))
 
 	if err := build.Open(); err != nil {
 		build.Close()
@@ -70,6 +82,7 @@ func (j *HashJoin) Open() error {
 		j.done = true
 		return nil
 	}
+	j.ht.Finalize()
 	if err := j.probe.Open(); err != nil {
 		return err
 	}
@@ -83,6 +96,7 @@ func (j *HashJoin) Next(out *relalg.Batch) (bool, error) {
 	if j.done {
 		return false, nil
 	}
+	store := j.ht.Store()
 	for {
 		ok, err := j.probe.Next(j.in)
 		if err != nil {
@@ -92,14 +106,19 @@ func (j *HashJoin) Next(out *relalg.Batch) (bool, error) {
 			j.done = true
 			return out.Len() > 0, nil
 		}
-		for _, pr := range j.in.Rows {
-			j.ht.Probe(pr.Tuple, j.probeCols, func(br relalg.Row) {
-				if j.BuildLeft {
-					out.Append(relalg.Combine(br, pr))
-				} else {
-					out.Append(relalg.Combine(pr, br))
+		n := j.in.Len()
+		for pi := 0; pi < n; pi++ {
+			h := j.in.HashAt(pi, j.probeCols)
+			for i := j.ht.Seek(h); i >= 0; i = j.ht.Next(i) {
+				if !j.ht.Match(i, h, j.in, pi, j.probeCols) {
+					continue
 				}
-			})
+				if j.BuildLeft {
+					out.AppendJoined(store, int(i), j.in, pi)
+				} else {
+					out.AppendJoined(j.in, pi, store, int(i))
+				}
+			}
 		}
 		if out.Len() >= 1 {
 			return true, nil
@@ -109,8 +128,9 @@ func (j *HashJoin) Next(out *relalg.Batch) (bool, error) {
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
+	j.A.PutTable(j.ht)
 	j.ht = nil
-	putBatch(j.in)
+	j.A.PutBatch(j.in)
 	j.in = nil
 	if j.probeOpened {
 		j.probeOpened = false
@@ -130,6 +150,10 @@ type IndexLoopJoin struct {
 	LeftCol int
 	// ProbeFn returns the matching base rows for a key value.
 	ProbeFn func(v tuple.Value) []tuple.Tuple
+	// Size caps left-batch rows; 0 means DefaultBatchSize.
+	Size int
+	// A, when set, recycles the left batch.
+	A *Arena
 
 	in   *relalg.Batch
 	done bool
@@ -137,7 +161,8 @@ type IndexLoopJoin struct {
 
 // Open implements Operator.
 func (j *IndexLoopJoin) Open() error {
-	j.in = getBatch()
+	j.done = false
+	j.in = j.A.Batch(batchSize(j.Size))
 	return j.Left.Open()
 }
 
@@ -156,9 +181,10 @@ func (j *IndexLoopJoin) Next(out *relalg.Batch) (bool, error) {
 			j.done = true
 			return out.Len() > 0, nil
 		}
-		for _, lr := range j.in.Rows {
-			for _, m := range j.ProbeFn(lr.Tuple[j.LeftCol]) {
-				out.Add(tuple.Concat(lr.Tuple, m), lr.Count, lr.TS)
+		n := j.in.Len()
+		for li := 0; li < n; li++ {
+			for _, m := range j.ProbeFn(j.in.ValueAt(li, j.LeftCol)) {
+				out.AppendConcatTuple(j.in, li, m)
 			}
 		}
 		if out.Len() >= 1 {
@@ -169,7 +195,7 @@ func (j *IndexLoopJoin) Next(out *relalg.Batch) (bool, error) {
 
 // Close implements Operator.
 func (j *IndexLoopJoin) Close() error {
-	putBatch(j.in)
+	j.A.PutBatch(j.in)
 	j.in = nil
 	return j.Left.Close()
 }
@@ -179,21 +205,34 @@ func (j *IndexLoopJoin) Close() error {
 // heap probes (always count one), cached rows carry net counts, so matches
 // combine with the full rule: count product, minimum non-null timestamp.
 // ProbeFn receives an emit callback instead of returning a slice so the
-// cache can stream bucket entries without allocating per probe.
+// cache can stream bucket entries without allocating per probe; the
+// callback is built once per Open and parameterized through operator
+// fields, keeping the probe loop closure-allocation-free.
 type CachedProbeJoin struct {
 	Left Operator
 	// LeftCol is the probe key column within the left row.
 	LeftCol int
 	// ProbeFn calls emit for every cached row matching the key value.
 	ProbeFn func(v tuple.Value, emit func(relalg.Row))
+	// Size caps left-batch rows; 0 means DefaultBatchSize.
+	Size int
+	// A, when set, recycles the left batch.
+	A *Arena
 
 	in   *relalg.Batch
+	out  *relalg.Batch
+	li   int
+	emit func(relalg.Row)
 	done bool
 }
 
 // Open implements Operator.
 func (j *CachedProbeJoin) Open() error {
-	j.in = getBatch()
+	j.done = false
+	j.in = j.A.Batch(batchSize(j.Size))
+	if j.emit == nil {
+		j.emit = func(m relalg.Row) { j.out.AppendJoinedRow(j.in, j.li, m) }
+	}
 	return j.Left.Open()
 }
 
@@ -203,6 +242,7 @@ func (j *CachedProbeJoin) Next(out *relalg.Batch) (bool, error) {
 	if j.done {
 		return false, nil
 	}
+	j.out = out
 	for {
 		ok, err := j.Left.Next(j.in)
 		if err != nil {
@@ -212,10 +252,10 @@ func (j *CachedProbeJoin) Next(out *relalg.Batch) (bool, error) {
 			j.done = true
 			return out.Len() > 0, nil
 		}
-		for _, lr := range j.in.Rows {
-			j.ProbeFn(lr.Tuple[j.LeftCol], func(m relalg.Row) {
-				out.Append(relalg.Combine(lr, m))
-			})
+		n := j.in.Len()
+		for li := 0; li < n; li++ {
+			j.li = li
+			j.ProbeFn(j.in.ValueAt(li, j.LeftCol), j.emit)
 		}
 		if out.Len() >= 1 {
 			return true, nil
@@ -225,7 +265,8 @@ func (j *CachedProbeJoin) Next(out *relalg.Batch) (bool, error) {
 
 // Close implements Operator.
 func (j *CachedProbeJoin) Close() error {
-	putBatch(j.in)
+	j.A.PutBatch(j.in)
 	j.in = nil
+	j.out = nil
 	return j.Left.Close()
 }

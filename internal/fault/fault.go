@@ -30,7 +30,7 @@ import (
 )
 
 // Canonical failpoint names, one per durability-critical site. The crash
-// classes they fall into are documented in DESIGN.md §7.
+// classes they fall into are documented in DESIGN.md §8.
 const (
 	// PointWALAppend fires inside wal.Log.Append before the device write.
 	PointWALAppend = "wal/append"
@@ -56,7 +56,7 @@ const (
 	PointRestore = "restore"
 	// PointMigrate fires as the heavy/light classifier migrates a join key
 	// between the generic hash path and a dedicated heavy partition
-	// (engine partitioning, DESIGN.md §8). An injected error aborts the
+	// (engine partitioning, DESIGN.md §9). An injected error aborts the
 	// migration, leaving the old classification; a crash here must be
 	// recoverable because classifier and resident partial state are
 	// volatile and rebuilt from durable storage.

@@ -1,0 +1,161 @@
+package relalg
+
+import "repro/internal/tuple"
+
+// HashTable is the build side of a streaming hash join. Build rows live
+// in a columnar Batch (the store) with their key hashes in a parallel
+// vector; Finalize links them into bucket chains over a power-of-two
+// head array. Probing walks a chain with Seek/Next and confirms
+// candidates with Match — no closures, no materialized tuples, so the
+// probe loop in the executor stays allocation-free.
+//
+// With an empty key-column list every row hashes to the same constant
+// and lands in one chain, which makes the cross-product case fall out
+// of the ordinary probe path. NULL keys match NULL keys, consistent
+// with the materializing join in ops.go.
+type HashTable struct {
+	cols   []int
+	store  *Batch
+	hashes []uint64
+	head   []int32
+	next   []int32
+	mask   uint32
+	sealed bool
+}
+
+// NewHashTable returns an empty table keyed on the given columns of the
+// build input.
+func NewHashTable(cols []int) *HashTable {
+	return &HashTable{cols: cols, store: NewBatch(0)}
+}
+
+// Reset clears the table for reuse (arena recycling), keeping all
+// storage, and re-keys it on cols.
+func (h *HashTable) Reset(cols []int) {
+	h.cols = cols
+	h.store.Reset()
+	h.hashes = h.hashes[:0]
+	h.next = h.next[:0]
+	h.sealed = false
+}
+
+// Insert adds one build row.
+func (h *HashTable) Insert(r Row) {
+	h.store.Append(r)
+	h.hashes = append(h.hashes, h.store.HashAt(h.store.Len()-1, h.cols))
+	h.sealed = false
+}
+
+// InsertBatch adds every visible row of b, hashing straight off b's
+// columns before the copy.
+func (h *HashTable) InsertBatch(b *Batch) {
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		h.store.AppendRowOf(b, i)
+		h.hashes = append(h.hashes, b.HashAt(i, h.cols))
+	}
+	if n > 0 {
+		h.sealed = false
+	}
+}
+
+// Len returns the number of build rows.
+func (h *HashTable) Len() int { return h.store.Len() }
+
+// Finalize builds the bucket chains. It is idempotent and called
+// automatically by Seek; exposed so the executor can pay for it at the
+// end of the build phase rather than on the first probe.
+func (h *HashTable) Finalize() {
+	if h.sealed {
+		return
+	}
+	n := len(h.hashes)
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	size <<= 1 // keep the load factor at or below 1/2
+	if cap(h.head) < size {
+		h.head = make([]int32, size)
+	}
+	h.head = h.head[:size]
+	for i := range h.head {
+		h.head[i] = -1
+	}
+	h.mask = uint32(size - 1)
+	if cap(h.next) < n {
+		h.next = make([]int32, n)
+	}
+	h.next = h.next[:n]
+	// Prepend in reverse so each chain reads in insertion order, keeping
+	// output row order identical to the row-at-a-time join.
+	for i := n - 1; i >= 0; i-- {
+		b := uint32(h.hashes[i]) & h.mask
+		h.next[i] = h.head[b]
+		h.head[b] = int32(i)
+	}
+	h.sealed = true
+}
+
+// Seek returns the first candidate build-row index for hash, or -1.
+func (h *HashTable) Seek(hash uint64) int32 {
+	if !h.sealed {
+		h.Finalize()
+	}
+	return h.head[uint32(hash)&h.mask]
+}
+
+// Next returns the candidate after i in its chain, or -1.
+func (h *HashTable) Next(i int32) int32 { return h.next[i] }
+
+// Match reports whether build row i carries the given hash and its key
+// columns equal the keys of row pi in probe (probeCols), column against
+// column.
+func (h *HashTable) Match(i int32, hash uint64, probe *Batch, pi int, probeCols []int) bool {
+	if h.hashes[i] != hash {
+		return false
+	}
+	return colsEqualAt(h.store, int(i), h.cols, probe, pi, probeCols)
+}
+
+// Row materializes build row i (boundary use only; the hot path joins
+// column-wise via Batch.AppendJoined with Store).
+func (h *HashTable) Row(i int32) Row { return h.store.RowAt(int(i)) }
+
+// Store exposes the build-side batch so the executor can append joined
+// rows column-wise.
+func (h *HashTable) Store() *Batch { return h.store }
+
+// Cols returns the build key columns.
+func (h *HashTable) Cols() []int { return h.cols }
+
+// Probe invokes fn for every build row whose keys equal t's probeCols,
+// in insertion order. This is the legacy row-at-a-time interface; it
+// materializes each matching Row.
+func (h *HashTable) Probe(t tuple.Tuple, probeCols []int, fn func(Row)) {
+	hash := hashColsSeed
+	for _, c := range probeCols {
+		hash = t[c].Hash(hash)
+	}
+	for i := h.Seek(hash); i >= 0; i = h.next[i] {
+		if h.hashes[i] != hash {
+			continue
+		}
+		ok := true
+		for k, c := range h.cols {
+			if !tuple.Equal(h.store.ValueAt(int(i), c), t[probeCols[k]]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			fn(h.store.RowAt(int(i)))
+		}
+	}
+}
+
+// Footprint returns the approximate resident bytes of the table's
+// storage, for arena accounting.
+func (h *HashTable) Footprint() int64 {
+	return h.store.Footprint() + 8*int64(cap(h.hashes)) + 4*int64(cap(h.head)) + 4*int64(cap(h.next))
+}

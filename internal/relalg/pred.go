@@ -162,6 +162,100 @@ func (True) Eval(tuple.Tuple) bool { return true }
 
 func (True) String() string { return "true" }
 
+// FilterBatch narrows b's selection to the rows satisfying p, the
+// vectorized counterpart of per-row Predicate.Eval. Conjunctions narrow
+// the selection once per conjunct; leaf comparisons over uniform typed
+// columns run as dense typed loops against the column payloads, and
+// everything else (row-layout batches, mixed-kind columns, Or/Not trees)
+// falls back to tuple.Compare semantics row by row, so both paths accept
+// exactly the rows Eval would.
+func FilterBatch(p Predicate, b *Batch) {
+	switch q := p.(type) {
+	case True:
+		return
+	case And:
+		for _, c := range q {
+			FilterBatch(c, b)
+		}
+		return
+	case ColConst:
+		if !b.rowMode && b.ncols > q.Col {
+			filterColConst(q, b)
+			return
+		}
+	case ColCol:
+		if !b.rowMode && b.ncols > q.ColA && b.ncols > q.ColB {
+			filterColCol(q, b)
+			return
+		}
+	}
+	if b.rowMode {
+		b.Retain(func(i int) bool { return p.Eval(b.rows[b.phys(i)].Tuple) })
+		return
+	}
+	b.Retain(func(i int) bool {
+		b.scratch = b.tupleInto(b.scratch, i)
+		return p.Eval(b.scratch)
+	})
+}
+
+func cmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// cmpF64 compares with < and > only, so NaN orders "equal" to everything
+// exactly as tuple.Compare does.
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func filterColConst(q ColConst, b *Batch) {
+	c := &b.cols[q.Col]
+	switch {
+	case c.uniform == uint8(tuple.KindInt) && q.Val.Kind() == tuple.KindInt:
+		v := q.Val.AsInt()
+		b.Retain(func(i int) bool { p := b.phys(i); return q.Op.eval(cmpI64(c.ints[c.idx[p]], v)) })
+	case c.uniform == uint8(tuple.KindFloat) && q.Val.Kind() == tuple.KindFloat:
+		v := q.Val.AsFloat()
+		b.Retain(func(i int) bool { p := b.phys(i); return q.Op.eval(cmpF64(c.floats[c.idx[p]], v)) })
+	default:
+		b.Retain(func(i int) bool { return q.Op.eval(c.compareAt(b.phys(i), q.Val)) })
+	}
+}
+
+func filterColCol(q ColCol, b *Batch) {
+	ca, cb := &b.cols[q.ColA], &b.cols[q.ColB]
+	switch {
+	case ca.uniform == uint8(tuple.KindInt) && cb.uniform == uint8(tuple.KindInt):
+		b.Retain(func(i int) bool {
+			p := b.phys(i)
+			return q.Op.eval(cmpI64(ca.ints[ca.idx[p]], cb.ints[cb.idx[p]]))
+		})
+	case ca.uniform == uint8(tuple.KindFloat) && cb.uniform == uint8(tuple.KindFloat):
+		b.Retain(func(i int) bool {
+			p := b.phys(i)
+			return q.Op.eval(cmpF64(ca.floats[ca.idx[p]], cb.floats[cb.idx[p]]))
+		})
+	default:
+		b.Retain(func(i int) bool {
+			p := b.phys(i)
+			return q.Op.eval(tuple.Compare(ca.valueAt(p), cb.valueAt(p)))
+		})
+	}
+}
+
 func join(parts []string, sep string) string {
 	out := ""
 	for i, p := range parts {

@@ -202,6 +202,127 @@ func EncodeRow(dst []byte, t Tuple) []byte {
 	return dst
 }
 
+// AppendRowArity, AppendRowNull, AppendRowBool, AppendRowInt,
+// AppendRowFloat, AppendRowString, and AppendRowBytes emit the row
+// encoding piecewise: an arity header followed by one call per value.
+// Their concatenation is byte-identical to EncodeRow of the equivalent
+// tuple, so columnar batches can serialize rows straight from typed
+// column vectors without materializing a Tuple.
+func AppendRowArity(dst []byte, arity int) []byte {
+	return binary.AppendUvarint(dst, uint64(arity))
+}
+
+// AppendRowNull appends a row-encoded NULL.
+func AppendRowNull(dst []byte) []byte { return append(dst, byte(KindNull)) }
+
+// AppendRowBool appends a row-encoded boolean.
+func AppendRowBool(dst []byte, v bool) []byte {
+	var i int64
+	if v {
+		i = 1
+	}
+	dst = append(dst, byte(KindBool))
+	return binary.AppendVarint(dst, i)
+}
+
+// AppendRowInt appends a row-encoded integer.
+func AppendRowInt(dst []byte, v int64) []byte {
+	dst = append(dst, byte(KindInt))
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendRowFloat appends a row-encoded float.
+func AppendRowFloat(dst []byte, v float64) []byte {
+	dst = append(dst, byte(KindFloat))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	return append(dst, buf[:]...)
+}
+
+// AppendRowString appends a row-encoded string.
+func AppendRowString(dst []byte, s string) []byte {
+	dst = append(dst, byte(KindString))
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendRowBytes appends a row-encoded byte slice.
+func AppendRowBytes(dst []byte, b []byte) []byte {
+	dst = append(dst, byte(KindBytes))
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// RowSink receives the values of one row-encoded tuple as they are
+// decoded, without a Tuple ever being materialized. PushString and
+// PushBytes hand the sink a window into the encoded input that is only
+// valid for the duration of the call: the sink must copy (or intern) the
+// payload if it retains it.
+type RowSink interface {
+	BeginRow(arity int)
+	PushNull()
+	PushBool(v bool)
+	PushInt(v int64)
+	PushFloat(v float64)
+	PushString(s []byte)
+	PushBytes(b []byte)
+}
+
+// DecodeRowInto decodes a tuple encoded by EncodeRow, streaming each
+// value into sink instead of building a Tuple. It returns the remaining
+// bytes. On error the sink may have received a prefix of the row.
+func DecodeRowInto(b []byte, sink RowSink) ([]byte, error) {
+	arity, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	b = b[n:]
+	sink.BeginRow(int(arity))
+	for i := uint64(0); i < arity; i++ {
+		if len(b) == 0 {
+			return nil, ErrCorrupt
+		}
+		kind := Kind(b[0])
+		b = b[1:]
+		switch kind {
+		case KindNull:
+			sink.PushNull()
+		case KindBool, KindInt:
+			v, n := binary.Varint(b)
+			if n <= 0 {
+				return nil, ErrCorrupt
+			}
+			b = b[n:]
+			if kind == KindBool {
+				sink.PushBool(v != 0)
+			} else {
+				sink.PushInt(v)
+			}
+		case KindFloat:
+			if len(b) < 8 {
+				return nil, ErrCorrupt
+			}
+			sink.PushFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[:8])))
+			b = b[8:]
+		case KindString, KindBytes:
+			ln, n := binary.Uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < ln {
+				return nil, ErrCorrupt
+			}
+			payload := b[n : n+int(ln)]
+			b = b[n+int(ln):]
+			if kind == KindString {
+				sink.PushString(payload)
+			} else {
+				sink.PushBytes(payload)
+			}
+		default:
+			return nil, fmt.Errorf("%w: bad row kind 0x%02x", ErrCorrupt, byte(kind))
+		}
+	}
+	return b, nil
+}
+
 // DecodeRow decodes a tuple encoded by EncodeRow, returning the tuple and
 // the remaining bytes.
 func DecodeRow(b []byte) (Tuple, []byte, error) {

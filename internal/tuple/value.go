@@ -5,9 +5,7 @@
 package tuple
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -216,26 +214,93 @@ func compareBytes(a, b []byte) int {
 // Equal reports whether two values are identical in kind and payload.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
+// FNV-1a, inlined so hashing never allocates a hash.Hash64. The byte
+// stream fed to the mix is exactly what the previous hash/fnv-based
+// implementation wrote — seed as 8 little-endian bytes, the kind byte,
+// then the payload — so hashes are stable across the rewrite.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvUint64LE(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xFF)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+func hashSeedKind(seed uint64, k Kind) uint64 {
+	return fnvByte(fnvUint64LE(fnvOffset64, seed), byte(k))
+}
+
+// HashNull, HashBool, HashInt, HashFloat, HashString, and HashBytes hash
+// one payload of the named kind exactly as Value.Hash would, without
+// requiring a Value. Columnar batch kernels use them to hash typed column
+// vectors directly.
+func HashNull(seed uint64) uint64 { return hashSeedKind(seed, KindNull) }
+
+// HashBool hashes a boolean payload.
+func HashBool(seed uint64, v bool) uint64 {
+	var i uint64
+	if v {
+		i = 1
+	}
+	return fnvUint64LE(hashSeedKind(seed, KindBool), i)
+}
+
+// HashInt hashes an integer payload.
+func HashInt(seed uint64, v int64) uint64 {
+	return fnvUint64LE(hashSeedKind(seed, KindInt), uint64(v))
+}
+
+// HashFloat hashes a float payload.
+func HashFloat(seed uint64, v float64) uint64 {
+	return fnvUint64LE(hashSeedKind(seed, KindFloat), math.Float64bits(v))
+}
+
+// HashString hashes a string payload.
+func HashString(seed uint64, s string) uint64 {
+	return fnvString(hashSeedKind(seed, KindString), s)
+}
+
+// HashBytes hashes a bytes payload.
+func HashBytes(seed uint64, b []byte) uint64 {
+	return fnvBytes(hashSeedKind(seed, KindBytes), b)
+}
+
 // Hash mixes the value into an FNV-1a hash and returns the result. It is
-// consistent with Equal: equal values hash equally.
+// consistent with Equal: equal values hash equally. It does not allocate.
 func (v Value) Hash(seed uint64) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], seed)
-	h.Write(buf[:])
-	buf[0] = byte(v.kind)
-	h.Write(buf[:1])
 	switch v.kind {
 	case KindBool, KindInt:
-		binary.LittleEndian.PutUint64(buf[:], uint64(v.i))
-		h.Write(buf[:8])
+		return fnvUint64LE(hashSeedKind(seed, v.kind), uint64(v.i))
 	case KindFloat:
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
-		h.Write(buf[:8])
+		return HashFloat(seed, v.f)
 	case KindString:
-		h.Write([]byte(v.s))
+		return HashString(seed, v.s)
 	case KindBytes:
-		h.Write(v.b)
+		return HashBytes(seed, v.b)
+	default:
+		return hashSeedKind(seed, v.kind)
 	}
-	return h.Sum64()
 }

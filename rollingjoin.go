@@ -56,6 +56,11 @@ type Options struct {
 	// DisableHeavySplit turns off the heavy/light key classifier, keeping
 	// every key on the generic hash path (the plain-hash A/B arm).
 	DisableHeavySplit bool
+	// BatchSize caps the rows per batch in the streaming executor — the
+	// vectorization knob for scans, joins, and propagation queries. 0
+	// defers to the ROLLINGJOIN_BATCH environment variable, then the
+	// executor default (256).
+	BatchSize int
 }
 
 // defaultMaintenanceWorkers sizes the shared pool when Options leaves it
@@ -91,6 +96,7 @@ func Open(opts Options) (*DB, error) {
 		SyncOnCommit:      opts.SyncOnCommit,
 		Partitions:        opts.Partitions,
 		DisableHeavySplit: opts.DisableHeavySplit,
+		BatchSize:         opts.BatchSize,
 	}
 	if opts.Device != nil {
 		cfg.Device = opts.Device
