@@ -16,6 +16,7 @@ import (
 	rollingjoin "repro"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/relalg"
@@ -325,5 +326,87 @@ func BenchmarkWriterTxn(b *testing.B) {
 		if _, err := d.Step(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAggregateStepAllocs measures the incremental aggregate
+// operator's steady-state step: folding one upstream commit's delta rows
+// into existing group state (group-level compensation) and emitting the
+// group-change pairs. The fold path runs entirely on reused scratch
+// (decode sink, key buffers, pooled stages, double-buffered output
+// encodings), so what remains is the emission floor — one btree-retained
+// buffer per appended group-change row. The CI gate holds allocs/op at
+// rowsPerStep, i.e. <= 1 alloc per folded source row.
+func BenchmarkAggregateStepAllocs(b *testing.B) {
+	eng, err := engine.Open(engine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	src := tuple.NewSchema(
+		tuple.Column{Name: "g", Kind: tuple.KindInt},
+		tuple.Column{Name: "v", Kind: tuple.KindFloat})
+	up, err := eng.CreateStandaloneDelta("agg_bench_src", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	def := &core.AggregateDef{
+		Name:    "agg_bench",
+		Source:  "agg_bench_src",
+		GroupBy: []int{0},
+		Aggs: []core.AggCol{
+			{Func: core.AggCount, Name: "n"},
+			{Func: core.AggSum, Col: 1, Name: "total"},
+		},
+	}
+	out, err := def.OutSchema(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dest, err := eng.CreateStandaloneDelta("agg_bench_dest", out)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hwm relalg.CSN
+	av := core.NewAggView(def, src, out, up, func() relalg.CSN { return hwm }, dest)
+
+	const groups = 64
+	const rowsPerStep = 256
+	// Pre-encode one commit's worth of rows per distinct timestamp so the
+	// append side costs nothing inside the timed region.
+	encRow := func(g int64, v float64) []byte {
+		return tuple.EncodeRow(nil, tuple.Tuple{tuple.Int(g), tuple.Float(v)})
+	}
+	rows := make([][]byte, rowsPerStep)
+	for i := range rows {
+		rows[i] = encRow(int64(i%groups), float64(i%97))
+	}
+	// Seed every group so the timed steps update existing state.
+	ts := relalg.CSN(1)
+	for _, r := range rows {
+		up.AppendEncoded(ts, 1, r, tuple.Null())
+	}
+	hwm = ts
+	if err := av.Step(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ts++
+		for _, r := range rows {
+			up.AppendEncoded(ts, 1, r, tuple.Null())
+		}
+		hwm = ts
+		b.StartTimer()
+		if err := av.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if av.Groups() != groups {
+		b.Fatalf("groups = %d, want %d", av.Groups(), groups)
 	}
 }

@@ -55,6 +55,7 @@ type report struct {
 	MultiViewAB []bench.MultiViewABEntry `json:"multiview_ab,omitempty"`
 	PartitionAB []bench.PartitionABEntry `json:"partition_ab,omitempty"`
 	BatchAB     []bench.BatchABEntry     `json:"batch_ab,omitempty"`
+	CascadeAB   []bench.CascadeABEntry   `json:"cascade_ab,omitempty"`
 	Failed      int                      `json:"failed"`
 }
 
@@ -71,6 +72,7 @@ func main() {
 	var multiViewEntries []bench.MultiViewABEntry
 	var partitionEntries []bench.PartitionABEntry
 	var batchEntries []bench.BatchABEntry
+	var cascadeEntries []bench.CascadeABEntry
 	experiments := []experiment{
 		{"F4", "ComputeDelta query structure (Figure 4 / Equation 3)",
 			func(bench.Scale) (fmt.Stringer, error) { return bench.F4() }},
@@ -134,6 +136,12 @@ func main() {
 				batchEntries = entries
 				return tbl, err
 			}},
+		{"CASCADE", "3-level cascade refresh vs full recomputation",
+			func(s bench.Scale) (fmt.Stringer, error) {
+				tbl, entries, err := bench.CascadeAB(s)
+				cascadeEntries = entries
+				return tbl, err
+			}},
 	}
 
 	selected := map[string]bool{}
@@ -145,7 +153,7 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.ToUpper(strings.TrimSpace(id))
 			if !known[id] {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT MULTIVIEW PARTITION BATCH)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT MULTIVIEW PARTITION BATCH CASCADE)\n", id)
 				os.Exit(2)
 			}
 			selected[id] = true
@@ -192,6 +200,7 @@ func main() {
 	rep.MultiViewAB = multiViewEntries
 	rep.PartitionAB = partitionEntries
 	rep.BatchAB = batchEntries
+	rep.CascadeAB = cascadeEntries
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

@@ -421,3 +421,236 @@ func TestMidLogCorruptionFailsRecovery(t *testing.T) {
 		t.Fatalf("want ErrCorrupt, got %v", err)
 	}
 }
+
+// --- cascade crash class ---
+
+// cascadeCrashCatalog registers the fact/dimension tables of the 3-level
+// cascade workload (orders ⋈ regions → per-region rollup → filtered top).
+func cascadeCrashCatalog(t *testing.T, db *DB) {
+	t.Helper()
+	if err := db.CreateTable("orders", Col("oid", TypeInt), Col("cust", TypeInt), Col("amt", TypeFloat)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("regions", Col("cust", TypeInt), Col("region", TypeString)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// defineCascade (re)defines all three levels with the same names and
+// returns them. Used both before the crash and after recovery.
+func defineCascade(t *testing.T, db *DB, opt Maintain) (*View, *AggregateView, *View) {
+	t.Helper()
+	enriched, err := db.DefineView(ViewSpec{
+		Name:   "c_enriched",
+		Tables: []string{"orders", "regions"},
+		Joins:  []Join{{LeftTable: "orders", LeftColumn: "cust", RightTable: "regions", RightColumn: "cust"}},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rollup, err := db.DefineAggregate(AggSpec{
+		Name:    "c_rollup",
+		Source:  "c_enriched",
+		GroupBy: []string{"region"},
+		Aggs:    []Agg{{Func: AggCount}, {Func: AggSum, Column: "amt"}, {Func: AggMax, Column: "amt"}},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := db.DefineView(ViewSpec{
+		Name:    "c_top",
+		Tables:  []string{"c_rollup"},
+		Filters: []Filter{{Table: "c_rollup", Column: "sum_amt", Op: GE, Value: Float(0)}},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enriched, rollup, top
+}
+
+// cascadeOracle recomputes the rollup groups from the base tables.
+func cascadeOracle(t *testing.T, db *DB) map[string][3]float64 {
+	t.Helper()
+	res, err := db.Query(ViewSpec{
+		Name:   "oracle",
+		Tables: []string{"orders", "regions"},
+		Joins:  []Join{{LeftTable: "orders", LeftColumn: "cust", RightTable: "regions", RightColumn: "cust"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][3]float64)
+	for _, row := range res.Rows {
+		region, amt := row[4].AsString(), row[2].AsFloat()
+		a := out[region]
+		if a[0] == 0 || amt > a[2] {
+			a[2] = amt
+		}
+		a[0]++
+		a[1] += amt
+		out[region] = a
+	}
+	return out
+}
+
+// checkCascadeLevels refreshes every level to the current durable frontier
+// and compares each against recomputation.
+func checkCascadeLevels(t *testing.T, db *DB, enriched *View, rollup *AggregateView, top *View) {
+	t.Helper()
+	target := db.LastCSN()
+	// Catching the top level up drives the whole chain: its composite
+	// source waits on the rollup, which waits on the join view.
+	if err := top.CatchUp(target); err != nil {
+		t.Fatal(err)
+	}
+	for _, refresh := range []func() (CSN, error){enriched.Refresh, rollup.Refresh, top.Refresh} {
+		if _, err := refresh(); err != nil && !errors.Is(err, ErrBackward) {
+			t.Fatal(err)
+		}
+	}
+	// Level 1: join view vs ad-hoc recomputation.
+	full, err := db.Query(ViewSpec{
+		Name:   "oracle1",
+		Tables: []string{"orders", "regions"},
+		Joins:  []Join{{LeftTable: "orders", LeftColumn: "cust", RightTable: "regions", RightColumn: "cust"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := multiset(enriched.Rows()), multiset(full.Rows); !multisetsEqual(got, want) {
+		t.Fatalf("join view diverged from recomputation:\n view: %v\n full: %v", got, want)
+	}
+	// Level 2: rollup vs group-by oracle.
+	oracle := cascadeOracle(t, db)
+	rows := rollup.Rows()
+	if len(rows) != len(oracle) {
+		t.Fatalf("rollup has %d groups, oracle %d", len(rows), len(oracle))
+	}
+	for _, r := range rows {
+		region := r[0].AsString()
+		want, ok := oracle[region]
+		if !ok {
+			t.Fatalf("unexpected group %q", region)
+		}
+		n, sum, max := float64(r[1].AsInt()), r[2].AsFloat(), r[3].AsFloat()
+		if n != want[0] || sum-want[1] > 1e-6 || want[1]-sum > 1e-6 || max != want[2] {
+			t.Fatalf("group %q = (n=%v sum=%v max=%v), want %v", region, n, sum, max, want)
+		}
+	}
+	// Level 3: the filtered top view equals the rollup under its filter.
+	if got, want := len(top.Rows()), len(rows); got != want {
+		t.Fatalf("top view has %d rows, rollup %d groups", got, want)
+	}
+}
+
+// TestCrashRecoveryCascade crashes a 3-level cascade (join view →
+// incremental aggregate → view over the aggregate) at failpoints across
+// the stack — including the aggregate's own propagation step — then
+// recovers from the crash image, redefines all levels, and verifies each
+// against full recomputation, plus liveness for post-recovery commits.
+func TestCrashRecoveryCascade(t *testing.T) {
+	points := []struct {
+		point string
+		hits  int64
+	}{
+		{fault.PointAggregate, 3},
+		{fault.PointApply, 3},
+		{fault.PointWALAppend, 30},
+		{fault.PointCaptureReplay, 15},
+		{fault.PointPublish, 10},
+	}
+	for _, run := range points {
+		for _, seed := range []int64{1, 2} {
+			name := fmt.Sprintf("%s/seed%d", run.point, seed)
+			t.Run(name, func(t *testing.T) {
+				defer fault.Reset()
+				fault.Reset()
+				fdev := fault.NewDevice(wal.NewMemDevice())
+				db, err := Open(Options{Device: fdev, SyncOnCommit: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cascadeCrashCatalog(t, db)
+				var lastAcked CSN
+				if csn, err := db.Update(func(tx *Tx) error {
+					for c := 0; c < 10; c++ {
+						if err := tx.Insert("regions", Int(int64(c)), Str(fmt.Sprintf("r%d", c%3))); err != nil {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				} else {
+					lastAcked = csn
+				}
+
+				// Arm after definition: the three initial materializations
+				// already evaluate apply/aggregate points, and the class
+				// under test is a crash during live cascade maintenance.
+				defineCascade(t, db, Maintain{Interval: 4, AutoRefresh: true})
+				fault.Set(run.point, fault.CrashOnHit(run.hits, fdev))
+
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 80 && !fdev.Frozen(); i++ {
+					id := int64(i)
+					var csn CSN
+					if i > 5 && rng.Intn(4) == 0 {
+						// Deleting a recent order often removes a group's
+						// current maximum, exercising extrema retraction.
+						csn, err = db.Update(func(tx *Tx) error {
+							_, derr := tx.Delete("orders", "oid", EQ, Int(id-2), 1)
+							return derr
+						})
+					} else {
+						csn, err = db.Update(func(tx *Tx) error {
+							return tx.Insert("orders", Int(id), Int(id%10), Float(float64(10*i)))
+						})
+					}
+					if err != nil {
+						break
+					}
+					lastAcked = csn
+				}
+				deadline := time.Now().Add(5 * time.Second)
+				for !fdev.Frozen() && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+				if !fdev.Frozen() {
+					t.Fatalf("failpoint %s never fired (%d evals)", run.point, fault.Evals(run.point))
+				}
+				img, err := fdev.CrashImage(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fault.Reset()
+				db.Close()
+
+				// Recover and rebuild every level of the cascade.
+				db2, err := Open(Options{Device: wal.NewMemDeviceFrom(img), SyncOnCommit: true})
+				if err != nil {
+					t.Fatalf("reopen from crash image: %v", err)
+				}
+				defer db2.Close()
+				cascadeCrashCatalog(t, db2)
+				recovered, err := db2.Recover()
+				if err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+				if recovered < lastAcked {
+					t.Fatalf("recovered CSN %d lost acked commit %d", recovered, lastAcked)
+				}
+				enriched, rollup, top := defineCascade(t, db2, Maintain{Interval: 4})
+				checkCascadeLevels(t, db2, enriched, rollup, top)
+
+				// The recovered cascade keeps maintaining past new commits.
+				if _, err := db2.Update(func(tx *Tx) error {
+					return tx.Insert("orders", Int(999), Int(3), Float(123))
+				}); err != nil {
+					t.Fatal(err)
+				}
+				checkCascadeLevels(t, db2, enriched, rollup, top)
+			})
+		}
+	}
+}

@@ -1,6 +1,9 @@
-// Aggregates: maintain GROUP BY revenue totals over a join view using the
-// summary-delta method — the paper's aggregation extension. The summary
-// supports the same point-in-time refresh as the view it summarizes.
+// Aggregates: maintain GROUP BY rollups over a join view with the
+// first-class incremental aggregate operator — COUNT/SUM/AVG via
+// group-level compensation and MIN/MAX with retraction handling. The
+// aggregate is itself a maintained relation: it emits its own timed
+// delta of group-level changes and supports the same point-in-time
+// refresh as the view it summarizes.
 package main
 
 import (
@@ -23,12 +26,12 @@ func main() {
 		rollingjoin.Col("qty", rollingjoin.TypeInt)))
 	must(db.CreateTable("items",
 		rollingjoin.Col("item", rollingjoin.TypeString),
-		rollingjoin.Col("price", rollingjoin.TypeInt)))
+		rollingjoin.Col("price", rollingjoin.TypeFloat)))
 
 	if _, err := db.Update(func(tx *rollingjoin.Tx) error {
-		tx.Insert("items", rollingjoin.Str("ball"), rollingjoin.Int(5))
-		tx.Insert("items", rollingjoin.Str("bat"), rollingjoin.Int(20))
-		tx.Insert("items", rollingjoin.Str("cap"), rollingjoin.Int(9))
+		tx.Insert("items", rollingjoin.Str("ball"), rollingjoin.Float(5))
+		tx.Insert("items", rollingjoin.Str("bat"), rollingjoin.Float(20))
+		tx.Insert("items", rollingjoin.Str("cap"), rollingjoin.Float(9))
 		return nil
 	}); err != nil {
 		log.Fatal(err)
@@ -43,8 +46,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// COUNT(*) and SUM(price) per item over the join view.
-	revenue, err := view.DefineSummary("revenue", []string{"item"}, []string{"price"})
+	// Per-item rollup over the join view: order count, revenue total and
+	// average, cheapest and priciest sale. The aggregate's source is the
+	// view's own delta stream, not the base tables.
+	revenue, err := db.DefineAggregate(rollingjoin.AggSpec{
+		Name:    "revenue",
+		Source:  view.Name(),
+		GroupBy: []string{"item"},
+		Aggs: []rollingjoin.Agg{
+			{Func: rollingjoin.AggCount},
+			{Func: rollingjoin.AggSum, Column: "price", As: "total"},
+			{Func: rollingjoin.AggAvg, Column: "price"},
+			{Func: rollingjoin.AggMin, Column: "price"},
+			{Func: rollingjoin.AggMax, Column: "price"},
+		},
+	}, rollingjoin.Maintain{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,14 +83,12 @@ func main() {
 		last = csn
 	}
 
-	view.WaitForHWM(last)
+	must(revenue.CatchUp(last))
 
 	// Point-in-time aggregates: revenue as of the 15th order...
-	if err := revenue.RefreshTo(mid); err != nil {
-		log.Fatal(err)
-	}
+	must(revenue.RefreshTo(mid))
 	fmt.Printf("revenue as of commit %d:\n", mid)
-	printSummary(revenue)
+	printAggregate(revenue)
 
 	// ...then as of now.
 	now, err := revenue.Refresh()
@@ -82,12 +96,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nrevenue as of commit %d:\n", now)
-	printSummary(revenue)
+	printAggregate(revenue)
 }
 
-func printSummary(s *rollingjoin.Summary) {
-	for _, row := range s.Rows() {
-		fmt.Printf("  %-5s orders=%-3d total=%.0f\n", row.Key[0], row.Count, row.Sums[0])
+func printAggregate(a *rollingjoin.AggregateView) {
+	for _, row := range a.Rows() {
+		fmt.Printf("  %-5s orders=%-3d total=%-4.0f avg=%-5.2f min=%-3.0f max=%.0f\n",
+			row[0], row[1].AsInt(), row[2].AsFloat(), row[3].AsFloat(), row[4].AsFloat(), row[5].AsFloat())
 	}
 }
 

@@ -1,0 +1,152 @@
+// Cascade: views over views. A materialized view is itself a relation —
+// its timed delta table registers under its name — so further views and
+// aggregates stack on top of it and are maintained through the same
+// propagate/apply machinery, each level with its own high-water mark and
+// point-in-time refresh.
+//
+// The cascade here is fact → join view → per-region rollup → top view:
+//
+//	orders ⋈ regions        (orders_enriched, a rolling join view)
+//	GROUP BY region          (regional, an incremental aggregate)
+//	WHERE total >= 100       (big_regions, a view over the aggregate)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rollingjoin "repro"
+)
+
+func main() {
+	db, err := rollingjoin.Open(rollingjoin.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.CreateTable("orders",
+		rollingjoin.Col("oid", rollingjoin.TypeInt),
+		rollingjoin.Col("cust", rollingjoin.TypeInt),
+		rollingjoin.Col("amt", rollingjoin.TypeFloat)))
+	must(db.CreateTable("regions",
+		rollingjoin.Col("cust", rollingjoin.TypeInt),
+		rollingjoin.Col("region", rollingjoin.TypeString)))
+
+	if _, err := db.Update(func(tx *rollingjoin.Tx) error {
+		for c := 0; c < 6; c++ {
+			region := []string{"east", "west", "north"}[c%3]
+			if err := tx.Insert("regions", rollingjoin.Int(int64(c)), rollingjoin.Str(region)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Level 1: the join view.
+	enriched, err := db.DefineView(rollingjoin.ViewSpec{
+		Name:   "orders_enriched",
+		Tables: []string{"orders", "regions"},
+		Joins:  []rollingjoin.Join{{LeftTable: "orders", LeftColumn: "cust", RightTable: "regions", RightColumn: "cust"}},
+	}, rollingjoin.Maintain{Interval: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Level 2: an incremental aggregate over the view.
+	regional, err := db.DefineAggregate(rollingjoin.AggSpec{
+		Name:    "regional",
+		Source:  enriched.Name(),
+		GroupBy: []string{"region"},
+		Aggs: []rollingjoin.Agg{
+			{Func: rollingjoin.AggCount},
+			{Func: rollingjoin.AggSum, Column: "amt", As: "total"},
+			{Func: rollingjoin.AggMax, Column: "amt"},
+		},
+	}, rollingjoin.Maintain{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Level 3: a view over the aggregate's output.
+	big, err := db.DefineView(rollingjoin.ViewSpec{
+		Name:    "big_regions",
+		Tables:  []string{"regional"},
+		Filters: []rollingjoin.Filter{{Table: "regional", Column: "total", Op: rollingjoin.GE, Value: rollingjoin.Float(100)}},
+	}, rollingjoin.Maintain{Interval: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var last rollingjoin.CSN
+	for i := 0; i < 24; i++ {
+		csn, err := db.Update(func(tx *rollingjoin.Tx) error {
+			return tx.Insert("orders",
+				rollingjoin.Int(int64(i)),
+				rollingjoin.Int(int64(i%6)),
+				rollingjoin.Float(float64(5+10*(i%4))))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = csn
+	}
+
+	// Catching the TOP of the cascade up drives every level beneath it:
+	// its composite source waits on the rollup's high-water mark, which
+	// waits on the join view's, which waits on change capture.
+	must(big.CatchUp(last))
+	if _, err := enriched.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := regional.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := big.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cascade at commit %d (enriched hwm=%d, regional hwm=%d, big hwm=%d):\n\n",
+		last, enriched.HWM(), regional.HWM(), big.HWM())
+	fmt.Println("regional rollup:")
+	for _, r := range regional.Rows() {
+		fmt.Printf("  %-6s orders=%-3d total=%-5.0f max=%.0f\n",
+			r[0], r[1].AsInt(), r[2].AsFloat(), r[3].AsFloat())
+	}
+	fmt.Println("\nregions with total >= 100:")
+	for _, r := range big.Rows() {
+		fmt.Printf("  %-6s total=%.0f\n", r[0], r[2].AsFloat())
+	}
+
+	// Deletes retract through every level, MIN/MAX included: remove the
+	// largest orders and watch the rollup's max fall.
+	if _, err := db.Update(func(tx *rollingjoin.Tx) error {
+		_, derr := tx.Delete("orders", "amt", rollingjoin.EQ, rollingjoin.Float(35), 0)
+		return derr
+	}); err != nil {
+		log.Fatal(err)
+	}
+	must(big.CatchUp(db.LastCSN()))
+	if _, err := enriched.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := regional.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := big.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter deleting every 35-amt order:")
+	for _, r := range regional.Rows() {
+		fmt.Printf("  %-6s orders=%-3d total=%-5.0f max=%.0f\n",
+			r[0], r[1].AsInt(), r[2].AsFloat(), r[3].AsFloat())
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -52,3 +52,16 @@ func render(tbl interface{ String() string }) string {
 	}
 	return tbl.String()
 }
+
+func TestCascadeAB(t *testing.T) {
+	tbl, entries, err := CascadeAB(Scale{Quick: true})
+	if err != nil {
+		t.Fatalf("CASCADE: %v\n%s", err, render(tbl))
+	}
+	if len(entries) != 1 || !entries[0].Match {
+		t.Fatalf("CASCADE entries: %+v", entries)
+	}
+	if entries[0].Speedup < 2 {
+		t.Fatalf("CASCADE speedup %.2fx < 2x", entries[0].Speedup)
+	}
+}

@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	rollingjoin "repro"
+	"repro/internal/metrics"
+)
+
+// CascadeABEntry records the CASCADE experiment in machine-readable form
+// (BENCH_rollbench.json): a 3-level cascade — orders ⋈ regions join view,
+// per-region incremental aggregate over it, filtered view over the
+// aggregate — refreshed incrementally after each write phase, against an
+// arm that recomputes all three levels from the base tables at the same
+// points. Speedup is per-refresh wall time, full ÷ incremental.
+type CascadeABEntry struct {
+	Benchmark     string  `json:"benchmark"`
+	FactRows      int     `json:"fact_rows"`
+	Updates       int     `json:"updates"`
+	Phases        int     `json:"phases"`
+	IncNs         int64   `json:"inc_ns"`
+	FullNs        int64   `json:"full_ns"`
+	IncRefreshNs  int64   `json:"inc_refresh_ns"`
+	FullRefreshNs int64   `json:"full_refresh_ns"`
+	Speedup       float64 `json:"speedup"`
+	Match         bool    `json:"match"`
+}
+
+// cascadeGroups is the recomputed rollup state: per region, count, sum,
+// and max of the order amounts.
+type cascadeGroups map[string][3]float64
+
+// cascadeSeed loads the shared deterministic history prefix: the region
+// dimension plus the initial fact rows.
+func cascadeSeed(db *rollingjoin.DB, factRows int) error {
+	if err := db.CreateTable("orders",
+		rollingjoin.Col("oid", rollingjoin.TypeInt),
+		rollingjoin.Col("cust", rollingjoin.TypeInt),
+		rollingjoin.Col("amt", rollingjoin.TypeFloat),
+	); err != nil {
+		return err
+	}
+	if err := db.CreateTable("regions",
+		rollingjoin.Col("cust", rollingjoin.TypeInt),
+		rollingjoin.Col("region", rollingjoin.TypeString),
+	); err != nil {
+		return err
+	}
+	if _, err := db.Update(func(tx *rollingjoin.Tx) error {
+		for c := 0; c < 24; c++ {
+			if err := tx.Insert("regions", rollingjoin.Int(int64(c)), rollingjoin.Str(fmt.Sprintf("r%02d", c%8))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	const chunk = 256
+	for lo := 0; lo < factRows; lo += chunk {
+		hi := lo + chunk
+		if hi > factRows {
+			hi = factRows
+		}
+		if _, err := db.Update(func(tx *rollingjoin.Tx) error {
+			for i := lo; i < hi; i++ {
+				if err := tx.Insert("orders",
+					rollingjoin.Int(int64(i)), rollingjoin.Int(int64(i%24)), rollingjoin.Float(float64(i%97))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cascadePhase commits one phase of the deterministic update mix (inserts
+// with occasional deletes). Both arms replay the identical sequence.
+func cascadePhase(db *rollingjoin.DB, rng *rand.Rand, next *int, n int) error {
+	for i := 0; i < n; i++ {
+		if *next > 10 && rng.Intn(5) == 0 {
+			victim := int64(rng.Intn(*next))
+			if _, err := db.Update(func(tx *rollingjoin.Tx) error {
+				_, derr := tx.Delete("orders", "oid", rollingjoin.EQ, rollingjoin.Int(victim), 1)
+				return derr
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		id := int64(*next)
+		*next++
+		if _, err := db.Update(func(tx *rollingjoin.Tx) error {
+			return tx.Insert("orders", rollingjoin.Int(id), rollingjoin.Int(id%24), rollingjoin.Float(float64(id%97)))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cascadeRecompute evaluates all three cascade levels from the base
+// tables: the full join, the group-by fold over it, and the filtered top
+// count. It returns the rollup groups (the level the arms are compared
+// on) after forcing every level's result to exist.
+func cascadeRecompute(db *rollingjoin.DB, threshold float64) (cascadeGroups, int, error) {
+	res, err := db.Query(rollingjoin.ViewSpec{
+		Tables: []string{"orders", "regions"},
+		Joins:  []rollingjoin.Join{{LeftTable: "orders", LeftColumn: "cust", RightTable: "regions", RightColumn: "cust"}},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	groups := make(cascadeGroups)
+	for _, row := range res.Rows {
+		region, amt := row[4].AsString(), row[2].AsFloat()
+		a, ok := groups[region]
+		if !ok || amt > a[2] {
+			a[2] = amt
+		}
+		a[0]++
+		a[1] += amt
+		groups[region] = a
+	}
+	top := 0
+	for _, a := range groups {
+		if a[1] >= threshold {
+			top++
+		}
+	}
+	return groups, top, nil
+}
+
+// cascadeMatches compares the maintained rollup rows to recomputed groups.
+func cascadeMatches(rows []rollingjoin.Tuple, want cascadeGroups) bool {
+	if len(rows) != len(want) {
+		return false
+	}
+	approx := func(a, b float64) bool { d := a - b; return d < 1e-6 && d > -1e-6 }
+	for _, r := range rows {
+		w, ok := want[r[0].AsString()]
+		if !ok {
+			return false
+		}
+		if float64(r[1].AsInt()) != w[0] || !approx(r[2].AsFloat(), w[1]) || !approx(r[3].AsFloat(), w[2]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CascadeAB measures what asynchronous incremental maintenance buys a
+// views-over-views cascade. The incremental arm defines the 3-level
+// cascade once and, after each write phase, refreshes it to the current
+// commit — propagation folds only the phase's delta through each level
+// (join deltas, then group-level compensation, then the rollup's own
+// delta). The full arm recomputes all three levels from the base tables
+// at the same commit points, the only option when views cannot be
+// maintained through other views. Both arms replay an identical seeded
+// history, and the incremental rollup is verified against the full arm's
+// recomputation at every phase. The experiment fails unless incremental
+// per-refresh time beats full recomputation by at least 2x.
+func CascadeAB(s Scale) (*metrics.Table, []CascadeABEntry, error) {
+	factRows := s.pick(2000, 12000)
+	updates := s.pick(160, 960)
+	phases := 8
+	const threshold = 1000.0
+
+	t := metrics.NewTable(
+		fmt.Sprintf("CASCADE — 3-level cascade refresh vs full recomputation (fact %d rows, %d updates, %d refreshes)",
+			factRows, updates, phases),
+		"arm", "total", "ns/refresh", "verified")
+
+	// Incremental arm: maintained cascade.
+	inc, err := rollingjoin.Open(rollingjoin.Options{})
+	if err != nil {
+		return t, nil, err
+	}
+	defer inc.Close()
+	if err := cascadeSeed(inc, factRows); err != nil {
+		return t, nil, err
+	}
+	enriched, err := inc.DefineView(rollingjoin.ViewSpec{
+		Name:   "c_enriched",
+		Tables: []string{"orders", "regions"},
+		Joins:  []rollingjoin.Join{{LeftTable: "orders", LeftColumn: "cust", RightTable: "regions", RightColumn: "cust"}},
+	}, rollingjoin.Maintain{Manual: true, Interval: 8})
+	if err != nil {
+		return t, nil, err
+	}
+	rollup, err := inc.DefineAggregate(rollingjoin.AggSpec{
+		Name:    "c_rollup",
+		Source:  "c_enriched",
+		GroupBy: []string{"region"},
+		Aggs: []rollingjoin.Agg{
+			{Func: rollingjoin.AggCount},
+			{Func: rollingjoin.AggSum, Column: "amt"},
+			{Func: rollingjoin.AggMax, Column: "amt"},
+		},
+	}, rollingjoin.Maintain{Manual: true})
+	if err != nil {
+		return t, nil, err
+	}
+	top, err := inc.DefineView(rollingjoin.ViewSpec{
+		Name:    "c_top",
+		Tables:  []string{"c_rollup"},
+		Filters: []rollingjoin.Filter{{Table: "c_rollup", Column: "sum_amt", Op: rollingjoin.GE, Value: rollingjoin.Float(threshold)}},
+	}, rollingjoin.Maintain{Manual: true})
+	if err != nil {
+		return t, nil, err
+	}
+
+	// Full arm: same schema and history, no maintained views.
+	full, err := rollingjoin.Open(rollingjoin.Options{})
+	if err != nil {
+		return t, nil, err
+	}
+	defer full.Close()
+	if err := cascadeSeed(full, factRows); err != nil {
+		return t, nil, err
+	}
+
+	incRng := rand.New(rand.NewSource(7))
+	fullRng := rand.New(rand.NewSource(7))
+	incNext, fullNext := factRows, factRows
+	var incDur, fullDur time.Duration
+	match := true
+	for p := 0; p < phases; p++ {
+		n := updates / phases
+		if p == phases-1 {
+			n = updates - n*(phases-1)
+		}
+		if err := cascadePhase(inc, incRng, &incNext, n); err != nil {
+			return t, nil, err
+		}
+		if err := cascadePhase(full, fullRng, &fullNext, n); err != nil {
+			return t, nil, err
+		}
+
+		// Incremental: catch the top of the cascade up (driving every
+		// level's propagation over just this phase's delta), then roll
+		// each materialization forward.
+		start := time.Now()
+		if err := top.CatchUp(inc.LastCSN()); err != nil {
+			return t, nil, err
+		}
+		if _, err := enriched.Refresh(); err != nil {
+			return t, nil, err
+		}
+		if _, err := rollup.Refresh(); err != nil {
+			return t, nil, err
+		}
+		if _, err := top.Refresh(); err != nil {
+			return t, nil, err
+		}
+		incDur += time.Since(start)
+
+		// Full: recompute all three levels from the base tables.
+		start = time.Now()
+		groups, topN, err := cascadeRecompute(full, threshold)
+		if err != nil {
+			return t, nil, err
+		}
+		fullDur += time.Since(start)
+
+		// Oracle: the histories are identical, so the maintained rollup
+		// must equal the recomputation, level 3 included.
+		if !cascadeMatches(rollup.Rows(), groups) || len(top.Rows()) != topN {
+			match = false
+		}
+	}
+
+	incNs := incDur.Nanoseconds() / int64(phases)
+	fullNs := fullDur.Nanoseconds() / int64(phases)
+	speedup := float64(fullNs) / float64(incNs)
+	t.AddRow("incremental cascade", incDur.Round(time.Millisecond), incNs, pass(match))
+	t.AddRow("full recomputation", fullDur.Round(time.Millisecond), fullNs, pass(true))
+	t.AddRow("speedup (full/inc)", fmt.Sprintf("%.1fx", speedup), "", "")
+
+	entries := []CascadeABEntry{{
+		Benchmark:     "3-level cascade: join view, region rollup, filtered top",
+		FactRows:      factRows,
+		Updates:       updates,
+		Phases:        phases,
+		IncNs:         incDur.Nanoseconds(),
+		FullNs:        fullDur.Nanoseconds(),
+		IncRefreshNs:  incNs,
+		FullRefreshNs: fullNs,
+		Speedup:       speedup,
+		Match:         match,
+	}}
+	if !match {
+		return t, entries, fmt.Errorf("CASCADE: maintained cascade diverged from full recomputation")
+	}
+	if speedup < 2 {
+		return t, entries, fmt.Errorf("CASCADE: incremental refresh only %.2fx faster than full recomputation (want >= 2x)", speedup)
+	}
+	return t, entries, nil
+}

@@ -1,0 +1,71 @@
+package capture
+
+import (
+	"context"
+
+	"repro/internal/relalg"
+)
+
+// Upstream is one maintained view a cascaded view reads as a relation.
+// HWM reports its delta high-water mark; CatchUp drives its propagation
+// until the mark reaches the target (blocking, cancellable).
+type Upstream struct {
+	Name    string
+	HWM     func() relalg.CSN
+	CatchUp func(context.Context, relalg.CSN) error
+}
+
+// ViewSource adapts a cascaded view's inputs to the Source interface.
+// When a view reads other maintained views, its propagation may only
+// consume delta rows those upstream views have already minted: an
+// upstream's delta is complete exactly up to its high-water mark. The
+// composite progress is therefore the minimum of the base capture
+// progress and every upstream mark — the largest CSN at which all of the
+// view's inputs (base tables and derived relations alike) are complete.
+//
+// Progress is cheap and non-blocking, so scheduler-driven propagation
+// steps — which clamp their minted boundaries to Progress() at mint time
+// — never block in WaitProgress. The slow path (WaitProgress actually
+// waiting) is reserved for user-driven CatchUp/WaitForHWM calls, where
+// it drives the lagging upstream's propagation forward synchronously
+// before falling through to the base capture wait.
+type ViewSource struct {
+	Base Source
+	Ups  []Upstream
+}
+
+// Progress returns min(base capture progress, upstream HWMs).
+func (s *ViewSource) Progress() relalg.CSN {
+	p := s.Base.Progress()
+	for _, u := range s.Ups {
+		if h := u.HWM(); h < p {
+			p = h
+		}
+	}
+	return p
+}
+
+// WaitProgress blocks until the composite progress reaches csn.
+func (s *ViewSource) WaitProgress(csn relalg.CSN) error {
+	return s.WaitProgressContext(context.Background(), csn)
+}
+
+// WaitProgressContext is WaitProgress with cancellation. Lagging
+// upstreams are caught up first (driving their propagation synchronously
+// when no background maintenance runs), then the base capture wait
+// covers the rest.
+func (s *ViewSource) WaitProgressContext(ctx context.Context, csn relalg.CSN) error {
+	for _, u := range s.Ups {
+		if u.HWM() < csn {
+			if err := u.CatchUp(ctx, csn); err != nil {
+				return err
+			}
+		}
+	}
+	if w, ok := s.Base.(interface {
+		WaitProgressContext(context.Context, relalg.CSN) error
+	}); ok {
+		return w.WaitProgressContext(ctx, csn)
+	}
+	return s.Base.WaitProgress(csn)
+}

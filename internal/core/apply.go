@@ -163,16 +163,24 @@ func (mv *MaterializedView) applyRows(rows []relalg.Row, t relalg.CSN) error {
 // time is that snapshot's CSN. No table locks are taken: writers commit
 // freely while the initial state is computed.
 func Materialize(db *engine.DB, view *ViewDef) (*MaterializedView, error) {
-	schema, err := view.Schema(db)
-	if err != nil {
-		return nil, err
-	}
 	snap, err := db.OpenSnapshot(relalg.NullTS)
 	if err != nil {
 		return nil, err
 	}
 	asOf := snap.AsOf()
 	snap.Close()
+	return MaterializeAt(db, view, asOf)
+}
+
+// MaterializeAt is Materialize at an explicit point in time. Cascaded view
+// definitions use it: the caller picks a stable CSN, catches every upstream
+// view's high-water mark up to it (so derived inputs are complete at that
+// time), and materializes all levels at the same instant.
+func MaterializeAt(db *engine.DB, view *ViewDef, asOf relalg.CSN) (*MaterializedView, error) {
+	schema, err := view.Schema(db)
+	if err != nil {
+		return nil, err
+	}
 	q := AllBase(view).EngineQuery()
 	q.AsOf = asOf
 	tx := db.Begin()
@@ -186,6 +194,18 @@ func Materialize(db *engine.DB, view *ViewDef) (*MaterializedView, error) {
 	}
 	mv := NewMaterializedView(view.Name, schema, asOf)
 	if err := mv.load(rel, asOf); err != nil {
+		return nil, err
+	}
+	return mv, nil
+}
+
+// MaterializeRelation loads an already computed relation as a
+// materialized view at time t. The incremental aggregate uses it: the
+// operator seeds its group state and initial output rows in one pass, so
+// no second query is needed.
+func MaterializeRelation(name string, schema *tuple.Schema, rel *relalg.Relation, t relalg.CSN) (*MaterializedView, error) {
+	mv := NewMaterializedView(name, schema, t)
+	if err := mv.load(rel, t); err != nil {
 		return nil, err
 	}
 	return mv, nil

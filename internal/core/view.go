@@ -19,9 +19,12 @@ import (
 
 // ViewDef defines a select-project-join view V = π(σ(R^1 ⋈ ... ⋈ R^n)).
 type ViewDef struct {
-	// Name identifies the view; its delta table is named "Δ" + Name.
+	// Name identifies the view; its timed delta table registers under the
+	// same name, which is what lets other views read this view as a
+	// relation (the cascade contract).
 	Name string
-	// Relations are the base table names R^1..R^n, in join order.
+	// Relations are the relation names R^1..R^n in join order: base tables
+	// or other maintained views (registered derived relations).
 	Relations []string
 	// Conds are the equi-join conditions between relation columns.
 	Conds []engine.JoinCond
@@ -50,14 +53,14 @@ func (v *ViewDef) validate(db *engine.DB, requireDeltas bool) error {
 	}
 	arities := make([]int, len(v.Relations))
 	for i, name := range v.Relations {
-		t, err := db.Table(name)
+		s, err := RelationSchema(db, name)
 		if err != nil {
 			return fmt.Errorf("core: view %q: %w", v.Name, err)
 		}
 		if requireDeltas && !db.HasDelta(name) {
-			return fmt.Errorf("core: view %q: base table %q has no delta table", v.Name, name)
+			return fmt.Errorf("core: view %q: relation %q has no delta table", v.Name, name)
 		}
-		arities[i] = t.Schema().Arity()
+		arities[i] = s.Arity()
 	}
 	check := func(r engine.ColRef) error {
 		if r.Input < 0 || r.Input >= len(v.Relations) {
@@ -84,22 +87,36 @@ func (v *ViewDef) validate(db *engine.DB, requireDeltas bool) error {
 	return nil
 }
 
+// RelationSchema resolves a relation name against the catalog: a base
+// table's schema, or a registered derived relation's (maintained view read
+// as a relation).
+func RelationSchema(db *engine.DB, name string) (*tuple.Schema, error) {
+	if t, err := db.Table(name); err == nil {
+		return t.Schema(), nil
+	}
+	dv, err := db.Derived(name)
+	if err != nil {
+		return nil, err
+	}
+	return dv.Schema(), nil
+}
+
 // Schema computes the view's output schema.
 func (v *ViewDef) Schema(db *engine.DB) (*tuple.Schema, error) {
 	var concat *tuple.Schema
 	offsets := make([]int, len(v.Relations))
 	pos := 0
 	for i, name := range v.Relations {
-		t, err := db.Table(name)
+		s, err := RelationSchema(db, name)
 		if err != nil {
 			return nil, err
 		}
 		offsets[i] = pos
-		pos += t.Schema().Arity()
+		pos += s.Arity()
 		if concat == nil {
-			concat = t.Schema()
+			concat = s
 		} else {
-			concat = tuple.ConcatSchemas(concat, t.Schema(), fmt.Sprintf("r%d_", i+1))
+			concat = tuple.ConcatSchemas(concat, s, fmt.Sprintf("r%d_", i+1))
 		}
 	}
 	if v.Project == nil {

@@ -504,6 +504,11 @@ func CacheEligible(db *DB, q *Query) bool {
 	for _, in := range q.Inputs {
 		switch in.Kind {
 		case InputBase:
+			// A derived (view) input has a registered delta under its own
+			// name, but the cache maintains heap-backed base indexes only.
+			if db.IsDerived(in.Table) {
+				return false
+			}
 			hasBase = true
 			if !db.HasDelta(in.Table) {
 				return false

@@ -85,10 +85,12 @@ func (d *DeltaTable) PartLen(p int) int {
 }
 
 func deltaKey(ts relalg.CSN, seq uint64) []byte {
-	var b [16]byte
+	// One spare byte of capacity so appending the shard to form the
+	// Append/AppendEncoded handle extends in place instead of reallocating.
+	b := make([]byte, 16, 17)
 	binary.BigEndian.PutUint64(b[0:8], uint64(ts))
 	binary.BigEndian.PutUint64(b[8:16], seq)
-	return b[:]
+	return b
 }
 
 func encodeDeltaVal(count int64, row tuple.Tuple) []byte {
@@ -140,23 +142,30 @@ func (d *DeltaTable) Append(ts relalg.CSN, count int64, row tuple.Tuple) (handle
 // and feeds the append hook). The encoded row is copied into a fresh
 // value buffer, so the caller may reuse encRow.
 func (d *DeltaTable) AppendEncoded(ts relalg.CSN, count int64, encRow []byte, partVal tuple.Value) (handle []byte) {
-	val := make([]byte, 0, binary.MaxVarintLen64+len(encRow))
-	val = binary.AppendVarint(val, count)
-	val = append(val, encRow...)
+	// One allocation per record, laid out [16-byte key | shard byte |
+	// value]: the btree retains the key and value slices (it never
+	// mutates them, so sharing one backing array is safe), and the
+	// 17-byte prefix is the handle. The key's capacity is clamped so no
+	// later append through it can reach the value bytes.
+	buf := make([]byte, 17, 17+binary.MaxVarintLen64+len(encRow))
+	buf = binary.AppendVarint(buf, count)
+	buf = append(buf, encRow...)
 	d.latch.Lock()
 	d.seq++
 	part := 0
 	if d.nparts > 1 {
 		part = hashPart(partVal, d.nparts)
 	}
-	k := deltaKey(ts, d.seq)
-	d.shards[part].Put(k, val)
+	binary.BigEndian.PutUint64(buf[0:8], uint64(ts))
+	binary.BigEndian.PutUint64(buf[8:16], d.seq)
+	buf[16] = byte(part)
+	d.shards[part].Put(buf[:16:16], buf[17:])
 	note := d.onAppend
 	d.latch.Unlock()
 	if note != nil {
 		note(part, partVal)
 	}
-	return append(k, byte(part))
+	return buf[:17]
 }
 
 // Remove deletes a previously appended record by handle (undo path).
@@ -271,6 +280,32 @@ func (d *DeltaTable) WindowSpec(spec *PartSpec, lo, hi relalg.CSN) *relalg.Relat
 		d.ascendMerged(start, end, add)
 	}
 	return out
+}
+
+// WindowEach streams σ_{lo,hi} in (timestamp, sequence) order without
+// materializing a relation: fn receives each record's timestamp, count,
+// and encoded row (valid only for the duration of the call — the
+// consumer must copy bytes it keeps). The incremental aggregate operator
+// folds upstream delta windows through it, decoding values in place. The
+// latch is held across the iteration, so fn must not call back into the
+// delta table.
+func (d *DeltaTable) WindowEach(lo, hi relalg.CSN, fn func(ts relalg.CSN, count int64, encRow []byte) error) error {
+	if hi <= lo {
+		return nil
+	}
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	var err error
+	d.ascendMerged(deltaKey(lo+1, 0), deltaKey(hi+1, 0), func(k, v []byte) bool {
+		ts := relalg.CSN(binary.BigEndian.Uint64(k[0:8]))
+		count, n := binary.Varint(v)
+		if n <= 0 {
+			panic("engine: corrupt delta value")
+		}
+		err = fn(ts, count, v[n:])
+		return err == nil
+	})
+	return err
 }
 
 // SliceEmpty reports whether the slice of σ_{lo,hi} selected by spec has

@@ -81,6 +81,7 @@ type DB struct {
 	mu       sync.RWMutex // guards the catalog maps
 	tables   map[string]*Table
 	deltas   map[string]*DeltaTable // keyed by base-table name
+	derived  map[string]*Derived    // maintained views readable as relations
 	sketches map[string]*keySketch  // per-table heavy/light frequency sketches
 
 	// nparts is the instance-wide hash-partition count (>= 1); every base

@@ -127,7 +127,12 @@ func (db *DB) arities(q *Query) ([]int, []int, error) {
 		case InputBase:
 			t, err := db.Table(in.Table)
 			if err != nil {
-				return nil, nil, err
+				dv := db.derivedByName(in.Table)
+				if dv == nil {
+					return nil, nil, err
+				}
+				n = dv.schema.Arity()
+				break
 			}
 			n = t.schema.Arity()
 		case InputDelta:
@@ -204,10 +209,13 @@ func joinOrder(q *Query) []int {
 
 // lockBases takes table S locks on every base input, in sorted name order
 // to keep the lock graph acyclic among concurrent propagation queries.
+// Derived (view) inputs take no locks: their state is reconstructed from
+// an immutable image plus immutable delta rows, so there is no writer to
+// serialize against.
 func (tx *Tx) lockBases(q *Query) error {
 	var baseNames []string
 	for _, in := range q.Inputs {
-		if in.Kind == InputBase {
+		if in.Kind == InputBase && !tx.db.IsDerived(in.Table) {
 			baseNames = append(baseNames, in.Table)
 		}
 	}
@@ -257,6 +265,9 @@ func (tx *Tx) buildPlan(q *Query, a *exec.Arena) (exec.Operator, *tuple.Schema, 
 		default:
 			t, err := db.Table(in.Table)
 			if err != nil {
+				if dv := db.derivedByName(in.Table); dv != nil {
+					return &derivedScan{db: db, dv: dv, pred: in.Pred, asOf: q.AsOf, spec: in.Part}, nil
+				}
 				return nil, err
 			}
 			return &tableScan{db: db, t: t, pred: in.Pred, asOf: q.AsOf, spec: in.Part}, nil
@@ -296,22 +307,22 @@ func (tx *Tx) buildPlan(q *Query, a *exec.Arena) (exec.Operator, *tuple.Schema, 
 			}
 		}
 		var joined exec.Operator
+		// Index probing applies to real base tables only; a derived input
+		// falls through to its streaming scan under a hash join.
 		if q.Inputs[i].Kind == InputBase && len(on) == 1 {
-			t, err := db.Table(q.Inputs[i].Table)
-			if err != nil {
-				return nil, nil, err
-			}
-			if ix := t.indexOn(on[0].RightCol); ix != nil {
-				pred := q.Inputs[i].Pred
-				joined = &exec.IndexLoopJoin{
-					Left:    cur,
-					LeftCol: on[0].LeftCol,
-					ProbeFn: func(v tuple.Value) []tuple.Tuple {
-						db.addProbes(1)
-						return t.probeAsOf(ix, v, pred, q.AsOf)
-					},
-					Size: db.batchSize,
-					A:    a,
+			if t, err := db.Table(q.Inputs[i].Table); err == nil {
+				if ix := t.indexOn(on[0].RightCol); ix != nil {
+					pred := q.Inputs[i].Pred
+					joined = &exec.IndexLoopJoin{
+						Left:    cur,
+						LeftCol: on[0].LeftCol,
+						ProbeFn: func(v tuple.Value) []tuple.Tuple {
+							db.addProbes(1)
+							return t.probeAsOf(ix, v, pred, q.AsOf)
+						},
+						Size: db.batchSize,
+						A:    a,
+					}
 				}
 			}
 		}
@@ -527,6 +538,15 @@ func (tx *Tx) MaterializeExec(q *Query) (*relalg.Relation, error) {
 		if rels[i] != nil {
 			return rels[i], nil
 		}
+		if dv := db.derivedByName(q.Inputs[i].Table); dv != nil {
+			rel, err := dv.ScanAsOf(q.AsOf, q.Inputs[i].Pred)
+			if err != nil {
+				return nil, err
+			}
+			db.addScanned(int64(rel.Len()))
+			rels[i] = rel
+			return rel, nil
+		}
 		if q.AsOf != relalg.NullTS {
 			t, err := db.Table(q.Inputs[i].Table)
 			if err != nil {
@@ -581,17 +601,17 @@ func (tx *Tx) MaterializeExec(q *Query) (*relalg.Relation, error) {
 			}
 		}
 		if rels[i] == nil && len(on) == 1 {
-			t, err := db.Table(q.Inputs[i].Table)
-			if err != nil {
-				return nil, err
-			}
-			if ix := t.indexOn(on[0].RightCol); ix != nil {
-				result = indexJoin(db, result, t, ix, on[0].LeftCol, q.Inputs[i].Pred, q.AsOf)
-				db.addJoined(int64(result.Len()))
-				joinedOff[i] = joinedWidth
-				joinedWidth += arities[i]
-				placed[i] = true
-				continue
+			// Index probing applies to real base tables only; derived
+			// inputs materialize through ScanAsOf below.
+			if t, err := db.Table(q.Inputs[i].Table); err == nil {
+				if ix := t.indexOn(on[0].RightCol); ix != nil {
+					result = indexJoin(db, result, t, ix, on[0].LeftCol, q.Inputs[i].Pred, q.AsOf)
+					db.addJoined(int64(result.Len()))
+					joinedOff[i] = joinedWidth
+					joinedWidth += arities[i]
+					placed[i] = true
+					continue
+				}
 			}
 		}
 		rel, err := materialize(i)
@@ -677,7 +697,12 @@ func (db *DB) concatSchema(q *Query) (*tuple.Schema, error) {
 		case InputBase:
 			t, err := db.Table(in.Table)
 			if err != nil {
-				return nil, err
+				dv := db.derivedByName(in.Table)
+				if dv == nil {
+					return nil, err
+				}
+				s = dv.schema
+				break
 			}
 			s = t.schema
 		case InputDelta:

@@ -44,6 +44,10 @@ const (
 	// PointCaptureReplay fires as capture applies a commit's changes to the
 	// base delta tables.
 	PointCaptureReplay = "capture/replay"
+	// PointAggregate fires at the start of an incremental aggregate's
+	// propagation step, before any upstream delta rows are folded. Cascade
+	// crash tests use it to kill a process mid-cascade.
+	PointAggregate = "aggregate"
 	// PointApply fires as the apply driver folds a view-delta window into
 	// the materialized view.
 	PointApply = "apply"

@@ -1,0 +1,262 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- parser: aggregate grammar ---
+
+func TestParseAggregateSelect(t *testing.T) {
+	st, err := Parse("SELECT region, COUNT(*), SUM(amt) AS total, AVG(amt), MIN(amt), MAX(v.amt) FROM v GROUP BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := st.(*Select)
+	if len(q.Cols) != 1 || q.Cols[0].Col != "region" {
+		t.Fatalf("cols: %+v", q.Cols)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Col != "region" {
+		t.Fatalf("group by: %+v", q.GroupBy)
+	}
+	if len(q.Aggs) != 5 {
+		t.Fatalf("aggs: %+v", q.Aggs)
+	}
+	want := []AggRef{
+		{Func: "COUNT"},
+		{Func: "SUM", Col: "amt", As: "total"},
+		{Func: "AVG", Col: "amt"},
+		{Func: "MIN", Col: "amt"},
+		{Func: "MAX", Qual: "v", Col: "amt"},
+	}
+	for i, w := range want {
+		if q.Aggs[i] != w {
+			t.Fatalf("agg %d: %+v want %+v", i, q.Aggs[i], w)
+		}
+	}
+}
+
+func TestParseCreateAggregateView(t *testing.T) {
+	st, err := Parse("CREATE MATERIALIZED VIEW hourly AS SELECT region, COUNT(*), SUM(amt) FROM enriched GROUP BY region WITH MANUAL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := st.(*CreateView)
+	if cv.Name != "hourly" || !cv.Manual || len(cv.Branches) != 1 {
+		t.Fatalf("%+v", cv)
+	}
+	b := cv.Branches[0]
+	if len(b.Aggs) != 2 || len(b.GroupBy) != 1 || b.From[0].Table != "enriched" {
+		t.Fatalf("branch: %+v", b)
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	bad := []string{
+		"SELECT COUNT(*) FROM t",                                   // aggregate without GROUP BY
+		"SELECT region FROM t GROUP BY region",                     // GROUP BY without aggregate
+		"SELECT * FROM t GROUP BY region",                          // star with GROUP BY
+		"SELECT r, COUNT(*) FROM t GROUP BY x",                     // select col != group col
+		"SELECT r, q, COUNT(*) FROM t GROUP BY r",                  // extra non-aggregated col
+		"SELECT COUNT(x) FROM t GROUP BY x",                        // COUNT takes *
+		"SELECT SUM(*) FROM t GROUP BY x",                          // SUM takes a column
+		"SELECT x, SUM(x FROM t GROUP BY x",                        // unclosed call
+		"SELECT x, SUM() FROM t GROUP BY x",                        // empty call
+		"SELECT x, COUNT(*) FROM t GROUP BY",                       // missing group column
+		"SELECT x, COUNT(*) FROM t GROUP x",                        // missing BY
+		"SELECT x, COUNT(*) AS FROM t GROUP BY x",                  // AS without name
+		"CREATE MATERIALIZED VIEW v AS SELECT SUM(a) FROM t GROUP", // truncated
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("expected parse error for %q", q)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("want *ParseError for %q, got %T: %v", q, err, err)
+		}
+	}
+}
+
+// --- executor: aggregates and cascades through SQL ---
+
+func TestSQLAggregateCascade(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `
+		CREATE TABLE orders (oid INT, cust INT, amt FLOAT);
+		CREATE TABLE regions (cust INT, region TEXT);
+		INSERT INTO regions VALUES (1, 'east'), (2, 'west');
+		CREATE MATERIALIZED VIEW enriched AS
+			SELECT o.oid, o.amt, r.region FROM orders o JOIN regions r ON o.cust = r.cust
+			WITH INTERVAL 2;
+		CREATE MATERIALIZED VIEW rollup AS
+			SELECT region, COUNT(*), SUM(amt) AS total, MAX(amt) FROM enriched GROUP BY region;
+		INSERT INTO orders VALUES (1, 1, 10.0), (2, 1, 30.0), (3, 2, 5.0);
+	`)
+	// Third level: a plain view filtered over the aggregate's output.
+	mustExec(t, s, `
+		CREATE MATERIALIZED VIEW big AS SELECT * FROM rollup WHERE total >= 20.0 WITH INTERVAL 2;
+	`)
+	mustExec(t, s, "REFRESH VIEW enriched; REFRESH VIEW rollup; REFRESH VIEW big")
+
+	res := mustExec(t, s, "SELECT * FROM rollup")
+	rows := res[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("rollup rows: %+v", rows)
+	}
+	// east: 2 orders, 40 total, max 30; west: 1 order, 5 total.
+	if rows[0][0] != "east" || rows[0][1] != "2" || rows[0][2] != "40" || rows[0][3] != "30" {
+		t.Fatalf("east group: %+v", rows[0])
+	}
+	if rows[1][0] != "west" || rows[1][1] != "1" {
+		t.Fatalf("west group: %+v", rows[1])
+	}
+	res = mustExec(t, s, "SELECT region FROM big")
+	if len(res[0].Rows) != 1 || res[0].Rows[0][0] != "east" {
+		t.Fatalf("big rows: %+v", res[0].Rows)
+	}
+
+	// A delete of the current maximum flows through all three levels.
+	mustExec(t, s, "DELETE FROM orders WHERE oid = 2")
+	mustExec(t, s, "REFRESH VIEW enriched; REFRESH VIEW rollup; REFRESH VIEW big")
+	res = mustExec(t, s, "SELECT * FROM rollup")
+	rows = res[0].Rows
+	if rows[0][0] != "east" || rows[0][1] != "1" || rows[0][2] != "10" || rows[0][3] != "10" {
+		t.Fatalf("east after max delete: %+v", rows[0])
+	}
+	res = mustExec(t, s, "SELECT region FROM big")
+	if len(res[0].Rows) != 0 {
+		t.Fatalf("big should be empty: %+v", res[0].Rows)
+	}
+
+	// SHOW reflects all three levels; STATS works on the aggregate.
+	res = mustExec(t, s, "SHOW VIEWS")
+	joined := res[0].String()
+	for _, want := range []string{"enriched", "rollup (aggregate)", "big"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("SHOW VIEWS missing %q:\n%s", want, joined)
+		}
+	}
+	res = mustExec(t, s, "SHOW STATS rollup")
+	if len(res[0].Rows) == 0 {
+		t.Fatal("aggregate stats empty")
+	}
+
+	// Dropping the middle level cascades to the top.
+	mustExec(t, s, "DROP VIEW rollup")
+	if _, err := s.Exec("SELECT * FROM big"); err == nil {
+		t.Fatal("downstream view should be dropped with its upstream")
+	}
+	if _, err := s.Exec("REFRESH VIEW rollup"); err == nil {
+		t.Fatal("dropped aggregate should be gone")
+	}
+}
+
+func TestSQLAdhocAggregate(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `
+		CREATE TABLE orders (id INT, item TEXT, price FLOAT);
+		INSERT INTO orders VALUES (1, 'ball', 5.0), (2, 'ball', 7.0), (3, 'bat', 20.0);
+	`)
+	res := mustExec(t, s, "SELECT item, COUNT(*), SUM(price), AVG(price), MIN(price), MAX(price) FROM orders GROUP BY item")
+	rows := res[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("groups: %+v", rows)
+	}
+	if rows[0][0] != "ball" || rows[0][1] != "2" || rows[0][2] != "12" || rows[0][3] != "6" ||
+		rows[0][4] != "5" || rows[0][5] != "7" {
+		t.Fatalf("ball group: %+v", rows[0])
+	}
+	if res[0].Columns[1] != "count" || res[0].Columns[2] != "sum_price" {
+		t.Fatalf("columns: %+v", res[0].Columns)
+	}
+	// WHERE filters before grouping.
+	res = mustExec(t, s, "SELECT item, COUNT(*) FROM orders WHERE price > 6.0 GROUP BY item")
+	rows = res[0].Rows
+	if len(rows) != 2 || rows[0][1] != "1" || rows[1][1] != "1" {
+		t.Fatalf("filtered groups: %+v", rows)
+	}
+}
+
+func TestSQLAggregateExecErrors(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `
+		CREATE TABLE a (k INT, v FLOAT);
+		CREATE TABLE b (k INT, w FLOAT);
+		CREATE MATERIALIZED VIEW base AS SELECT a.k, a.v FROM a WITH INTERVAL 2;
+		CREATE MATERIALIZED VIEW agg AS SELECT k, COUNT(*) FROM base GROUP BY k;
+	`)
+	bad := []string{
+		// Aggregates read exactly one relation.
+		"CREATE MATERIALIZED VIEW x AS SELECT a.k, COUNT(*) FROM a JOIN b ON a.k = b.k GROUP BY a.k",
+		// WHERE inside an aggregate view is rejected.
+		"CREATE MATERIALIZED VIEW x AS SELECT k, COUNT(*) FROM a WHERE v > 1.0 GROUP BY k",
+		// STEPWISE conflicts with group-level compensation.
+		"CREATE MATERIALIZED VIEW x AS SELECT k, COUNT(*) FROM a GROUP BY k WITH STEPWISE",
+		// Unknown source column and unknown source relation.
+		"CREATE MATERIALIZED VIEW x AS SELECT k, SUM(ghost) FROM a GROUP BY k",
+		"CREATE MATERIALIZED VIEW x AS SELECT k, COUNT(*) FROM ghost GROUP BY k",
+		// Unknown qualifier inside the aggregate.
+		"CREATE MATERIALIZED VIEW x AS SELECT k, SUM(z.v) FROM a GROUP BY k",
+		// UNION branches cannot aggregate.
+		"CREATE MATERIALIZED VIEW x AS SELECT k, COUNT(*) FROM a GROUP BY k UNION SELECT k, COUNT(*) FROM b GROUP BY k",
+		// Duplicate name (agg already exists).
+		"CREATE MATERIALIZED VIEW agg AS SELECT k, COUNT(*) FROM base GROUP BY k",
+		// FROM a view that does not expose the aggregated column.
+		"CREATE MATERIALIZED VIEW x AS SELECT k, SUM(w) FROM base GROUP BY k",
+	}
+	for _, q := range bad {
+		if _, err := s.Exec(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+	// The failures above must not leak registrations: the names stay free.
+	mustExec(t, s, "CREATE MATERIALIZED VIEW x AS SELECT k, COUNT(*) FROM base GROUP BY k")
+}
+
+// --- fuzzing ---
+
+// FuzzParse drives the full lexer+parser with arbitrary input: it must
+// return a statement or an error, never panic, and errors must be the
+// package's typed errors so shells can render positions.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"CREATE TABLE orders (id INT, item TEXT, price DOUBLE, ok BOOL, raw BYTES)",
+		"INSERT INTO t VALUES (1, 'a', TRUE, NULL), (2, 'b', FALSE, 1.5)",
+		"DELETE FROM t WHERE a = 1 AND b <> 'x' LIMIT 3",
+		"SELECT o.id, i.price FROM orders o JOIN items i ON o.item = i.item WHERE i.price >= 7",
+		"CREATE MATERIALIZED VIEW v AS SELECT * FROM a JOIN b ON a.k = b.k WITH INTERVAL 4, MANUAL",
+		"CREATE MATERIALIZED VIEW v AS SELECT a.k FROM a UNION SELECT b.k FROM b WITH INTERVALS (2, 4)",
+		"CREATE MATERIALIZED VIEW h AS SELECT region, COUNT(*), SUM(amt) AS total, AVG(amt), MIN(amt), MAX(amt) FROM v GROUP BY region",
+		"CREATE SUMMARY s OF v GROUP BY item SUM (price)",
+		"REFRESH VIEW v TO COMMIT 42; REFRESH SUMMARY s",
+		"DROP VIEW v; SHOW TABLES; SHOW VIEWS; SHOW STATS v",
+		"SELECT item, COUNT(*) FROM orders WHERE price > 6.0 GROUP BY item",
+		"SELECT x, SUM(",
+		"'unterminated",
+		"CREATE MATERIALIZED VIEW x AS SELECT COUNT(*) FROM t GROUP",
+		"-- comment only",
+		";;;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmts, err := ParseAll(input)
+		if err != nil {
+			switch err.(type) {
+			case *ParseError, *lexError:
+			default:
+				// Parse wraps multi-statement miscounts in fmt errors; only
+				// those are allowed through.
+				if !strings.HasPrefix(err.Error(), "sql: ") {
+					t.Fatalf("untyped error %T: %v", err, err)
+				}
+			}
+			return
+		}
+		for _, st := range stmts {
+			if st == nil {
+				t.Fatal("nil statement without error")
+			}
+		}
+	})
+}

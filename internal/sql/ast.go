@@ -65,14 +65,27 @@ type OutRef struct {
 	Col  string
 }
 
-// Select is SELECT cols FROM t1 [a] JOIN t2 [b] ON ... [WHERE ...].
-// Star selects every column of the join result.
+// AggRef is one aggregate function call in a SELECT list:
+// COUNT(*) or SUM/AVG/MIN/MAX(col), optionally AS name.
+type AggRef struct {
+	Func string // COUNT, SUM, AVG, MIN, MAX
+	Qual string // empty for COUNT(*)
+	Col  string // empty for COUNT(*)
+	As   string // optional output column name
+}
+
+// Select is SELECT cols FROM t1 [a] JOIN t2 [b] ON ... [WHERE ...]
+// [GROUP BY cols]. Star selects every column of the join result. When
+// Aggs is non-empty the select is an aggregation: Cols are the grouping
+// output columns and GroupBy must be present.
 type Select struct {
-	Star  bool
-	Cols  []OutRef
-	From  []TableRef
-	Joins []JoinCond
-	Where []Cond
+	Star    bool
+	Cols    []OutRef
+	Aggs    []AggRef
+	From    []TableRef
+	Joins   []JoinCond
+	Where   []Cond
+	GroupBy []OutRef
 }
 
 func (*Select) stmt() {}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	rollingjoin "repro"
+	"repro/internal/core"
 	"repro/internal/relalg"
 	"repro/internal/tuple"
 )
@@ -245,14 +246,16 @@ func (s *Session) toSpec(name string, q *Select) (rollingjoin.ViewSpec, error) {
 			}
 			return t, nil
 		}
-		// Unqualified: find the unique FROM table having the column.
+		// Unqualified: find the unique FROM relation having the column.
+		// RelationSchema also resolves maintained views, so FROM <view>
+		// cascades work.
 		var found string
 		for _, ref := range q.From {
-			t, err := s.DB.Engine().Table(ref.Table)
+			schema, err := core.RelationSchema(s.DB.Engine(), ref.Table)
 			if err != nil {
 				return "", err
 			}
-			if t.Schema().Index(col) >= 0 {
+			if schema.Index(col) >= 0 {
 				if found != "" {
 					return "", fmt.Errorf("sql: column %q is ambiguous", col)
 				}
@@ -301,6 +304,10 @@ func (s *Session) toSpec(name string, q *Select) (rollingjoin.ViewSpec, error) {
 }
 
 func (s *Session) selectStmt(q *Select) (*Result, error) {
+	// SELECT with GROUP BY computes a one-shot aggregation.
+	if len(q.Aggs) > 0 {
+		return s.adhocAggregate(q)
+	}
 	// SELECT * FROM <view> reads materialized contents.
 	if len(q.From) == 1 && len(q.Joins) == 0 {
 		if v, ok := s.DB.View(q.From[0].Table); ok {
@@ -308,6 +315,9 @@ func (s *Session) selectStmt(q *Select) (*Result, error) {
 		}
 		if uv, ok := s.unions[q.From[0].Table]; ok {
 			return s.selectFromRelation(uv.Relation(), uv.Name(), q)
+		}
+		if av, ok := s.DB.Aggregate(q.From[0].Table); ok {
+			return s.selectFromRelation(av.Relation(), av.Name(), q)
 		}
 	}
 	spec, err := s.toSpec("adhoc", q)
@@ -369,6 +379,187 @@ func (s *Session) selectFromRelation(rel *relalg.Relation, viewName string, q *S
 	return out, nil
 }
 
+// aggFunc maps a parsed aggregate keyword to the library's function id.
+func aggFunc(name string) (rollingjoin.AggFunc, error) {
+	switch name {
+	case "COUNT":
+		return rollingjoin.AggCount, nil
+	case "SUM":
+		return rollingjoin.AggSum, nil
+	case "AVG":
+		return rollingjoin.AggAvg, nil
+	case "MIN":
+		return rollingjoin.AggMin, nil
+	case "MAX":
+		return rollingjoin.AggMax, nil
+	default:
+		return 0, fmt.Errorf("sql: unknown aggregate %q", name)
+	}
+}
+
+// aggOutName is the output column name for an aggregate item, matching
+// DefineAggregate's defaults.
+func aggOutName(a AggRef) string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Func == "COUNT" {
+		return "count"
+	}
+	return strings.ToLower(a.Func) + "_" + a.Col
+}
+
+// checkAggShape validates the single-relation shape shared by maintained
+// aggregate views and one-shot GROUP BY selects, and verifies qualifiers.
+func checkAggShape(q *Select) error {
+	if len(q.From) != 1 || len(q.Joins) > 0 {
+		return errors.New("sql: GROUP BY reads exactly one relation; define a join view first and aggregate over it")
+	}
+	src := q.From[0]
+	check := func(qual string) error {
+		if qual != "" && qual != src.Alias && qual != src.Table {
+			return fmt.Errorf("sql: unknown table or alias %q", qual)
+		}
+		return nil
+	}
+	for _, g := range q.GroupBy {
+		if err := check(g.Qual); err != nil {
+			return err
+		}
+	}
+	for _, a := range q.Aggs {
+		if err := check(a.Qual); err != nil {
+			return err
+		}
+	}
+	for _, c := range q.Where {
+		if err := check(c.Qual); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adhocAggregate evaluates a one-shot SELECT ... GROUP BY by folding the
+// source rows (a base table or any maintained relation) in the session.
+// WHERE conditions filter source rows before grouping.
+func (s *Session) adhocAggregate(q *Select) (*Result, error) {
+	if err := checkAggShape(q); err != nil {
+		return nil, err
+	}
+	src := q.From[0].Table
+	schema, err := core.RelationSchema(s.DB.Engine(), src)
+	if err != nil {
+		return nil, err
+	}
+	colIdx := func(name string) (int, error) {
+		c := schema.Index(name)
+		if c < 0 {
+			return -1, fmt.Errorf("sql: no column %q in relation %q", name, src)
+		}
+		return c, nil
+	}
+	groupIdx := make([]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		if groupIdx[i], err = colIdx(g.Col); err != nil {
+			return nil, err
+		}
+	}
+	aggIdx := make([]int, len(q.Aggs))
+	for i, a := range q.Aggs {
+		aggIdx[i] = -1
+		if a.Func != "COUNT" {
+			if aggIdx[i], err = colIdx(a.Col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Source rows at a consistent recent state: the current committed state
+	// for a base table, the propagation high-water mark for a maintained
+	// relation.
+	spec := rollingjoin.ViewSpec{Tables: []string{src}}
+	for _, c := range q.Where {
+		op, err := cmpOp(c.Op)
+		if err != nil {
+			return nil, err
+		}
+		spec.Filters = append(spec.Filters, rollingjoin.Filter{Table: src, Column: c.Col, Op: op, Value: c.Val})
+	}
+	res, err := s.DB.Query(spec)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		key     tuple.Tuple
+		count   int64
+		sums    []float64
+		extrema []tuple.Value // current MIN/MAX per agg position
+	}
+	groups := make(map[string]*group)
+	for _, row := range res.Rows {
+		key := make(tuple.Tuple, len(groupIdx))
+		var enc []byte
+		for i, c := range groupIdx {
+			key[i] = row[c]
+			enc = tuple.EncodeKeyValue(enc, row[c])
+		}
+		g := groups[string(enc)]
+		if g == nil {
+			g = &group{key: key, sums: make([]float64, len(q.Aggs)), extrema: make([]tuple.Value, len(q.Aggs))}
+			groups[string(enc)] = g
+		}
+		g.count++
+		for i, a := range q.Aggs {
+			switch a.Func {
+			case "SUM", "AVG":
+				g.sums[i] += row[aggIdx[i]].AsFloat()
+			case "MIN", "MAX":
+				v := row[aggIdx[i]]
+				if g.extrema[i].Kind() == tuple.KindNull {
+					g.extrema[i] = v
+					continue
+				}
+				have := tuple.EncodeKeyValue(nil, g.extrema[i])
+				cand := tuple.EncodeKeyValue(nil, v)
+				if (a.Func == "MIN") == (string(cand) < string(have)) {
+					g.extrema[i] = v
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := &Result{}
+	for _, g := range q.GroupBy {
+		out.Columns = append(out.Columns, g.Col)
+	}
+	for _, a := range q.Aggs {
+		out.Columns = append(out.Columns, aggOutName(a))
+	}
+	for _, k := range keys {
+		g := groups[k]
+		row := make(tuple.Tuple, 0, len(out.Columns))
+		row = append(row, g.key...)
+		for i, a := range q.Aggs {
+			switch a.Func {
+			case "COUNT":
+				row = append(row, tuple.Int(g.count))
+			case "SUM":
+				row = append(row, tuple.Float(g.sums[i]))
+			case "AVG":
+				row = append(row, tuple.Float(g.sums[i]/float64(g.count)))
+			default:
+				row = append(row, g.extrema[i])
+			}
+		}
+		out.Rows = append(out.Rows, renderTuple(row))
+	}
+	return out, nil
+}
+
 func renderTuple(t tuple.Tuple) []string {
 	out := make([]string, len(t))
 	for i, v := range t {
@@ -389,6 +580,9 @@ func (s *Session) createView(st *CreateView) (*Result, error) {
 		opt.Algorithm = rollingjoin.AlgorithmStepwise
 	}
 	if len(st.Branches) == 1 {
+		if q := st.Branches[0]; len(q.Aggs) > 0 {
+			return s.createAggregate(st, q, opt)
+		}
 		spec, err := s.toSpec(st.Name, st.Branches[0])
 		if err != nil {
 			return nil, err
@@ -399,6 +593,11 @@ func (s *Session) createView(st *CreateView) (*Result, error) {
 		return &Result{Message: fmt.Sprintf("materialized view %s created", st.Name)}, nil
 	}
 	// UNION of several branches: a union view.
+	for _, b := range st.Branches {
+		if len(b.Aggs) > 0 {
+			return nil, errors.New("sql: UNION branches cannot contain GROUP BY; aggregate over the union view instead")
+		}
+	}
 	if st.Stepwise {
 		return nil, errors.New("sql: union views use the rolling algorithm (drop STEPWISE)")
 	}
@@ -419,6 +618,38 @@ func (s *Session) createView(st *CreateView) (*Result, error) {
 	}
 	s.unions[st.Name] = uv
 	return &Result{Message: fmt.Sprintf("materialized union view %s created (%d branches)", st.Name, len(st.Branches))}, nil
+}
+
+// createAggregate lowers CREATE MATERIALIZED VIEW ... GROUP BY to a
+// first-class maintained aggregate. The source may be a base table or any
+// maintained relation (a view, union view, or another aggregate), so
+// cascades are expressible purely in SQL.
+func (s *Session) createAggregate(st *CreateView, q *Select, opt rollingjoin.Maintain) (*Result, error) {
+	if err := checkAggShape(q); err != nil {
+		return nil, err
+	}
+	if len(q.Where) > 0 {
+		return nil, errors.New("sql: WHERE is not supported in an aggregate view; define a filtered view first and aggregate over it")
+	}
+	if st.Stepwise {
+		return nil, errors.New("sql: aggregates use group-level compensation (drop STEPWISE)")
+	}
+	src := q.From[0].Table
+	spec := rollingjoin.AggSpec{Name: st.Name, Source: src}
+	for _, g := range q.GroupBy {
+		spec.GroupBy = append(spec.GroupBy, g.Col)
+	}
+	for _, a := range q.Aggs {
+		fn, err := aggFunc(a.Func)
+		if err != nil {
+			return nil, err
+		}
+		spec.Aggs = append(spec.Aggs, rollingjoin.Agg{Func: fn, Column: a.Col, As: a.As})
+	}
+	if _, err := s.DB.DefineAggregate(spec, opt); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("materialized aggregate %s created over %s", st.Name, src)}, nil
 }
 
 func (s *Session) createSummary(st *CreateSummary) (*Result, error) {
@@ -472,6 +703,8 @@ func (s *Session) refresh(st *Refresh) (*Result, error) {
 		v = pv
 	} else if uv, ok := s.unions[st.Name]; ok {
 		v = uv
+	} else if av, ok := s.DB.Aggregate(st.Name); ok {
+		v = av
 	} else {
 		return nil, fmt.Errorf("sql: no view %q", st.Name)
 	}
@@ -532,8 +765,31 @@ func (s *Session) show(st *Show) (*Result, error) {
 				name + " (union)", fmt.Sprint(uv.MatTime()), fmt.Sprint(uv.HWM()),
 			})
 		}
+		for _, name := range s.DB.AggregateNames() {
+			av, _ := s.DB.Aggregate(name)
+			out.Rows = append(out.Rows, []string{
+				name + " (aggregate)", fmt.Sprint(av.MatTime()), fmt.Sprint(av.HWM()),
+			})
+		}
 		return out, nil
 	case "STATS":
+		if av, ok := s.DB.Aggregate(st.Name); ok {
+			as := av.Stats()
+			out := &Result{Columns: []string{"metric", "value"}}
+			add := func(k string, val interface{}) {
+				out.Rows = append(out.Rows, []string{k, fmt.Sprint(val)})
+			}
+			add("groups", as.GroupCount)
+			add("steps run", as.StepsRun)
+			add("source rows folded", as.SourceRowsFolded)
+			add("delta rows produced", as.DeltaRowsProduced)
+			add("delta rows pending", as.DeltaRowsPending)
+			add("rows applied", as.RowsApplied)
+			add("refreshes", as.Refreshes)
+			add("high-water mark", as.HWM)
+			add("materialization time", as.MatTime)
+			return out, nil
+		}
 		v, ok := s.DB.View(st.Name)
 		if !ok {
 			return nil, fmt.Errorf("sql: no view %q", st.Name)

@@ -52,6 +52,7 @@ var keywords = map[string]bool{
 	"STRING": true, "VARCHAR": true, "BOOL": true, "BOOLEAN": true,
 	"BYTES": true, "BLOB": true, "STATS": true, "MANUAL": true, "STEPWISE": true,
 	"SUMMARY": true, "OF": true, "GROUP": true, "BY": true, "SUM": true,
+	"COUNT": true, "AVG": true, "MIN": true, "MAX": true,
 	"COMMIT": true, "AT": true, "UNION": true,
 }
 

@@ -351,17 +351,62 @@ func (p *parser) delete() (Statement, error) {
 	return d, nil
 }
 
+// aggFuncs are the aggregate functions accepted in a SELECT list.
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+// aggRef parses FUNC(*) / FUNC(col) [AS ident]; the function keyword has
+// already been consumed.
+func (p *parser) aggRef(fn string) (AggRef, error) {
+	a := AggRef{Func: fn}
+	if _, err := p.expectPunct("("); err != nil {
+		return a, err
+	}
+	if fn == "COUNT" {
+		if _, err := p.expectPunct("*"); err != nil {
+			return a, p.errf("COUNT takes *, found %s", p.peek())
+		}
+	} else {
+		if p.acceptPunct("*") {
+			return a, p.errf("%s takes a column, not *", fn)
+		}
+		qual, col, err := p.qualified()
+		if err != nil {
+			return a, err
+		}
+		a.Qual, a.Col = qual, col
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return a, err
+	}
+	if p.acceptKeyword("AS") {
+		as, err := p.ident()
+		if err != nil {
+			return a, err
+		}
+		a.As = as
+	}
+	return a, nil
+}
+
 func (p *parser) selectStmt() (*Select, error) {
 	s := &Select{}
 	if p.acceptPunct("*") {
 		s.Star = true
 	} else {
 		for {
-			qual, col, err := p.qualified()
-			if err != nil {
-				return nil, err
+			if t := p.peek(); t.kind == tokKeyword && aggFuncs[t.text] {
+				a, err := p.aggRef(p.next().text)
+				if err != nil {
+					return nil, err
+				}
+				s.Aggs = append(s.Aggs, a)
+			} else {
+				qual, col, err := p.qualified()
+				if err != nil {
+					return nil, err
+				}
+				s.Cols = append(s.Cols, OutRef{Qual: qual, Col: col})
 			}
-			s.Cols = append(s.Cols, OutRef{Qual: qual, Col: col})
 			if p.acceptPunct(",") {
 				continue
 			}
@@ -410,6 +455,39 @@ func (p *parser) selectStmt() (*Select, error) {
 			return nil, err
 		}
 		s.Where = conds
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			qual, col, err := p.qualified()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, OutRef{Qual: qual, Col: col})
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+	}
+	// Shape checks: aggregates and GROUP BY come together, and the
+	// non-aggregated select columns must be exactly the grouping columns.
+	switch {
+	case len(s.Aggs) > 0 && len(s.GroupBy) == 0:
+		return nil, p.errf("aggregate SELECT requires GROUP BY")
+	case len(s.GroupBy) > 0 && len(s.Aggs) == 0:
+		return nil, p.errf("GROUP BY requires an aggregate in the SELECT list")
+	case len(s.GroupBy) > 0 && s.Star:
+		return nil, p.errf("SELECT * cannot be combined with GROUP BY")
+	case len(s.GroupBy) > 0 && len(s.Cols) != len(s.GroupBy):
+		return nil, p.errf("SELECT columns must match the GROUP BY columns")
+	}
+	for i, g := range s.GroupBy {
+		if c := s.Cols[i]; c.Col != g.Col || c.Qual != g.Qual {
+			return nil, p.errf("SELECT column %q does not match GROUP BY column %q", c.Col, g.Col)
+		}
 	}
 	return s, nil
 }

@@ -40,8 +40,18 @@ type maintained struct {
 	apply *sched.Job // application (AutoRefresh only): rolls the MV
 	hwm   func() CSN
 
+	// src is the capture source this view's propagation gates on. For a
+	// view over base tables it is the database's capture process; for a
+	// cascaded view (reading other maintained views) it is a composite
+	// ViewSource whose progress is min(capture, upstream HWMs). Nil falls
+	// back to the database source.
+	src capture.Source
+	// ups are the maintained upstream views this view reads as relations
+	// (cascade edges), recorded for lifecycle bookkeeping.
+	ups []*maintained
+
 	depMu sync.Mutex
-	deps  []*sched.Job // summary auto-refresh jobs, kicked on progress
+	deps  []*sched.Job // downstream propagation / summary jobs, kicked on progress
 }
 
 // notifyDeps chains downstream jobs on propagation progress: the apply
@@ -59,9 +69,24 @@ func (m *maintained) notifyDeps() {
 }
 
 // addDep registers a dependent job to kick on propagation progress.
+// This is the scheduler-level cascade chain: a downstream view's
+// propagation job registered here wakes whenever this view's high-water
+// mark advances, so deltas flow level to level without polling.
 func (m *maintained) addDep(j *sched.Job) {
 	m.depMu.Lock()
 	m.deps = append(m.deps, j)
+	m.depMu.Unlock()
+}
+
+// removeDep detaches a dependent job (a downstream view being dropped).
+func (m *maintained) removeDep(j *sched.Job) {
+	m.depMu.Lock()
+	for i, d := range m.deps {
+		if d == j {
+			m.deps = append(m.deps[:i], m.deps[i+1:]...)
+			break
+		}
+	}
 	m.depMu.Unlock()
 }
 
@@ -179,10 +204,21 @@ func (m *maintained) CatchUpContext(ctx context.Context, target CSN) error {
 	return nil
 }
 
+// source returns the capture source this view gates on: the composite
+// cascade source when set, else the database's capture process.
+func (m *maintained) source() capture.Source {
+	if m.src != nil {
+		return m.src
+	}
+	return m.db.Source()
+}
+
 // waitCapture blocks until capture progress reaches csn, honoring ctx
-// when the source supports context-aware waits.
+// when the source supports context-aware waits. For a cascaded view the
+// source is a ViewSource, so this also drives lagging upstream views'
+// propagation forward.
 func (m *maintained) waitCapture(ctx context.Context, csn CSN) error {
-	src := m.db.Source()
+	src := m.source()
 	if w, ok := src.(interface {
 		WaitProgressContext(context.Context, relalg.CSN) error
 	}); ok {

@@ -87,7 +87,12 @@ type DB struct {
 
 	mu     sync.Mutex
 	views  map[string]*View
+	aggs   map[string]*AggregateView
 	unions []*UnionView
+	// downs maps a maintained relation to the names of maintained
+	// relations defined over it (cascade edges). DropView walks it to
+	// drop dependents before their upstream disappears.
+	downs map[string]map[string]bool
 }
 
 // Open creates a database instance and starts its capture process.
@@ -111,7 +116,12 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{eng: eng, views: make(map[string]*View)}
+	db := &DB{
+		eng:   eng,
+		views: make(map[string]*View),
+		aggs:  make(map[string]*AggregateView),
+		downs: make(map[string]map[string]bool),
+	}
 	workers := opts.MaintenanceWorkers
 	if workers <= 0 {
 		workers = defaultMaintenanceWorkers
@@ -371,13 +381,15 @@ func (db *DB) resolveChecked(spec ViewSpec, requireDeltas bool) (*core.ViewDef, 
 		if !ok {
 			return engine.ColRef{}, fmt.Errorf("rollingjoin: view %q references table %q not in its FROM list", spec.Name, table)
 		}
-		t, err := db.eng.Table(table)
+		// Relations may be base tables or other maintained views (the
+		// cascade contract), so resolve through the unified catalog.
+		s, err := core.RelationSchema(db.eng, table)
 		if err != nil {
 			return engine.ColRef{}, err
 		}
-		c := t.Schema().Index(column)
+		c := s.Index(column)
 		if c < 0 {
-			return engine.ColRef{}, fmt.Errorf("rollingjoin: no column %q in table %q", column, table)
+			return engine.ColRef{}, fmt.Errorf("rollingjoin: no column %q in relation %q", column, table)
 		}
 		return engine.ColRef{Input: i, Col: c}, nil
 	}
@@ -399,12 +411,12 @@ func (db *DB) resolveChecked(spec ViewSpec, requireDeltas bool) (*core.ViewDef, 
 		offsets := make([]int, len(spec.Tables))
 		pos := 0
 		for i, name := range spec.Tables {
-			t, err := db.eng.Table(name)
+			s, err := core.RelationSchema(db.eng, name)
 			if err != nil {
 				return nil, err
 			}
 			offsets[i] = pos
-			pos += t.Schema().Arity()
+			pos += s.Arity()
 		}
 		var conj relalg.And
 		for _, f := range spec.Filters {
@@ -533,6 +545,13 @@ type Maintain struct {
 // DefineView materializes the view, wires up its delta table and
 // propagation driver, and (unless Manual) starts propagation in the
 // background.
+//
+// Relations may be base tables or other maintained views: a view's timed
+// delta table registers under the view's own name, and together with its
+// high-water mark it forms a derived relation downstream views read
+// exactly like a base table. Cascades (fact → join view → rollup) are
+// therefore planned, propagated, and refreshed through the same
+// machinery at every level.
 func (db *DB) DefineView(spec ViewSpec, opt Maintain) (*View, error) {
 	db.ensureCapture()
 	def, err := db.resolve(spec)
@@ -543,15 +562,56 @@ func (db *DB) DefineView(spec ViewSpec, opt Maintain) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	dest, err := db.eng.CreateStandaloneDelta("Δ"+def.Name, schema)
+
+	// Maintained upstream relations make this a cascaded definition.
+	ups, upNames := db.upstreamsOf(def.Relations)
+
+	// The cascade contract: the view delta registers under the view's own
+	// name, so delta positions of downstream propagation queries — and
+	// db.Delta(viewName) — resolve without special cases.
+	dest, err := db.eng.CreateStandaloneDelta(def.Name, schema)
 	if err != nil {
 		return nil, err
 	}
-	mv, err := core.Materialize(db.eng, def)
+	cleanup := func() {
+		db.eng.UnregisterDerived(def.Name)
+		db.eng.DropStandaloneDelta(def.Name)
+	}
+
+	// A cascaded view gates propagation on a composite source: progress is
+	// min(base capture, upstream HWMs), and waiting drives lagging
+	// upstreams forward first.
+	src := db.src
+	if len(ups) > 0 {
+		vs := &capture.ViewSource{Base: db.src}
+		for i, u := range ups {
+			vs.Ups = append(vs.Ups, capture.Upstream{Name: upNames[i], HWM: u.hwm, CatchUp: u.CatchUpContext})
+		}
+		src = vs
+	}
+
+	// Initial materialization: pick one stable instant, bring every
+	// upstream's high-water mark up to it (their deltas are then complete
+	// there), and materialize all inputs at exactly that time.
+	snap, err := db.eng.OpenSnapshot(relalg.NullTS)
 	if err != nil {
+		cleanup()
 		return nil, err
 	}
-	exec := core.NewExecutor(db.eng, db.src, def, dest)
+	asOf := snap.AsOf()
+	snap.Close()
+	for _, u := range ups {
+		if err := u.CatchUp(asOf); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	mv, err := core.MaterializeAt(db.eng, def, asOf)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	exec := core.NewExecutor(db.eng, src, def, dest)
 	exec.SkipEmptyWindows = !opt.KeepEmptyWindowQueries
 	if db.eng.Partitions() > 1 {
 		// Per-partition slice jobs of one propagation step fan out to the
@@ -586,7 +646,17 @@ func (db *DB) DefineView(spec ViewSpec, opt Maintain) (*View, error) {
 		v.rolling = rp
 	}
 	v.applier = core.NewApplier(mv, dest, hwm)
-	v.maintained = maintained{db: db, hwm: hwm}
+	v.maintained = maintained{db: db, hwm: hwm, src: src, ups: ups}
+
+	// Register the view as a derived relation: its fixed image at asOf
+	// plus the delta stream make it readable at any CSN up to the HWM.
+	dv, err := db.eng.RegisterDerived(def.Name, schema, dest, hwm)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	dv.SetImage(mv.AsRelation(), asOf)
+	v.derived = dv
 	v.prop = db.sched.Register("prop:"+def.Name, step, sched.Options{
 		HWM:      hwm,
 		Classify: classifyMaintenance,
@@ -608,15 +678,70 @@ func (db *DB) DefineView(spec ViewSpec, opt Maintain) (*View, error) {
 	if _, dup := db.views[def.Name]; dup {
 		db.mu.Unlock()
 		v.unregisterJobs()
+		cleanup()
 		return nil, fmt.Errorf("rollingjoin: view %q already defined", def.Name)
 	}
 	db.views[def.Name] = v
+	for _, un := range upNames {
+		if db.downs[un] == nil {
+			db.downs[un] = make(map[string]bool)
+		}
+		db.downs[un][def.Name] = true
+	}
 	db.mu.Unlock()
+
+	// Chain the cascade on the scheduler: every upstream propagation
+	// advance kicks this view's propagation job, so deltas flow level to
+	// level without polling.
+	for _, u := range ups {
+		u.addDep(v.prop)
+	}
 
 	if !opt.Manual {
 		v.StartPropagation()
 	}
 	return v, nil
+}
+
+// maintainedRel looks up a maintained relation (join view or incremental
+// aggregate) by name.
+func (db *DB) maintainedRel(name string) *maintained {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if v, ok := db.views[name]; ok {
+		return &v.maintained
+	}
+	if a, ok := db.aggs[name]; ok {
+		return &a.maintained
+	}
+	return nil
+}
+
+// upstreamsOf resolves the relation names that are maintained views.
+func (db *DB) upstreamsOf(rels []string) (ups []*maintained, names []string) {
+	for _, r := range rels {
+		if m := db.maintainedRel(r); m != nil {
+			ups = append(ups, m)
+			names = append(names, r)
+		}
+	}
+	return ups, names
+}
+
+// downstreamsOf returns the maintained relations currently defined over
+// the named relation.
+func (db *DB) downstreamsOf(name string) []*maintained {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*maintained, 0, len(db.downs[name]))
+	for d := range db.downs[name] {
+		if v, ok := db.views[d]; ok {
+			out = append(out, &v.maintained)
+		} else if a, ok := db.aggs[d]; ok {
+			out = append(out, &a.maintained)
+		}
+	}
+	return out
 }
 
 // View returns a previously defined view.
@@ -627,21 +752,55 @@ func (db *DB) View(name string) (*View, bool) {
 	return v, ok
 }
 
-// DropView stops a view's maintenance and removes it from the registry.
-// Its delta table is left for PruneApplied-style cleanup; the view name
-// cannot be redefined in this process (delta table names register once).
+// DropView stops a maintained relation's jobs, drops every maintained
+// relation defined over it (downstream views, aggregates, summaries),
+// detaches it from its upstream cascade chains, and releases its delta
+// table and derived registration — so the name can be redefined. The
+// name may refer to a join view or an incremental aggregate.
 func (db *DB) DropView(name string) error {
 	db.mu.Lock()
-	v, ok := db.views[name]
-	if ok {
-		delete(db.views, name)
-	}
-	db.mu.Unlock()
-	if !ok {
+	v, okV := db.views[name]
+	a, okA := db.aggs[name]
+	if !okV && !okA {
+		db.mu.Unlock()
 		return fmt.Errorf("rollingjoin: no view %q", name)
 	}
-	err := v.StopPropagation()
-	v.unregisterJobs()
+	// Claim the name first (concurrent definitions over it fail fast),
+	// then snapshot the dependents to drop.
+	delete(db.views, name)
+	delete(db.aggs, name)
+	downs := make([]string, 0, len(db.downs[name]))
+	for d := range db.downs[name] {
+		downs = append(downs, d)
+	}
+	delete(db.downs, name)
+	db.mu.Unlock()
+	sort.Strings(downs)
+
+	// Dependents go first: their propagation reads this relation's delta
+	// stream, which is about to be released.
+	for _, d := range downs {
+		_ = db.DropView(d) // a concurrently dropped dependent is fine
+	}
+
+	var m *maintained
+	if okV {
+		m = &v.maintained
+	} else {
+		m = &a.maintained
+	}
+	err := m.StopPropagation()
+	m.unregisterJobs()
+	for _, u := range m.ups {
+		u.removeDep(m.prop)
+	}
+	db.mu.Lock()
+	for _, dn := range db.downs {
+		delete(dn, name)
+	}
+	db.mu.Unlock()
+	db.eng.UnregisterDerived(name)
+	db.eng.DropStandaloneDelta(name)
 	return err
 }
 
@@ -657,19 +816,30 @@ func (db *DB) CSNAt(t time.Time) (CSN, bool) {
 // rows reclaimed. Call it periodically on long-running databases.
 func (db *DB) PruneBaseDeltas() int {
 	db.mu.Lock()
-	// Collect, per base table, the lowest HWM across referencing views.
+	// Collect, per input relation, the lowest HWM across referencing views.
 	safe := make(map[string]CSN)
-	for _, v := range db.views {
-		hwm := v.hwm()
-		for _, rel := range v.def.Relations {
+	acc := func(rels []string, hwm CSN) {
+		for _, rel := range rels {
 			if cur, ok := safe[rel]; !ok || hwm < cur {
 				safe[rel] = hwm
 			}
 		}
 	}
+	for _, v := range db.views {
+		acc(v.def.Relations, v.hwm())
+	}
+	for _, a := range db.aggs {
+		acc([]string{a.source}, a.hwm())
+	}
 	db.mu.Unlock()
 	pruned := 0
 	for table, hwm := range safe {
+		if db.eng.IsDerived(table) {
+			// A maintained view's own delta doubles as its readable state;
+			// it is pruned through View.PruneApplied, which compacts the
+			// derived image with downstream-aware flooring first.
+			continue
+		}
 		d, err := db.eng.Delta(table)
 		if err != nil {
 			continue

@@ -1,22 +1,21 @@
 package rollingjoin
 
-import (
-	"fmt"
+import "strconv"
 
-	"repro/internal/core"
-	"repro/internal/sched"
-)
-
-// Summary is a maintained aggregation (GROUP BY + COUNT(*)/SUM) over a
-// view, implemented with the summary-delta method: the view's timestamped
-// delta doubles as the aggregate delta, so summaries support the same
-// point-in-time refresh as the views they summarize. A summary can also be
-// rolled forward automatically (StartAutoRefresh): its refresh job rides
-// the same maintenance scheduler as the view, kicked whenever the view's
-// propagation makes progress.
+// Summary is the deprecated aggregation surface, kept as a thin
+// compatibility shim over the first-class incremental aggregate
+// (DefineAggregate / AggregateView). A summary is now an AggregateView
+// whose output columns are COUNT(*) followed by one SUM per requested
+// column; it participates in cascades like any other maintained
+// relation (its delta stream registers under its name, and further
+// views may be defined over it).
+//
+// Deprecated: use DB.DefineAggregate, which also supports AVG, MIN, and
+// MAX and can aggregate base tables directly.
 type Summary struct {
-	inner *core.SummaryView
-	job   *sched.Job
+	view *View
+	av   *AggregateView
+	n    int // number of SUM columns
 }
 
 // SummaryRow is one group of a summary: the group key, COUNT(*), and one
@@ -30,70 +29,78 @@ type SummaryRow struct {
 // DefineSummary creates a summary over the view grouped by the named
 // output columns, maintaining SUM for each column in sums. Column names
 // refer to the view's output schema.
+//
+// Deprecated: use DB.DefineAggregate with AggCount and AggSum columns.
 func (v *View) DefineSummary(name string, groupBy, sums []string) (*Summary, error) {
-	resolve := func(names []string) ([]int, error) {
-		out := make([]int, len(names))
-		for i, n := range names {
-			c := v.mv.Schema().Index(n)
-			if c < 0 {
-				return nil, fmt.Errorf("rollingjoin: view %q has no output column %q (have %v)",
-					v.Name(), n, v.mv.Schema().Names())
-			}
-			out[i] = c
-		}
-		return out, nil
+	spec := AggSpec{
+		Name:    name,
+		Source:  v.Name(),
+		GroupBy: groupBy,
+		Aggs:    []Agg{{Func: AggCount}},
 	}
-	g, err := resolve(groupBy)
+	for i, c := range sums {
+		spec.Aggs = append(spec.Aggs, Agg{Func: AggSum, Column: c, As: "sum" + strconv.Itoa(i)})
+	}
+	// AutoRefresh registers the apply job without starting it (the old
+	// surface refreshed on demand until StartAutoRefresh); propagation
+	// runs in the background so the summary's high-water mark tracks the
+	// view's.
+	av, err := v.db.DefineAggregate(spec, Maintain{AutoRefresh: true, Manual: true})
 	if err != nil {
 		return nil, err
 	}
-	s, err := resolve(sums)
-	if err != nil {
-		return nil, err
-	}
-	inner, err := core.NewSummaryView(name, v.dest, v.hwm, g, s)
-	if err != nil {
-		return nil, err
-	}
-	sum := &Summary{inner: inner}
-	// Registered but not started: Refresh stays on-demand until the caller
-	// opts into StartAutoRefresh. The view's propagation job kicks it on
-	// every HWM advance.
-	sum.job = v.db.sched.Register("summary:"+name, summaryStep(inner), sched.Options{
-		Classify: classifyMaintenance,
-	})
-	v.addDep(sum.job)
-	return sum, nil
+	av.prop.Start()
+	return &Summary{view: v, av: av, n: len(sums)}, nil
 }
 
 // StartAutoRefresh schedules the summary's refresh as a maintenance job:
 // the aggregates roll forward automatically whenever the underlying view's
 // high-water mark advances. Idempotent.
-func (s *Summary) StartAutoRefresh() { s.job.Start() }
+func (s *Summary) StartAutoRefresh() { s.av.StartAutoRefresh() }
 
 // StopAutoRefresh suspends automatic refresh, draining any in-flight roll
 // before returning. It returns the job's terminal error if refresh
 // fail-stopped. Idempotent; StartAutoRefresh resumes.
-func (s *Summary) StopAutoRefresh() error { return s.job.Stop() }
+func (s *Summary) StopAutoRefresh() error { return s.av.StopAutoRefresh() }
 
 // Refresh rolls the summary to the view delta high-water mark.
-func (s *Summary) Refresh() (CSN, error) { return s.inner.RollToHWM() }
+func (s *Summary) Refresh() (CSN, error) {
+	target := s.view.hwm()
+	if err := s.av.CatchUp(target); err != nil {
+		return 0, err
+	}
+	return s.av.Refresh()
+}
 
 // RefreshTo rolls the summary to an exact commit (point-in-time refresh).
-func (s *Summary) RefreshTo(t CSN) error { return s.inner.RollTo(t) }
+func (s *Summary) RefreshTo(t CSN) error {
+	if err := s.av.CatchUp(t); err != nil {
+		return err
+	}
+	return s.av.RefreshTo(t)
+}
 
 // MatTime returns the commit the aggregates currently reflect.
-func (s *Summary) MatTime() CSN { return s.inner.MatTime() }
+func (s *Summary) MatTime() CSN { return s.av.MatTime() }
 
 // Rows returns the groups sorted by key.
 func (s *Summary) Rows() []SummaryRow {
-	in := s.inner.Rows()
-	out := make([]SummaryRow, len(in))
-	for i, r := range in {
-		out[i] = SummaryRow{Key: Tuple(r.Key), Count: r.Count, Sums: r.Sums}
+	rel := s.av.mv.AsRelation()
+	nkey := len(s.av.def.GroupBy)
+	out := make([]SummaryRow, 0, rel.Len())
+	for _, r := range rel.Rows {
+		row := SummaryRow{
+			Key:   Tuple(r.Tuple[:nkey]),
+			Count: r.Tuple[nkey].AsInt(),
+			Sums:  make([]float64, s.n),
+		}
+		for i := 0; i < s.n; i++ {
+			row.Sums[i] = r.Tuple[nkey+1+i].AsFloat()
+		}
+		out = append(out, row)
 	}
 	return out
 }
 
 // Groups returns the number of groups.
-func (s *Summary) Groups() int { return s.inner.Groups() }
+func (s *Summary) Groups() int { return s.av.Groups() }

@@ -37,6 +37,10 @@ type View struct {
 	mv   *core.MaterializedView
 	dest *engine.DeltaTable
 
+	// derived is the view's registration as a readable relation (image +
+	// delta stream); downstream views scan it like a base table.
+	derived *engine.Derived
+
 	applier *core.Applier
 	rolling *core.RollingPropagator // nil for AlgorithmStepwise
 }
@@ -103,9 +107,27 @@ func (v *View) RefreshToTime(t time.Time) (CSN, error) {
 	return csn, v.RefreshTo(csn)
 }
 
-// PruneApplied discards view delta rows that can no longer be needed
-// (timestamps at or below the materialization time).
-func (v *View) PruneApplied() int { return v.applier.PruneApplied() }
+// PruneApplied discards view delta rows that can no longer be needed.
+// The safe floor is the materialization time, further lowered to the
+// smallest high-water mark of any maintained view defined over this one:
+// a downstream view reads this view's delta both as its propagation
+// input (windows above its HWM) and through the derived image (state at
+// or below it), so the image is compacted to the floor before rows at or
+// below it are discarded.
+func (v *View) PruneApplied() int {
+	floor := v.mv.MatTime()
+	for _, m := range v.db.downstreamsOf(v.def.Name) {
+		if h := m.hwm(); h < floor {
+			floor = h
+		}
+	}
+	if v.derived != nil {
+		if err := v.derived.CompactThrough(floor); err != nil {
+			return 0
+		}
+	}
+	return v.dest.PruneThrough(floor)
+}
 
 // Stats reports maintenance activity for the view.
 type ViewStats struct {
