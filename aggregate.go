@@ -355,7 +355,16 @@ func (av *AggregateView) StopAutoRefresh() error {
 // needed, flooring at the smallest downstream high-water mark (see
 // View.PruneApplied).
 func (av *AggregateView) PruneApplied() int {
-	floor := av.mv.MatTime()
+	return av.foldTo(maxFoldCSN)
+}
+
+// foldTo is PruneApplied with an extra ceiling from the storage horizon
+// ledger (see View.foldTo).
+func (av *AggregateView) foldTo(limit CSN) int {
+	floor := limit
+	if t := av.mv.MatTime(); t < floor {
+		floor = t
+	}
 	for _, m := range av.db.downstreamsOf(av.def.Name) {
 		if h := m.hwm(); h < floor {
 			floor = h

@@ -56,6 +56,7 @@ type report struct {
 	PartitionAB []bench.PartitionABEntry `json:"partition_ab,omitempty"`
 	BatchAB     []bench.BatchABEntry     `json:"batch_ab,omitempty"`
 	CascadeAB   []bench.CascadeABEntry   `json:"cascade_ab,omitempty"`
+	CompactAB   []bench.CompactABEntry   `json:"compact_ab,omitempty"`
 	Failed      int                      `json:"failed"`
 }
 
@@ -73,6 +74,7 @@ func main() {
 	var partitionEntries []bench.PartitionABEntry
 	var batchEntries []bench.BatchABEntry
 	var cascadeEntries []bench.CascadeABEntry
+	var compactEntries []bench.CompactABEntry
 	experiments := []experiment{
 		{"F4", "ComputeDelta query structure (Figure 4 / Equation 3)",
 			func(bench.Scale) (fmt.Stringer, error) { return bench.F4() }},
@@ -142,6 +144,12 @@ func main() {
 				cascadeEntries = entries
 				return tbl, err
 			}},
+		{"COMPACT", "storage tiering: fold + incremental checkpoint vs unbounded",
+			func(s bench.Scale) (fmt.Stringer, error) {
+				tbl, entries, err := bench.CompactAB(s)
+				compactEntries = entries
+				return tbl, err
+			}},
 	}
 
 	selected := map[string]bool{}
@@ -153,7 +161,7 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			id = strings.ToUpper(strings.TrimSpace(id))
 			if !known[id] {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT MULTIVIEW PARTITION BATCH CASCADE)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have F4 F7 F8 F9 E1–E7 A1 A2 AB CACHE SNAPSHOT MULTIVIEW PARTITION BATCH CASCADE COMPACT)\n", id)
 				os.Exit(2)
 			}
 			selected[id] = true
@@ -201,6 +209,7 @@ func main() {
 	rep.PartitionAB = partitionEntries
 	rep.BatchAB = batchEntries
 	rep.CascadeAB = cascadeEntries
+	rep.CompactAB = compactEntries
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

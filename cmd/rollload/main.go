@@ -53,6 +53,8 @@ func main() {
 	report := flag.Duration("report", time.Second, "live report period")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	faults := flag.Int64("faults", 0, "chaos smoke: inject a transient I/O error every Nth view apply (sched mode only)")
+	soak := flag.Duration("soak", 0, "sustained-ingest endurance mode: run for this duration with folding, spill, and incremental checkpoints, sampling RSS and delta cardinality")
+	rssLimit := flag.Int("rss-limit", 0, "soak mode: fail if sampled RSS ever exceeds this many MB (0 = relative growth check only)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -62,6 +64,13 @@ func main() {
 				fmt.Fprintln(os.Stderr, "rollload: pprof:", err)
 			}
 		}()
+	}
+	if *soak > 0 {
+		if err := runSoak(*soak, *rssLimit, *seed, *report); err != nil {
+			fmt.Fprintln(os.Stderr, "rollload:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*kind, *mode, *n, *dims, *rows, *updates, *views, *maint, *interval, *adaptive, *indexed, *cached, *workers, *partitions, *batch, *skew, *report, *seed, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "rollload:", err)

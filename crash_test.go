@@ -61,11 +61,15 @@ func multisetsEqual(a, b map[string]int) bool {
 // fault device until the armed failpoint freezes it. It returns the crash
 // image, the highest acknowledged commit, and whether a checkpoint was
 // fully published before the crash.
-func runCrashWorkload(t *testing.T, point string, hits int64, seed int64, extra int64, ckptPath string) (img []byte, lastAcked CSN, ckptOK bool) {
+func runCrashWorkload(t *testing.T, point string, hits int64, seed int64, extra int64, ckptPath string, optMut ...func(*Options)) (img []byte, lastAcked CSN, ckptOK bool) {
 	t.Helper()
 	fault.Reset()
 	fdev := fault.NewDevice(wal.NewMemDevice())
-	db, err := Open(Options{Device: fdev, SyncOnCommit: true})
+	opts := Options{Device: fdev, SyncOnCommit: true}
+	for _, mut := range optMut {
+		mut(&opts)
+	}
+	db, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	rollingjoin "repro"
+	"repro/internal/metrics"
+)
+
+// CompactABEntry records the COMPACT experiment in machine-readable form
+// (BENCH_rollbench.json): sustained ingest against an unbounded arm (no
+// folding, full-image checkpoints) and a tiered arm (delta-prefix folding
+// plus incremental chain checkpoints). The arms replay an identical seeded
+// history; the comparison is steady-state checkpoint latency and artifact
+// size, resident delta cardinality, and post-fold refresh correctness.
+type CompactABEntry struct {
+	Benchmark          string  `json:"benchmark"`
+	BaseRows           int     `json:"base_rows"`
+	PhaseUpdates       int     `json:"phase_updates"`
+	Phases             int     `json:"phases"`
+	UnboundedCkptNs    int64   `json:"unbounded_ckpt_ns"`     // steady-state (last-half median)
+	TieredCkptNs       int64   `json:"tiered_ckpt_ns"`        // steady-state (last-half median)
+	UnboundedGrowth    float64 `json:"unbounded_ckpt_growth"` // last-half / first-half median latency
+	TieredGrowth       float64 `json:"tiered_ckpt_growth"`
+	UnboundedCkptBytes int64   `json:"unbounded_ckpt_bytes"` // final artifact size
+	TieredCkptBytes    int64   `json:"tiered_ckpt_bytes"`    // final chain link size
+	UnboundedDeltaRows int64   `json:"unbounded_delta_rows"` // resident delta cardinality at end
+	TieredDeltaRows    int64   `json:"tiered_delta_rows"`
+	FoldedRows         int64   `json:"folded_rows"`
+	SizeRatio          float64 `json:"size_ratio"` // unbounded bytes / tiered bytes
+	Match              bool    `json:"match"`
+}
+
+// compactDeltaRows sums resident delta cardinality across all relations.
+func compactDeltaRows(db *rollingjoin.DB) int64 {
+	var total int64
+	for _, name := range db.Engine().TableNames() {
+		if d, err := db.Engine().Delta(name); err == nil {
+			total += int64(d.Len())
+		}
+	}
+	return total
+}
+
+// compactView compares the maintained join view against ad-hoc
+// recomputation of the same spec, as sorted row renderings.
+func compactViewMatches(db *rollingjoin.DB, view *rollingjoin.View, spec rollingjoin.ViewSpec) (bool, error) {
+	oracle := spec
+	oracle.Name = ""
+	full, err := db.Query(oracle)
+	if err != nil {
+		return false, err
+	}
+	render := func(rows []rollingjoin.Tuple) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprint(r)
+		}
+		sort.Strings(out)
+		return out
+	}
+	got, want := render(view.Rows()), render(full.Rows)
+	if len(got) != len(want) {
+		return false, nil
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func medianNs(ds []time.Duration) int64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2].Nanoseconds()
+}
+
+// newestLinkBytes returns the size of the highest-sequence chain link.
+func newestLinkBytes(dir string) (int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".link" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return 0, fmt.Errorf("no chain links in %s", dir)
+	}
+	sort.Strings(names)
+	info, err := os.Stat(filepath.Join(dir, names[len(names)-1]))
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// CompactAB measures what storage tiering buys sustained ingest. Both arms
+// replay the identical seeded history of insert/delete phases over the
+// orders ⋈ regions schema with one maintained join view refreshed at every
+// phase boundary. The unbounded arm never folds and takes a full-image
+// checkpoint per phase — cost proportional to everything ever ingested.
+// The tiered arm folds the delta prefix below the refresh horizon and
+// appends one incremental chain link per phase — cost proportional to the
+// phase's change. The maintained view is verified against recomputation
+// after every fold, so correctness of refresh above the fold line is part
+// of the experiment. Pass requires the tiered arm's steady-state
+// checkpoint to be faster and smaller than the unbounded arm's, with lower
+// latency growth as the database accumulates.
+func CompactAB(s Scale) (*metrics.Table, []CompactABEntry, error) {
+	baseRows := s.pick(2000, 8000)
+	phaseUpdates := s.pick(1000, 4000)
+	phases := 8
+
+	t := metrics.NewTable(
+		fmt.Sprintf("COMPACT — tiered fold+incremental checkpoint vs unbounded (base %d rows, %d phases × %d updates)",
+			baseRows, phases, phaseUpdates),
+		"arm", "ckpt p50 (steady)", "latency growth", "ckpt bytes", "delta rows", "verified")
+
+	ckptDir, err := os.MkdirTemp("", "rollbench-compact-*")
+	if err != nil {
+		return t, nil, err
+	}
+	defer os.RemoveAll(ckptDir)
+	ckptFile := filepath.Join(ckptDir, "full.ckpt")
+	chainDir := filepath.Join(ckptDir, "chain")
+
+	spec := rollingjoin.ViewSpec{
+		Name:   "c_enriched",
+		Tables: []string{"orders", "regions"},
+		Joins:  []rollingjoin.Join{{LeftTable: "orders", LeftColumn: "cust", RightTable: "regions", RightColumn: "cust"}},
+	}
+
+	// Unbounded arm: maintenance without tiering, full checkpoints.
+	unb, err := rollingjoin.Open(rollingjoin.Options{})
+	if err != nil {
+		return t, nil, err
+	}
+	defer unb.Close()
+	if err := cascadeSeed(unb, baseRows); err != nil {
+		return t, nil, err
+	}
+	vU, err := unb.DefineView(spec, rollingjoin.Maintain{Manual: true, Interval: 8})
+	if err != nil {
+		return t, nil, err
+	}
+
+	// Tiered arm: same schema and history, fold + incremental chain.
+	trd, err := rollingjoin.Open(rollingjoin.Options{})
+	if err != nil {
+		return t, nil, err
+	}
+	defer trd.Close()
+	if err := cascadeSeed(trd, baseRows); err != nil {
+		return t, nil, err
+	}
+	vT, err := trd.DefineView(spec, rollingjoin.Maintain{Manual: true, Interval: 8})
+	if err != nil {
+		return t, nil, err
+	}
+
+	rngU := rand.New(rand.NewSource(7))
+	rngT := rand.New(rand.NewSource(7))
+	nextU, nextT := baseRows, baseRows
+	latU := make([]time.Duration, 0, phases)
+	latT := make([]time.Duration, 0, phases)
+	match := true
+	for p := 0; p < phases; p++ {
+		if err := cascadePhase(unb, rngU, &nextU, phaseUpdates); err != nil {
+			return t, nil, err
+		}
+		if err := cascadePhase(trd, rngT, &nextT, phaseUpdates); err != nil {
+			return t, nil, err
+		}
+		// Both arms roll their view to the phase boundary.
+		if err := vU.CatchUp(unb.LastCSN()); err != nil {
+			return t, nil, err
+		}
+		if _, err := vU.Refresh(); err != nil {
+			return t, nil, err
+		}
+		if err := vT.CatchUp(trd.LastCSN()); err != nil {
+			return t, nil, err
+		}
+		if _, err := vT.Refresh(); err != nil {
+			return t, nil, err
+		}
+		// Tiered only: fold the refreshed prefix, then append one link.
+		if err := trd.Fold(); err != nil {
+			return t, nil, err
+		}
+		st := time.Now()
+		if err := unb.Checkpoint(ckptFile); err != nil {
+			return t, nil, err
+		}
+		latU = append(latU, time.Since(st))
+		st = time.Now()
+		if err := trd.CheckpointIncremental(chainDir); err != nil {
+			return t, nil, err
+		}
+		latT = append(latT, time.Since(st))
+		// Post-fold refresh correctness: the tiered view must equal a full
+		// recomputation even though its delta prefix is gone.
+		if ok, err := compactViewMatches(trd, vT, spec); err != nil {
+			return t, nil, err
+		} else if !ok {
+			match = false
+		}
+	}
+
+	half := phases / 2
+	steadyU, steadyT := medianNs(latU[half:]), medianNs(latT[half:])
+	growthU := float64(steadyU) / float64(medianNs(latU[:half]))
+	growthT := float64(steadyT) / float64(medianNs(latT[:half]))
+	unbBytes := int64(0)
+	if info, err := os.Stat(ckptFile); err == nil {
+		unbBytes = info.Size()
+	}
+	trdBytes, err := newestLinkBytes(chainDir)
+	if err != nil {
+		return t, nil, err
+	}
+	deltaU, deltaT := compactDeltaRows(unb), compactDeltaRows(trd)
+	folded := trd.Engine().Stats().FoldedRows
+	sizeRatio := float64(unbBytes) / float64(trdBytes)
+
+	t.AddRow("unbounded (full ckpt)", time.Duration(steadyU).Round(time.Microsecond),
+		fmt.Sprintf("%.2fx", growthU), unbBytes, deltaU, pass(true))
+	t.AddRow("tiered (fold+chain)", time.Duration(steadyT).Round(time.Microsecond),
+		fmt.Sprintf("%.2fx", growthT), trdBytes, deltaT, pass(match))
+	t.AddRow("unbounded / tiered", fmt.Sprintf("%.1fx", float64(steadyU)/float64(steadyT)),
+		"", fmt.Sprintf("%.1fx", sizeRatio), fmt.Sprintf("%.1fx", float64(deltaU)/float64(deltaT)), "")
+
+	entries := []CompactABEntry{{
+		Benchmark:          "sustained ingest: fold + incremental chain vs unbounded full checkpoint",
+		BaseRows:           baseRows,
+		PhaseUpdates:       phaseUpdates,
+		Phases:             phases,
+		UnboundedCkptNs:    steadyU,
+		TieredCkptNs:       steadyT,
+		UnboundedGrowth:    growthU,
+		TieredGrowth:       growthT,
+		UnboundedCkptBytes: unbBytes,
+		TieredCkptBytes:    trdBytes,
+		UnboundedDeltaRows: deltaU,
+		TieredDeltaRows:    deltaT,
+		FoldedRows:         folded,
+		SizeRatio:          sizeRatio,
+		Match:              match,
+	}}
+	if !match {
+		return t, entries, fmt.Errorf("COMPACT: tiered view diverged from recomputation after folding")
+	}
+	if deltaT >= deltaU {
+		return t, entries, fmt.Errorf("COMPACT: folding reclaimed nothing (tiered %d delta rows vs unbounded %d)", deltaT, deltaU)
+	}
+	if trdBytes >= unbBytes {
+		return t, entries, fmt.Errorf("COMPACT: incremental link (%d B) not smaller than full checkpoint (%d B)", trdBytes, unbBytes)
+	}
+	if steadyT >= steadyU {
+		return t, entries, fmt.Errorf("COMPACT: tiered steady-state checkpoint (%s) not faster than unbounded (%s)",
+			time.Duration(steadyT), time.Duration(steadyU))
+	}
+	return t, entries, nil
+}

@@ -110,6 +110,30 @@ func (u *UnitOfWork) Len() int {
 	return len(u.byCSN)
 }
 
+// PruneThrough drops every entry with CSN <= csn, returning how many were
+// removed. The fold job calls it with the storage fold floor: once every
+// view's materialization has passed a commit and no snapshot or pin can
+// read below it, wall-clock-to-CSN translation is only ever asked for
+// times above the fold line, so the prefix of the unit-of-work table is
+// dead weight. Without this, the table grows one entry per commit forever
+// — the capture-side half of bounding sustained-ingest memory.
+// CSNAtOrBefore reports false for wall times entirely below the pruned
+// prefix, matching its behavior for times before the first retained
+// commit.
+func (u *UnitOfWork) PruneThrough(csn relalg.CSN) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	i := sort.Search(len(u.byCSN), func(i int) bool { return u.byCSN[i].CSN > csn })
+	if i == 0 {
+		return 0
+	}
+	for _, e := range u.byCSN[:i] {
+		delete(u.byTx, e.TxID)
+	}
+	u.byCSN = append([]UOWEntry(nil), u.byCSN[i:]...)
+	return i
+}
+
 // progressTracker implements the shared watermark + wait machinery.
 // Waiters block on a generation channel that is closed and replaced on
 // every advance (so waits compose with contexts), and subscribers —

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/relalg"
@@ -83,6 +84,11 @@ type CachedIndex struct {
 	nparts  int  // resident shard count (>= 1)
 	aligned bool // col == table partition column: per-partition maintenance
 
+	// lastTouch is the unix-nano stamp of the last pin or build; the
+	// cold-spill sweep compares it to its idleness cutoff. Atomic so read
+	// pins can stamp it without write access.
+	lastTouch atomic.Int64
+
 	// mu protects everything below. Queries hold it in read mode ("pinned")
 	// while executing; build, advance, and invalidation take write mode.
 	mu      sync.RWMutex
@@ -92,6 +98,13 @@ type CachedIndex struct {
 	heavy   map[string][]cachedRow // buckets migrated to the heavy partition
 	nrows   int
 	bytes   int64
+
+	// Cold-spill state (spill.go): while spilled, the resident rows live in
+	// spillPath at the spillApplied watermark and built is false; the next
+	// pin reloads them (or rebuilds from the heap if the file is unusable).
+	spilled      bool
+	spillPath    string
+	spillApplied relalg.CSN
 }
 
 // newCachedIndex allocates the shard maps for a state.
@@ -153,6 +166,11 @@ func (st *CachedIndex) resetLocked(db *DB) {
 	st.bytes = 0
 	st.built = false
 	st.applied = 0
+	// A reset invalidates any spilled copy too: the heap may have moved
+	// out from under it (restore, recovery), so it must not be reloaded.
+	st.spilled = false
+	st.spillPath = ""
+	st.spillApplied = 0
 }
 
 // foldLocked merges one signed change into the index: counts of equal
@@ -282,11 +300,12 @@ func (st *CachedIndex) ensureBuilt(db *DB) (relalg.CSN, error) {
 	st.mu.RUnlock()
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if !st.built {
+	if !st.built && !st.loadSpillLocked(db) {
 		if err := st.buildLocked(db); err != nil {
 			return 0, err
 		}
 	}
+	st.touch()
 	return st.applied, nil
 }
 
@@ -298,23 +317,29 @@ func (st *CachedIndex) pin(db *DB, ts relalg.CSN) (relalg.CSN, error) {
 	for {
 		st.mu.RLock()
 		if st.built && st.applied == ts {
+			st.touch()
 			return ts, nil
 		}
 		if st.built && st.applied > ts {
 			cur := st.applied
+			st.touch()
 			st.mu.RUnlock()
 			return cur, nil
 		}
 		st.mu.RUnlock()
 
 		st.mu.Lock()
+		st.touch()
 		if !st.built {
-			// Invalidated (or lost a race with an invalidation): rebuild.
-			// The fresh snapshot is at the stable CSN; any gap up to ts is
-			// closed by the advance below.
-			if err := st.buildLocked(db); err != nil {
-				st.mu.Unlock()
-				return 0, err
+			// Spilled state reloads in place; otherwise (invalidated, or
+			// lost a race with an invalidation) rebuild. The fresh snapshot
+			// is at the stable CSN; any gap up to ts is closed by the
+			// advance below.
+			if !st.loadSpillLocked(db) && !st.built {
+				if err := st.buildLocked(db); err != nil {
+					st.mu.Unlock()
+					return 0, err
+				}
 			}
 		}
 		if st.applied < ts {

@@ -3,8 +3,10 @@ package engine
 import (
 	"encoding/binary"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relalg"
 	"repro/internal/tuple"
@@ -31,10 +33,18 @@ type Derived struct {
 	schema *tuple.Schema
 	delta  *DeltaTable
 	hwm    func() relalg.CSN
+	db     *DB
+
+	// lastTouch is the unix-nano stamp of the last access (scan, image
+	// replacement, or fold); the cold-spill sweep compares it to its
+	// idleness cutoff.
+	lastTouch atomic.Int64
 
 	mu        sync.RWMutex
 	image     map[string]int64 // tuple.EncodeRow encoding -> net count
 	imageTime relalg.CSN
+	spilled   bool   // image serialized to spillPath, in-memory copy dropped
+	spillPath string // set while spilled
 }
 
 // ErrNoSuchDerived marks lookups of unregistered derived relations.
@@ -66,8 +76,10 @@ func (db *DB) RegisterDerived(name string, schema *tuple.Schema, delta *DeltaTab
 		schema: schema,
 		delta:  delta,
 		hwm:    hwm,
+		db:     db,
 		image:  make(map[string]int64),
 	}
+	dv.touch()
 	db.derived[name] = dv
 	return dv, nil
 }
@@ -145,6 +157,13 @@ func (dv *Derived) SetImage(rel *relalg.Relation, t relalg.CSN) {
 	dv.mu.Lock()
 	dv.image = img
 	dv.imageTime = t
+	if dv.spilled {
+		// The fresh image supersedes any spilled copy.
+		os.Remove(dv.spillPath)
+		dv.spilled = false
+		dv.spillPath = ""
+	}
+	dv.touch()
 	dv.mu.Unlock()
 }
 
@@ -156,12 +175,17 @@ func (dv *Derived) CompactThrough(t relalg.CSN) error {
 	dv.mu.Lock()
 	defer dv.mu.Unlock()
 	if t <= dv.imageTime {
+		// Nothing to fold; a spilled image stays cold.
 		return nil
+	}
+	if err := dv.loadLocked(); err != nil {
+		return err
 	}
 	if err := dv.foldWindowLocked(dv.image, dv.imageTime, t); err != nil {
 		return err
 	}
 	dv.imageTime = t
+	dv.touch()
 	return nil
 }
 
@@ -200,16 +224,24 @@ func (dv *Derived) netAt(t relalg.CSN) (map[string]int64, error) {
 	if t == relalg.NullTS {
 		t = dv.hwm()
 	}
-	dv.mu.RLock()
+	// Write mode, not read: a spilled image must be reloaded before the
+	// copy, and loadLocked mutates.
+	dv.mu.Lock()
 	lo := dv.imageTime
+	if t < lo {
+		dv.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q image at %d, asked for %d", ErrDerivedPruned, dv.name, lo, t)
+	}
+	if err := dv.loadLocked(); err != nil {
+		dv.mu.Unlock()
+		return nil, err
+	}
+	dv.touch()
 	img := make(map[string]int64, len(dv.image))
 	for k, c := range dv.image {
 		img[k] = c
 	}
-	dv.mu.RUnlock()
-	if t < lo {
-		return nil, fmt.Errorf("%w: %q image at %d, asked for %d", ErrDerivedPruned, dv.name, lo, t)
-	}
+	dv.mu.Unlock()
 	if err := dv.foldWindowLocked(img, lo, t); err != nil {
 		return nil, err
 	}

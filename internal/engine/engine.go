@@ -138,6 +138,15 @@ type DB struct {
 	snapshotsOpened atomic.Int64
 	versionsGCed    atomic.Int64
 
+	// Tiering state and counters (see tier.go, spill.go): the fold/spill
+	// horizon ledger, fold passes completed, delta rows reclaimed by folds,
+	// bytes written by cold spill, and lazy reloads of spilled state.
+	horizons     *HorizonLedger
+	compactions  atomic.Int64
+	foldedRows   atomic.Int64
+	spilledBytes atomic.Int64
+	coldLoads    atomic.Int64
+
 	// Batch-layer counters (query.go): batches and rows produced by
 	// streaming pipelines, filter traffic for the selection-vector hit
 	// rate, and the resident bytes of the last released pipeline arena.
@@ -242,6 +251,7 @@ func Open(cfg Config) (*DB, error) {
 	db.forceMaterialize.Store(DefaultForceMaterialize)
 	db.joinCache.Store(DefaultJoinCache)
 	db.cache = newJoinCache(db)
+	db.horizons = &HorizonLedger{db: db, pins: make(map[string]relalg.CSN)}
 	return db, nil
 }
 
@@ -447,6 +457,18 @@ type Stats struct {
 	FilterRowsKept  int64
 	ArenaBytes      int64
 
+	// Tiering counters (tier.go, spill.go). Compactions counts completed
+	// fold passes; FoldedRows the delta rows reclaimed by folding below the
+	// horizon ledger's floor; SpilledBytes the cumulative bytes serialized
+	// by cold spill; ColdLoads the lazy reloads of spilled state.
+	// ImageResidentBytes is the current in-memory footprint of derived-view
+	// base images (spilled images count zero until reloaded).
+	Compactions        int64
+	FoldedRows         int64
+	SpilledBytes       int64
+	ColdLoads          int64
+	ImageResidentBytes int64
+
 	// Sched holds the maintenance scheduler's counters when one is
 	// attached (SetSchedStats); zero otherwise.
 	Sched SchedStats
@@ -519,6 +541,11 @@ func (db *DB) Stats() Stats {
 		FilterRowsIn:       db.filterRowsIn.Load(),
 		FilterRowsKept:     db.filterRowsKept.Load(),
 		ArenaBytes:         db.arenaBytes.Load(),
+		Compactions:        db.compactions.Load(),
+		FoldedRows:         db.foldedRows.Load(),
+		SpilledBytes:       db.spilledBytes.Load(),
+		ColdLoads:          db.coldLoads.Load(),
+		ImageResidentBytes: db.imageResidentBytes(),
 		SnapshotsOpened:    db.snapshotsOpened.Load(),
 		PublishStalls:      db.tm.Stats().PublishStalls,
 		VersionsRetained:   db.DeadVersionsRetained(),

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/relalg"
@@ -115,8 +116,19 @@ func (db *DB) OpenSnapshot(asOf relalg.CSN) (*Snapshot, error) {
 // and the horizon used. Future OpenSnapshot calls below the horizon fail
 // with ErrSnapshotTooOld.
 func (db *DB) GCVersions() (collected int64, horizon relalg.CSN) {
+	return db.GCVersionsBelow(relalg.CSN(math.MaxInt64))
+}
+
+// GCVersionsBelow is GCVersions with an extra ceiling: the horizon never
+// passes limit even when no snapshot is open. The background fold job uses
+// it with the subscriber refresh floor so lagging maintained views can
+// still open compensation snapshots at their old high-water marks.
+func (db *DB) GCVersionsBelow(limit relalg.CSN) (collected int64, horizon relalg.CSN) {
 	db.snapMu.Lock()
 	horizon = db.tm.StableCSN()
+	if limit < horizon {
+		horizon = limit
+	}
 	for asOf := range db.activeSnaps {
 		if asOf < horizon {
 			horizon = asOf

@@ -42,6 +42,10 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 
 var crcTableIEEE = crc32.MakeTable(crc32.IEEE)
 
+func newCRCWriter(w io.Writer) *crcWriter { return &crcWriter{w: bufio.NewWriter(w)} }
+
+func newCRCReader(r io.Reader) *crcReader { return &crcReader{r: bufio.NewReader(r)} }
+
 func writeUvarint(w io.Writer, v uint64) error {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
@@ -303,4 +307,128 @@ func (db *DB) ReadSnapshot(r io.Reader) (int64, error) {
 // equivalent to Recover.
 func (db *DB) RecoverFrom(offset int64) (relalg.CSN, error) {
 	return db.recover(offset)
+}
+
+// WriteDeltaWindow serializes every base-relation delta record in the
+// window (lo, hi] to w — the payload of an incremental-checkpoint DELTA
+// link, so checkpoint cost is proportional to the change since the last
+// link rather than the database size. Base tables only: view deltas are
+// derived data, rebuilt when views are redefined. The caller must hold the
+// system quiescent (capture caught up through hi, no in-flight writers),
+// the same discipline as WriteSnapshot, and must have verified that no
+// base delta has been pruned above lo.
+func (db *DB) WriteDeltaWindow(w io.Writer, lo, hi relalg.CSN) error {
+	db.mu.RLock()
+	dnames := make([]string, 0, len(db.deltas))
+	for n := range db.deltas {
+		if _, isBase := db.tables[n]; isBase {
+			dnames = append(dnames, n)
+		}
+	}
+	db.mu.RUnlock()
+	sort.Strings(dnames)
+	if err := writeUvarint(w, uint64(len(dnames))); err != nil {
+		return err
+	}
+	for _, name := range dnames {
+		db.mu.RLock()
+		d := db.deltas[name]
+		db.mu.RUnlock()
+		if err := writeBytes(w, []byte(name)); err != nil {
+			return err
+		}
+		nrows := 0
+		if err := d.WindowEach(lo, hi, func(relalg.CSN, int64, []byte) error {
+			nrows++
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := writeUvarint(w, uint64(nrows)); err != nil {
+			return err
+		}
+		var werr error
+		if err := d.WindowEach(lo, hi, func(ts relalg.CSN, count int64, encRow []byte) error {
+			if werr = writeUvarint(w, uint64(ts)); werr != nil {
+				return werr
+			}
+			var cnt [binary.MaxVarintLen64]byte
+			n := binary.PutVarint(cnt[:], count)
+			if _, werr = w.Write(cnt[:n]); werr != nil {
+				return werr
+			}
+			return writeBytes(w, encRow)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyDeltaWindow replays a delta-window payload (WriteDeltaWindow) into
+// the database: each record lands in its base table's heap (insert or
+// delete) and in the delta table, reproducing both the committed state and
+// the capture state at the window's upper bound — the redo step for one
+// DELTA link of an incremental checkpoint chain. toCSN is the window's
+// upper bound; the commit counter resumes past it.
+func (db *DB) ApplyDeltaWindow(r io.Reader, toCSN relalg.CSN) error {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	ndeltas, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < ndeltas; i++ {
+		name, err := readBytes(cr)
+		if err != nil {
+			return err
+		}
+		t, err := db.Table(string(name))
+		if err != nil {
+			return fmt.Errorf("engine: delta window references unknown table %q; recreate the catalog first", name)
+		}
+		db.mu.RLock()
+		d := db.deltas[string(name)]
+		db.mu.RUnlock()
+		if d == nil {
+			return fmt.Errorf("engine: delta window references unknown delta %q; recreate the catalog first", name)
+		}
+		nrows, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < nrows; j++ {
+			ts, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return err
+			}
+			count, err := binary.ReadVarint(cr)
+			if err != nil {
+				return err
+			}
+			raw, err := readBytes(cr)
+			if err != nil {
+				return err
+			}
+			row, _, err := tuple.DecodeRow(raw)
+			if err != nil {
+				return err
+			}
+			d.Append(relalg.CSN(ts), count, row)
+			for c := count; c > 0; c-- {
+				t.putCommitted(row)
+			}
+			for c := count; c < 0; c++ {
+				if !t.removeMatching(row) {
+					return fmt.Errorf("engine: delta window deletes missing row %s in %q", row, name)
+				}
+			}
+		}
+	}
+	if toCSN > db.LastCSN() {
+		db.tm.Recover(toCSN)
+	}
+	// Like recovery: the heaps changed without flowing through the capture
+	// delta stream the join cache folds from.
+	db.InvalidateJoinCache()
+	return nil
 }

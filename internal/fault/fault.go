@@ -65,6 +65,21 @@ const (
 	// recoverable because classifier and resident partial state are
 	// volatile and rebuilt from durable storage.
 	PointMigrate = "migrate"
+	// PointFold fires at the start of a delta-prefix fold pass, before any
+	// image is compacted or delta prefix pruned. Folding touches only
+	// volatile state (images and delta tables are rebuilt from the WAL), so
+	// a crash here must always be recoverable.
+	PointFold = "fold"
+	// PointChainWrite fires before an incremental-checkpoint chain link's
+	// temp file is written; PointChainRename fires after the temp file is
+	// synced, before the atomic rename publishes the link.
+	PointChainWrite  = "chain/write"
+	PointChainRename = "chain/rename"
+	// PointSpillWrite fires before cold state (a derived-view image or a
+	// cached join index) is serialized to the spill directory;
+	// PointSpillLoad fires before a spilled file is read back on access.
+	PointSpillWrite = "spill/write"
+	PointSpillLoad  = "spill/load"
 	// PointDevAppend/Sync/Read fire inside the fault Device wrapper itself,
 	// below the WAL framing layer.
 	PointDevAppend = "dev/append"

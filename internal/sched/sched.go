@@ -96,6 +96,11 @@ type Options struct {
 	// progress). Propagation jobs set it; downstream jobs are chained
 	// via OnProgress instead.
 	WakeOnNotify bool
+	// LowPriority routes the job to the background queue, served only when
+	// no regular job is runnable. Storage-maintenance work (delta-prefix
+	// folding, cold spill) runs here so it never delays propagation or
+	// apply under load, yet uses the same workers when the system is quiet.
+	LowPriority bool
 }
 
 // Stats is a snapshot of scheduler activity.
@@ -126,6 +131,7 @@ type Scheduler struct {
 	mu     sync.Mutex
 	qcond  *sync.Cond
 	queue  []*Job
+	lowq   []*Job // low-priority queue, served only when queue is empty
 	jobs   map[*Job]struct{}
 	closed bool
 	wg     sync.WaitGroup
@@ -293,7 +299,11 @@ func (s *Scheduler) isClosed() bool {
 func (s *Scheduler) enqueue(j *Job) {
 	s.mu.Lock()
 	if !s.closed {
-		s.queue = append(s.queue, j)
+		if j.opt.LowPriority {
+			s.lowq = append(s.lowq, j)
+		} else {
+			s.queue = append(s.queue, j)
+		}
 		s.qcond.Signal()
 	}
 	s.mu.Unlock()
@@ -303,16 +313,25 @@ func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed {
+		for len(s.queue) == 0 && len(s.lowq) == 0 && !s.closed {
 			s.qcond.Wait()
 		}
 		if s.closed {
 			s.mu.Unlock()
 			return
 		}
-		j := s.queue[0]
-		copy(s.queue, s.queue[1:])
-		s.queue = s.queue[:len(s.queue)-1]
+		// Strict priority: the background queue is consulted only when no
+		// regular job is runnable. Low-priority jobs cannot starve the
+		// foreground (they only occupy a worker for one quantum), and the
+		// foreground can starve them by design — storage maintenance waits
+		// for quiet.
+		q := &s.queue
+		if len(s.queue) == 0 {
+			q = &s.lowq
+		}
+		j := (*q)[0]
+		copy(*q, (*q)[1:])
+		*q = (*q)[:len(*q)-1]
 		s.mu.Unlock()
 		s.runJob(j)
 	}

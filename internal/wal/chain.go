@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// This file implements the incremental-checkpoint chain-link format. A
+// chain is a sequence of links: link 1 is a FULL image (an engine
+// snapshot), later links carry only the delta window committed since the
+// previous link, so writing a link costs time proportional to the change
+// since the last checkpoint rather than the database size. Each link is
+// published as its own atomically renamed file, making the chain
+// append-only and crash-safe per link; restore loads the most recent FULL
+// link and replays every DELTA link after it, then redoes the log suffix
+// past the last link's offset — the same redo structure as a full
+// checkpoint.
+//
+// Link frame layout (all integers after the fixed header are uvarints):
+//
+//	magic   uint32 LE  "RJCL"
+//	version uint32 LE
+//	seq     uvarint    1-based position in the chain, strictly increasing
+//	kind    uvarint    ChainFull or ChainDelta
+//	from    uvarint    window lower bound CSN (0 for FULL links)
+//	to      uvarint    window upper bound CSN (the link's commit horizon)
+//	offset  uvarint    WAL offset the link corresponds to
+//	paylen  uvarint    payload length
+//	payload bytes      engine snapshot (FULL) or delta window (DELTA)
+//	crc     uint32 LE  CRC32-C of every preceding byte of the frame
+const (
+	chainMagic   = 0x524a434c // "RJCL"
+	chainVersion = 1
+
+	// ChainFull marks a link whose payload is a complete engine snapshot;
+	// ChainDelta marks a link carrying only the delta window (From, To].
+	ChainFull  = 0
+	ChainDelta = 1
+)
+
+// maxChainPayload caps a link's payload length before allocation, so a
+// corrupt length field cannot demand gigabytes.
+const maxChainPayload = 1 << 30
+
+// ErrBadChain reports a structurally invalid checkpoint chain: corrupt
+// framing, a truncated or checksum-failing link, or broken continuity
+// (duplicate, missing, or out-of-order links).
+var ErrBadChain = errors.New("wal: corrupt checkpoint chain")
+
+// ChainLink is one decoded link of an incremental checkpoint chain.
+type ChainLink struct {
+	Seq     uint64
+	Kind    uint8
+	From    uint64 // window lower bound CSN; 0 for FULL links
+	To      uint64 // window upper bound CSN
+	Offset  uint64 // WAL offset the link corresponds to
+	Payload []byte
+}
+
+// EncodeLink appends the link's frame to buf and returns the extended
+// slice.
+func EncodeLink(buf []byte, l *ChainLink) []byte {
+	start := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, chainMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, chainVersion)
+	buf = binary.AppendUvarint(buf, l.Seq)
+	buf = binary.AppendUvarint(buf, uint64(l.Kind))
+	buf = binary.AppendUvarint(buf, l.From)
+	buf = binary.AppendUvarint(buf, l.To)
+	buf = binary.AppendUvarint(buf, l.Offset)
+	buf = binary.AppendUvarint(buf, uint64(len(l.Payload)))
+	buf = append(buf, l.Payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], crcTable))
+}
+
+// DecodeLink decodes exactly one link frame from the front of b, returning
+// the link and the number of bytes consumed. A short buffer, bad magic,
+// unsupported version, oversized payload, or checksum mismatch fails with
+// ErrBadChain.
+func DecodeLink(b []byte) (*ChainLink, int, error) {
+	if len(b) < 8 {
+		return nil, 0, fmt.Errorf("%w: truncated link header", ErrBadChain)
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != chainMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrBadChain)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != chainVersion {
+		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrBadChain, v)
+	}
+	l := &ChainLink{}
+	pos := 8
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated link field", ErrBadChain)
+		}
+		pos += n
+		return v, nil
+	}
+	var err error
+	if l.Seq, err = next(); err != nil {
+		return nil, 0, err
+	}
+	kind, err := next()
+	if err != nil {
+		return nil, 0, err
+	}
+	if kind != ChainFull && kind != ChainDelta {
+		return nil, 0, fmt.Errorf("%w: unknown link kind %d", ErrBadChain, kind)
+	}
+	l.Kind = uint8(kind)
+	if l.From, err = next(); err != nil {
+		return nil, 0, err
+	}
+	if l.To, err = next(); err != nil {
+		return nil, 0, err
+	}
+	if l.Offset, err = next(); err != nil {
+		return nil, 0, err
+	}
+	paylen, err := next()
+	if err != nil {
+		return nil, 0, err
+	}
+	if paylen > maxChainPayload {
+		return nil, 0, fmt.Errorf("%w: payload length %d", ErrBadChain, paylen)
+	}
+	if uint64(len(b)-pos) < paylen+4 {
+		return nil, 0, fmt.Errorf("%w: truncated link payload", ErrBadChain)
+	}
+	l.Payload = append([]byte(nil), b[pos:pos+int(paylen)]...)
+	pos += int(paylen)
+	sum := binary.LittleEndian.Uint32(b[pos : pos+4])
+	if crc32.Checksum(b[:pos], crcTable) != sum {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrBadChain)
+	}
+	return l, pos + 4, nil
+}
+
+// DecodeChain reads a stream of concatenated link frames to EOF and
+// validates chain continuity: the first link must be FULL with Seq 1,
+// sequence numbers must increase by exactly one (duplicates and gaps are
+// corruption), every FULL link restarts the window at From 0, and each
+// DELTA link's window must start exactly where the previous link's ended.
+// Any framing or continuity violation fails with ErrBadChain.
+func DecodeChain(r io.Reader) ([]*ChainLink, error) {
+	b, err := io.ReadAll(io.LimitReader(r, maxChainPayload+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxChainPayload {
+		return nil, fmt.Errorf("%w: chain too large", ErrBadChain)
+	}
+	var links []*ChainLink
+	for len(b) > 0 {
+		l, n, err := DecodeLink(b)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, l)
+		b = b[n:]
+	}
+	if err := ValidateChain(links); err != nil {
+		return nil, err
+	}
+	return links, nil
+}
+
+// ValidateChain checks the continuity invariants over an ordered slice of
+// decoded links (see DecodeChain). An empty chain is valid.
+func ValidateChain(links []*ChainLink) error {
+	for i, l := range links {
+		if i == 0 {
+			if l.Seq != 1 {
+				return fmt.Errorf("%w: chain starts at seq %d, want 1", ErrBadChain, l.Seq)
+			}
+			if l.Kind != ChainFull {
+				return fmt.Errorf("%w: chain starts with a delta link", ErrBadChain)
+			}
+		} else {
+			prev := links[i-1]
+			if l.Seq == prev.Seq {
+				return fmt.Errorf("%w: duplicate link seq %d", ErrBadChain, l.Seq)
+			}
+			if l.Seq != prev.Seq+1 {
+				return fmt.Errorf("%w: link seq %d follows %d", ErrBadChain, l.Seq, prev.Seq)
+			}
+			if l.Kind == ChainDelta && l.From != prev.To {
+				return fmt.Errorf("%w: delta link %d starts at CSN %d, previous link ended at %d",
+					ErrBadChain, l.Seq, l.From, prev.To)
+			}
+		}
+		if l.Kind == ChainFull && l.From != 0 {
+			return fmt.Errorf("%w: full link %d has nonzero window start %d", ErrBadChain, l.Seq, l.From)
+		}
+		if l.Kind == ChainDelta && l.To < l.From {
+			return fmt.Errorf("%w: delta link %d window (%d, %d] is inverted", ErrBadChain, l.Seq, l.From, l.To)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func testChain() []*ChainLink {
+	return []*ChainLink{
+		{Seq: 1, Kind: ChainFull, From: 0, To: 10, Offset: 100, Payload: []byte("full-snapshot")},
+		{Seq: 2, Kind: ChainDelta, From: 10, To: 25, Offset: 220, Payload: []byte("delta-a")},
+		{Seq: 3, Kind: ChainDelta, From: 25, To: 25, Offset: 220, Payload: nil}, // empty window
+		{Seq: 4, Kind: ChainDelta, From: 25, To: 40, Offset: 310, Payload: []byte("delta-b")},
+	}
+}
+
+func encodeChain(links []*ChainLink) []byte {
+	var buf []byte
+	for _, l := range links {
+		buf = EncodeLink(buf, l)
+	}
+	return buf
+}
+
+func TestChainRoundTrip(t *testing.T) {
+	links := testChain()
+	got, err := DecodeChain(bytes.NewReader(encodeChain(links)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(links) {
+		t.Fatalf("decoded %d links, want %d", len(got), len(links))
+	}
+	for i, l := range got {
+		w := links[i]
+		if l.Seq != w.Seq || l.Kind != w.Kind || l.From != w.From || l.To != w.To || l.Offset != w.Offset {
+			t.Fatalf("link %d = %+v, want %+v", i, l, w)
+		}
+		if !bytes.Equal(l.Payload, w.Payload) {
+			t.Fatalf("link %d payload %q, want %q", i, l.Payload, w.Payload)
+		}
+	}
+}
+
+func TestChainEmptyIsValid(t *testing.T) {
+	links, err := DecodeChain(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 0 {
+		t.Fatalf("decoded %d links from empty input", len(links))
+	}
+}
+
+func TestChainMidChainFullRestart(t *testing.T) {
+	links := []*ChainLink{
+		{Seq: 1, Kind: ChainFull, To: 10, Payload: []byte("a")},
+		{Seq: 2, Kind: ChainDelta, From: 10, To: 20, Payload: []byte("b")},
+		{Seq: 3, Kind: ChainFull, To: 30, Payload: []byte("c")}, // chain restart keeps seq continuity
+		{Seq: 4, Kind: ChainDelta, From: 30, To: 35, Payload: []byte("d")},
+	}
+	if _, err := DecodeChain(bytes.NewReader(encodeChain(links))); err != nil {
+		t.Fatalf("mid-chain FULL link should validate: %v", err)
+	}
+}
+
+func TestChainTruncatedLink(t *testing.T) {
+	buf := encodeChain(testChain())
+	for _, cut := range []int{1, 7, 9, len(buf) / 2, len(buf) - 1} {
+		if _, err := DecodeChain(bytes.NewReader(buf[:cut])); !errors.Is(err, ErrBadChain) {
+			t.Fatalf("truncation at %d: want ErrBadChain, got %v", cut, err)
+		}
+	}
+}
+
+func TestChainCorruptLink(t *testing.T) {
+	base := encodeChain(testChain())
+	for _, pos := range []int{0, 4, 10, len(base) / 2, len(base) - 2} {
+		buf := append([]byte(nil), base...)
+		buf[pos] ^= 0xFF
+		if _, err := DecodeChain(bytes.NewReader(buf)); !errors.Is(err, ErrBadChain) {
+			t.Fatalf("corruption at %d: want ErrBadChain, got %v", pos, err)
+		}
+	}
+}
+
+func TestChainContinuityViolations(t *testing.T) {
+	cases := map[string][]*ChainLink{
+		"starts with delta": {
+			{Seq: 1, Kind: ChainDelta, From: 0, To: 5},
+		},
+		"starts past seq 1": {
+			{Seq: 2, Kind: ChainFull, To: 5},
+		},
+		"duplicate seq": {
+			{Seq: 1, Kind: ChainFull, To: 5},
+			{Seq: 1, Kind: ChainFull, To: 5},
+		},
+		"seq gap": {
+			{Seq: 1, Kind: ChainFull, To: 5},
+			{Seq: 3, Kind: ChainDelta, From: 5, To: 9},
+		},
+		"window discontinuity": {
+			{Seq: 1, Kind: ChainFull, To: 5},
+			{Seq: 2, Kind: ChainDelta, From: 7, To: 9},
+		},
+		"full with nonzero from": {
+			{Seq: 1, Kind: ChainFull, From: 3, To: 5},
+		},
+		"inverted delta window": {
+			{Seq: 1, Kind: ChainFull, To: 5},
+			{Seq: 2, Kind: ChainDelta, From: 5, To: 2},
+		},
+	}
+	for name, links := range cases {
+		if err := ValidateChain(links); !errors.Is(err, ErrBadChain) {
+			t.Errorf("%s: want ErrBadChain, got %v", name, err)
+		}
+		// The same violation must also fail end-to-end through the decoder.
+		if _, err := DecodeChain(bytes.NewReader(encodeChain(links))); !errors.Is(err, ErrBadChain) {
+			t.Errorf("%s (via DecodeChain): want ErrBadChain, got %v", name, err)
+		}
+	}
+}
+
+// FuzzChainDecode drives arbitrary bytes through the chain decoder: it must
+// never panic, and anything it accepts must re-encode and re-decode to the
+// identical chain (the decoder only accepts what the encoder can produce).
+func FuzzChainDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeChain(testChain()))
+	one := EncodeLink(nil, &ChainLink{Seq: 1, Kind: ChainFull, To: 3, Payload: []byte("x")})
+	f.Add(one)
+	f.Add(one[:len(one)-1])            // truncated CRC
+	f.Add(append(one, one...))         // duplicate link
+	f.Add(bytes.Repeat([]byte{0}, 64)) // garbage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		links, err := DecodeChain(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		again, err := DecodeChain(bytes.NewReader(encodeChain(links)))
+		if err != nil {
+			t.Fatalf("accepted chain failed round-trip: %v", err)
+		}
+		if len(again) != len(links) {
+			t.Fatalf("round-trip changed length %d -> %d", len(links), len(again))
+		}
+		for i := range links {
+			a, b := links[i], again[i]
+			if a.Seq != b.Seq || a.Kind != b.Kind || a.From != b.From || a.To != b.To ||
+				a.Offset != b.Offset || !bytes.Equal(a.Payload, b.Payload) {
+				t.Fatalf("round-trip changed link %d: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}

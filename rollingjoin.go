@@ -61,6 +61,22 @@ type Options struct {
 	// defers to the ROLLINGJOIN_BATCH environment variable, then the
 	// executor default (256).
 	BatchSize int
+	// FoldDeltas schedules the background delta-prefix fold job: a
+	// low-priority maintenance job, woken by capture progress, that folds
+	// view delta prefixes below the storage horizon into the derived
+	// images, prunes unreachable base delta rows, collects dead row
+	// versions, and trims the unit-of-work table — bounding memory under
+	// sustained ingest. Point-in-time refresh above the fold line is
+	// unaffected.
+	FoldDeltas bool
+	// SpillDir enables cold spill: derived images and join-cache
+	// partitions untouched for SpillAfter serialize into a per-process
+	// subdirectory of SpillDir and reload lazily on next access. Empty
+	// disables spilling.
+	SpillDir string
+	// SpillAfter is the idleness window before a structure is considered
+	// cold (default one minute).
+	SpillAfter time.Duration
 }
 
 // defaultMaintenanceWorkers sizes the shared pool when Options leaves it
@@ -84,6 +100,16 @@ type DB struct {
 	// claim unconsumed so a later view definition can still start capture.
 	capMu      sync.Mutex
 	capClaimed bool
+
+	// Storage-tiering maintenance (see tiering.go): the fold and spill
+	// jobs on the scheduler's low-priority queue, plus the ticker driving
+	// the spill sweep.
+	fold       *sched.Job
+	spill      *sched.Job
+	spillDir   string
+	spillAfter time.Duration
+	spillStop  chan struct{}
+	spillWg    sync.WaitGroup
 
 	mu     sync.Mutex
 	views  map[string]*View
@@ -155,6 +181,11 @@ func Open(opts Options) (*DB, error) {
 		db.src = db.logCap
 		db.logCap.OnProgress(func(csn relalg.CSN) { db.sched.Notify(csn) })
 	}
+	if err := db.startTiering(opts); err != nil {
+		db.sched.Close()
+		eng.Close()
+		return nil, err
+	}
 	return db, nil
 }
 
@@ -192,6 +223,7 @@ func (db *DB) Recover() (CSN, error) {
 // scheduler shuts down first, draining every in-flight propagation and
 // apply step before the engine goes away.
 func (db *DB) Close() error {
+	db.stopTiering()
 	db.sched.Close()
 	err := db.eng.Close()
 	if db.logCap != nil {
@@ -815,36 +847,5 @@ func (db *DB) CSNAt(t time.Time) (CSN, bool) {
 // high-water mark of the views that reference it. It returns the number of
 // rows reclaimed. Call it periodically on long-running databases.
 func (db *DB) PruneBaseDeltas() int {
-	db.mu.Lock()
-	// Collect, per input relation, the lowest HWM across referencing views.
-	safe := make(map[string]CSN)
-	acc := func(rels []string, hwm CSN) {
-		for _, rel := range rels {
-			if cur, ok := safe[rel]; !ok || hwm < cur {
-				safe[rel] = hwm
-			}
-		}
-	}
-	for _, v := range db.views {
-		acc(v.def.Relations, v.hwm())
-	}
-	for _, a := range db.aggs {
-		acc([]string{a.source}, a.hwm())
-	}
-	db.mu.Unlock()
-	pruned := 0
-	for table, hwm := range safe {
-		if db.eng.IsDerived(table) {
-			// A maintained view's own delta doubles as its readable state;
-			// it is pruned through View.PruneApplied, which compacts the
-			// derived image with downstream-aware flooring first.
-			continue
-		}
-		d, err := db.eng.Delta(table)
-		if err != nil {
-			continue
-		}
-		pruned += d.PruneThrough(hwm)
-	}
-	return pruned
+	return db.pruneBaseDeltasTo(maxFoldCSN, false)
 }

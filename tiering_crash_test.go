@@ -1,0 +1,259 @@
+package rollingjoin
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/relalg"
+	"repro/internal/wal"
+)
+
+// Crash-recovery property tests for the storage-tiering failpoint classes:
+// a crash mid-fold (delta-prefix folding), mid-chain-link (incremental
+// checkpoint publish), and mid-spill (cold spill write and reload). In
+// every class the recovered view must equal a full recomputation — fold,
+// chain, and spill all operate on reconstructible state, so no crash
+// timing may lose a committed change.
+
+// TestCrashRecoveryFold crashes inside the background fold job's step.
+// Folding moves delta rows into in-memory derived images and prunes
+// capture-side state; none of it is durable, so a crash at any fold
+// boundary recovers exactly like a plain process kill.
+func TestCrashRecoveryFold(t *testing.T) {
+	for _, run := range []struct {
+		hits int64
+	}{{1}, {3}} {
+		for _, seed := range []int64{1, 2} {
+			t.Run(fmt.Sprintf("hit%d/seed%d", run.hits, seed), func(t *testing.T) {
+				defer fault.Reset()
+				ckpt := filepath.Join(t.TempDir(), "crash.ckpt")
+				img, lastAcked, ckptOK := runCrashWorkload(t, fault.PointFold, run.hits, seed, 0, ckpt,
+					func(o *Options) { o.FoldDeltas = true })
+				recoverAndVerify(t, img, lastAcked, ckptOK, ckpt)
+			})
+		}
+	}
+}
+
+// TestCrashRecoveryChainLink crashes during an incremental checkpoint's
+// link publish — once before the link file is written (chain/write) and
+// once between write and rename (chain/rename). Both must leave the chain
+// directory a valid, restorable prefix: restore goes through the chain
+// when it has links, and falls back to log-only recovery when the crash
+// predates the first link.
+func TestCrashRecoveryChainLink(t *testing.T) {
+	runs := []struct {
+		point string
+		hits  int64
+	}{
+		{fault.PointChainWrite, 1},  // during the first (FULL) link
+		{fault.PointChainWrite, 2},  // during the second (DELTA) link
+		{fault.PointChainRename, 1}, // first link written but never published
+		{fault.PointChainRename, 2}, // delta link written but never published
+	}
+	for _, run := range runs {
+		for _, seed := range []int64{1, 2} {
+			t.Run(fmt.Sprintf("%s/hit%d/seed%d", filepath.Base(run.point), run.hits, seed), func(t *testing.T) {
+				defer fault.Reset()
+				fault.Reset()
+				chainDir := filepath.Join(t.TempDir(), "chain")
+				fdev := fault.NewDevice(wal.NewMemDevice())
+				db, err := Open(Options{Device: fdev, SyncOnCommit: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				crashCatalog(t, db)
+				var lastAcked CSN
+				if csn, err := db.Update(func(tx *Tx) error {
+					for _, it := range crashItems {
+						if err := tx.Insert("items", Str(it.name), Int(it.price)); err != nil {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				} else {
+					lastAcked = csn
+				}
+				if _, err := db.DefineView(orderPricesSpec(), Maintain{Interval: 4, AutoRefresh: true}); err != nil {
+					t.Fatal(err)
+				}
+				fault.Set(run.point, fault.CrashOnHit(run.hits, fdev))
+
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 60 && !fdev.Frozen(); i++ {
+					if i > 0 && i%12 == 0 {
+						// The armed point fires inside one of these calls.
+						_ = db.CheckpointIncremental(chainDir)
+					}
+					id := int64(i)
+					item := crashItems[rng.Intn(len(crashItems))].name
+					var csn CSN
+					if i > 5 && rng.Intn(4) == 0 {
+						csn, err = db.Update(func(tx *Tx) error {
+							_, derr := tx.Delete("orders", "id", EQ, Int(id-3), 1)
+							return derr
+						})
+					} else {
+						csn, err = db.Update(func(tx *Tx) error { return tx.Insert("orders", Int(id), Str(item)) })
+					}
+					if err != nil {
+						break
+					}
+					lastAcked = csn
+				}
+				if !fdev.Frozen() {
+					t.Fatalf("failpoint %s never fired (%d evals)", run.point, fault.Evals(run.point))
+				}
+				img, err := fdev.CrashImage(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fault.Reset()
+				db.Close()
+
+				// The chain directory must hold a structurally valid chain
+				// regardless of where the crash landed.
+				links, err := readChainDir(chainDir)
+				if err != nil {
+					t.Fatalf("chain invalid after crash: %v", err)
+				}
+
+				db2, err := Open(Options{Device: wal.NewMemDeviceFrom(img), SyncOnCommit: true})
+				if err != nil {
+					t.Fatalf("reopen from crash image: %v", err)
+				}
+				defer db2.Close()
+				crashCatalog(t, db2)
+				var recovered CSN
+				if len(links) > 0 {
+					recovered, err = db2.RestoreChain(chainDir)
+				} else {
+					recovered, err = db2.Recover()
+				}
+				if err != nil {
+					t.Fatalf("recovery (links=%d): %v", len(links), err)
+				}
+				if recovered < lastAcked {
+					t.Fatalf("recovered CSN %d lost acked commit %d", recovered, lastAcked)
+				}
+				view, err := db2.DefineView(orderPricesSpec(), Maintain{Interval: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := view.CatchUp(db2.LastCSN()); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := view.Refresh(); err != nil && !errors.Is(err, ErrBackward) {
+					t.Fatal(err)
+				}
+				full, err := db2.Query(orderPricesSpec())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := multiset(view.Rows()), multiset(full.Rows); !multisetsEqual(got, want) {
+					t.Fatalf("view diverged from recomputation after chain crash:\n view: %v\n full: %v", got, want)
+				}
+				// And the chain keeps extending after recovery.
+				if err := db2.CheckpointIncremental(chainDir); err != nil {
+					t.Fatalf("post-recovery incremental checkpoint: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashRecoverySpill covers the cold-spill failpoint classes. Spill
+// files are process-lifetime cache state, never part of durability, so a
+// crash during a spill write (background sweep) or during a cold reload
+// must recover to exactly the recomputed view from the log alone.
+func TestCrashRecoverySpill(t *testing.T) {
+	t.Run("write", func(t *testing.T) {
+		// Crash inside the background sweep's serialization. Folding is on
+		// so the view's derived image is non-empty (folded delta prefix)
+		// and becomes spillable once the workload quiets down.
+		defer fault.Reset()
+		ckpt := filepath.Join(t.TempDir(), "crash.ckpt")
+		spillDir := t.TempDir()
+		img, lastAcked, ckptOK := runCrashWorkload(t, fault.PointSpillWrite, 1, 1, 0, ckpt,
+			func(o *Options) {
+				o.FoldDeltas = true
+				o.SpillDir = spillDir
+				o.SpillAfter = 5 * time.Millisecond
+			})
+		recoverAndVerify(t, img, lastAcked, ckptOK, ckpt)
+	})
+
+	t.Run("load", func(t *testing.T) {
+		// Deterministic: spill a manual view's image, then crash inside the
+		// cold reload triggered by the next read.
+		defer fault.Reset()
+		fault.Reset()
+		fdev := fault.NewDevice(wal.NewMemDevice())
+		db, err := Open(Options{
+			Device: fdev, SyncOnCommit: true,
+			SpillDir: t.TempDir(), SpillAfter: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashCatalog(t, db)
+		var lastAcked CSN
+		if csn, err := db.Update(func(tx *Tx) error {
+			for _, it := range crashItems {
+				if err := tx.Insert("items", Str(it.name), Int(it.price)); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 20; i++ {
+				if err := tx.Insert("orders", Int(int64(i)), Str(crashItems[i%3].name)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		} else {
+			lastAcked = csn
+		}
+		if _, err := db.DefineView(orderPricesSpec(), Maintain{Interval: 4, Manual: true}); err != nil {
+			t.Fatal(err)
+		}
+		// Wait out the idleness window, then sweep until the image spills.
+		deadline := time.Now().Add(5 * time.Second)
+		for db.Engine().Stats().SpilledBytes == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("view image never spilled")
+			}
+			time.Sleep(2 * time.Millisecond)
+			if _, err := db.Spill(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The next derived read must reload — crash there.
+		fault.Set(fault.PointSpillLoad, fault.CrashOnHit(1, fdev))
+		dv, err := db.Engine().Derived("order_prices")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dv.ScanAsOf(relalg.NullTS, nil); err == nil {
+			t.Fatal("cold reload should fail at the armed failpoint")
+		}
+		if !fdev.Frozen() {
+			t.Fatal("spill/load failpoint never froze the device")
+		}
+		img, err := fdev.CrashImage(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fault.Reset()
+		db.Close()
+		recoverAndVerify(t, img, lastAcked, false, "")
+	})
+}

@@ -115,7 +115,17 @@ func (v *View) RefreshToTime(t time.Time) (CSN, error) {
 // or below it), so the image is compacted to the floor before rows at or
 // below it are discarded.
 func (v *View) PruneApplied() int {
-	floor := v.mv.MatTime()
+	return v.foldTo(maxFoldCSN)
+}
+
+// foldTo is PruneApplied with an extra ceiling: the fold job passes the
+// storage horizon ledger's floor so open snapshots and external pins keep
+// point-in-time refresh intact below the usual MatTime/downstream floor.
+func (v *View) foldTo(limit CSN) int {
+	floor := limit
+	if t := v.mv.MatTime(); t < floor {
+		floor = t
+	}
 	for _, m := range v.db.downstreamsOf(v.def.Name) {
 		if h := m.hwm(); h < floor {
 			floor = h
