@@ -324,9 +324,9 @@ func (av *AggregateView) RefreshTo(t CSN) error {
 // RefreshToTime rolls the aggregate to the last commit at or before the
 // given wall-clock instant.
 func (av *AggregateView) RefreshToTime(t time.Time) (CSN, error) {
-	csn, ok := av.db.CSNAt(t)
-	if !ok {
-		return 0, errors.New("rollingjoin: no commits at or before the requested time")
+	csn, err := av.db.CSNAt(t)
+	if err != nil {
+		return 0, err
 	}
 	if csn < av.MatTime() {
 		return 0, core.ErrBackward

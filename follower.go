@@ -1,0 +1,60 @@
+package rollingjoin
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// ErrReadOnly is returned by write paths on a follower database: base-table
+// state on a replica is owned by the leader's shipped log, so inserts and
+// deletes must be sent to the leader.
+var ErrReadOnly = engine.ErrReadOnly
+
+// IsFollower reports whether the database was opened as a read-only
+// replication target (Options.Follower).
+func (db *DB) IsFollower() bool { return db.follower }
+
+// followerApplyStep is the follower's scheduler job: replay a bounded
+// slice of the shipped leader log — base-table writes at the leader's
+// CSNs, then the delta-table appends — so one large shipment cannot
+// monopolize a maintenance worker. It reports ErrNoProgress (→ Idle) when
+// the replay has caught up with the shipped frontier; ShipFrames kicks the
+// job whenever new complete frames land.
+func (db *DB) followerApplyStep() error {
+	n, err := db.logCap.RunBounded(512)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return core.ErrNoProgress
+	}
+	return nil
+}
+
+// ShipFrames ingests raw WAL bytes shipped from the leader. Complete
+// frames become readable immediately and wake the replay job; a trailing
+// partial frame is retained until the next shipment completes it. It
+// returns the committed log size after the shipment — the follower's
+// replication offset. A *wal.CorruptError means the shipped bytes were
+// damaged; the tailer must stop rather than replay past the damage.
+func (db *DB) ShipFrames(p []byte) (int64, error) {
+	n, err := db.eng.Log().AppendShipped(p)
+	if db.applyJob != nil {
+		db.applyJob.Kick()
+	}
+	return n, err
+}
+
+// ShippedOffset returns the byte offset the next shipment should start
+// from: the raw device length, including any retained partial frame — so
+// a tailer reconnecting mid-frame does not re-request bytes it already
+// holds.
+func (db *DB) ShippedOffset() int64 {
+	return db.eng.Log().DeviceSize()
+}
+
+// AppliedCSN returns the highest leader commit this follower has fully
+// replayed into its base tables (0 before any; always 0 on a leader).
+func (db *DB) AppliedCSN() CSN {
+	return db.eng.AppliedCSN()
+}

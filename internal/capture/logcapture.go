@@ -35,6 +35,19 @@ type LogCapture struct {
 
 	pending map[uint64][]pendingChange
 
+	// applyBase marks replica mode: commits replayed from the (shipped)
+	// log also apply their base-table writes via engine.ApplyReplicated
+	// before the delta appends, so a follower's heaps advance in leader
+	// commit order. On a leader the writer's own transaction already did
+	// this and capture only fills delta tables.
+	applyBase bool
+
+	// cancel tears down the capture goroutine's blocking wait without
+	// closing the log — the shutdown drain uses it so the engine can stay
+	// open until every captured frame has been replayed.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	wg      sync.WaitGroup
 	started atomic.Bool
 
@@ -54,14 +67,29 @@ func NewLogCapture(db *engine.DB) *LogCapture { return NewLogCaptureAt(db, 0, 0)
 // restore: the snapshot already holds delta rows for every commit at or
 // below progress, so capture resumes with the log suffix.
 func NewLogCaptureAt(db *engine.DB, offset int64, progress relalg.CSN) *LogCapture {
+	ctx, cancel := context.WithCancel(context.Background())
 	c := &LogCapture{
 		db:      db,
 		reader:  db.Log().NewReader(offset),
 		uow:     NewUnitOfWork(),
 		track:   newProgressTracker(),
 		pending: make(map[uint64][]pendingChange),
+		ctx:     ctx,
+		cancel:  cancel,
 	}
 	c.track.set(progress)
+	return c
+}
+
+// NewReplicaLogCapture creates a capture process for a replica engine: it
+// reads the shipped leader log from the beginning and replays each commit
+// fully — base-table writes (at the leader's CSN, via ApplyReplicated)
+// first, then the delta-table appends. One replay path rebuilds both heaps
+// and deltas, so a restarting follower simply re-runs it over the log it
+// already has before tailing for more.
+func NewReplicaLogCapture(db *engine.DB) *LogCapture {
+	c := NewLogCapture(db)
+	c.applyBase = true
 	return c
 }
 
@@ -110,9 +138,11 @@ func (c *LogCapture) Start() {
 		defer c.wg.Done()
 		defer c.track.stop()
 		for {
-			rec, err := c.reader.NextBlocking()
+			rec, err := c.reader.NextBlockingContext(c.ctx)
 			if err != nil {
-				if !errors.Is(err, wal.ErrClosed) {
+				// ErrClosed (log closed) and context.Canceled (Drain) are
+				// clean exits; anything else is a terminal capture error.
+				if !errors.Is(err, wal.ErrClosed) && !errors.Is(err, context.Canceled) {
 					c.errMu.Lock()
 					c.err = err
 					c.errMu.Unlock()
@@ -132,21 +162,56 @@ func (c *LogCapture) Start() {
 // Wait blocks until the capture goroutine exits (after the log closes).
 func (c *LogCapture) Wait() { c.wg.Wait() }
 
+// Drain shuts the capture down in order: it cancels the goroutine's
+// blocking wait, waits for it to exit, then synchronously replays every
+// complete frame still in the log, so all captured commits reach the delta
+// tables BEFORE the caller closes the engine — the shutdown sequence that
+// lets capture finish against a live device. Safe to call whether or not
+// Start ran; idempotent. It returns the capture's terminal error, if any.
+func (c *LogCapture) Drain() error {
+	c.cancel()
+	c.wg.Wait()
+	if err := c.Err(); err != nil {
+		c.track.stop()
+		return err
+	}
+	err := c.RunOnce()
+	if err != nil {
+		c.errMu.Lock()
+		c.err = err
+		c.errMu.Unlock()
+	}
+	c.track.stop()
+	return err
+}
+
 // RunOnce drains all records currently in the log synchronously. It is the
 // deterministic-test alternative to Start.
 func (c *LogCapture) RunOnce() error {
-	for {
+	_, err := c.RunBounded(0)
+	return err
+}
+
+// RunBounded synchronously replays up to limit records (limit <= 0 means
+// all available), returning how many were processed. The follower's
+// scheduler-driven apply job uses it: each step replays a bounded slice of
+// the shipped log so one huge shipment cannot monopolize a worker.
+func (c *LogCapture) RunBounded(limit int) (int, error) {
+	n := 0
+	for limit <= 0 || n < limit {
 		rec, err := c.reader.Next()
 		if errors.Is(err, wal.ErrNoMore) {
-			return nil
+			return n, nil
 		}
 		if err != nil {
-			return err
+			return n, err
 		}
 		if err := c.apply(rec); err != nil {
-			return err
+			return n, err
 		}
+		n++
 	}
+	return n, nil
 }
 
 func (c *LogCapture) apply(rec *wal.Record) error {
@@ -162,6 +227,20 @@ func (c *LogCapture) apply(rec *wal.Record) error {
 	case wal.TypeCommit:
 		if err := fault.Inject(fault.PointCaptureReplay); err != nil {
 			return err
+		}
+		if c.applyBase {
+			// Replica replay: advance the base heaps (and the local clock)
+			// to the leader's commit before the delta appends, so by the
+			// time the watermark moves, propagation queries at AsOf <= CSN
+			// see the commit in both heap and delta form.
+			chs := c.pending[rec.TxID]
+			writes := make([]engine.Write, len(chs))
+			for i, ch := range chs {
+				writes[i] = engine.Write{Table: ch.table, Row: ch.row, Count: ch.count}
+			}
+			if err := c.db.ApplyReplicated(rec.CSN, writes); err != nil {
+				return err
+			}
 		}
 		for _, ch := range c.pending[rec.TxID] {
 			if !c.db.HasDelta(ch.table) {

@@ -71,6 +71,12 @@ type Config struct {
 	// aim for per batch. 0 defers to the ROLLINGJOIN_BATCH environment
 	// variable, then to exec.DefaultBatchSize.
 	BatchSize int
+	// Replica opens the engine as a read-only replication target: client
+	// write paths return ErrReadOnly, local commits are quiet (no CSN, no
+	// WAL record — the CSN axis belongs to the leader), and base-table
+	// state advances only through ApplyReplicated as shipped leader
+	// commits replay.
+	Replica bool
 }
 
 // DB is an embedded database instance.
@@ -170,6 +176,16 @@ type DB struct {
 	// (the scheduler lives above the engine; the hook pulls its snapshot
 	// into Stats so one call covers the whole instance).
 	schedStats atomic.Pointer[func() SchedStats]
+
+	// replica marks the engine as a read-only replication target; see
+	// Config.Replica. appliedCSN tracks the highest leader commit replayed
+	// through ApplyReplicated.
+	replica    bool
+	appliedCSN atomic.Int64
+
+	// replStats, when set, reports the replication layer's counters (the
+	// tailer lives above the engine, like the scheduler).
+	replStats atomic.Pointer[func() ReplStats]
 }
 
 // DefaultForceMaterialize seeds every newly opened DB's force-materialize
@@ -247,6 +263,7 @@ func Open(cfg Config) (*DB, error) {
 		partDeltaRows: make([]atomic.Int64, nparts),
 		partSliceJobs: make([]atomic.Int64, nparts),
 		partCacheRows: make([]atomic.Int64, nparts),
+		replica:       cfg.Replica,
 	}
 	db.forceMaterialize.Store(DefaultForceMaterialize)
 	db.joinCache.Store(DefaultJoinCache)
@@ -473,8 +490,39 @@ type Stats struct {
 	// attached (SetSchedStats); zero otherwise.
 	Sched SchedStats
 
+	// Repl holds the replication layer's gauges when one is attached
+	// (SetReplStats); zero otherwise.
+	Repl ReplStats
+
 	Txn txn.Stats
 }
+
+// ReplStats is a snapshot of the replication layer attached to this
+// instance: the node's role, how far the follower's replay has advanced
+// against the leader's commit sequence, and shipping-volume counters. On a
+// leader the gauges describe the serving side (bytes streamed out); on a
+// follower they describe the tailer.
+type ReplStats struct {
+	// Role is "leader", "follower", or "" when no replication layer is
+	// attached.
+	Role string
+	// FollowerCSN is the highest leader commit the follower has applied
+	// locally; LeaderCSN is the leader's last observed commit. Their
+	// difference, LagCSNs, is the replication lag on the CSN axis — 0
+	// means every known leader commit is visible to local reads.
+	FollowerCSN int64
+	LeaderCSN   int64
+	LagCSNs     int64
+	// BytesShipped counts raw WAL bytes moved over the wire (received on a
+	// follower, streamed out on a leader); Reconnects counts tailer
+	// reconnection attempts after a dropped shipping stream.
+	BytesShipped int64
+	Reconnects   int64
+}
+
+// SetReplStats attaches the replication layer's stats snapshot function;
+// Stats() consults it on every call.
+func (db *DB) SetReplStats(fn func() ReplStats) { db.replStats.Store(&fn) }
 
 // SchedStats is a snapshot of the maintenance scheduler attached to this
 // database instance: worker-pool shape, event-driven wakeup activity, and
@@ -501,6 +549,10 @@ func (db *DB) Stats() Stats {
 	if fn := db.schedStats.Load(); fn != nil {
 		ss = (*fn)()
 	}
+	var rs ReplStats
+	if fn := db.replStats.Load(); fn != nil {
+		rs = (*fn)()
+	}
 	snap := func(cs []atomic.Int64) []int64 {
 		out := make([]int64, len(cs))
 		for i := range cs {
@@ -523,6 +575,7 @@ func (db *DB) Stats() Stats {
 		HeavyKeys:          heavy,
 		KeyMigrations:      db.keyMigrations.Load(),
 		Sched:              ss,
+		Repl:               rs,
 		RowsScanned:        db.rowsScanned.Load(),
 		RowsJoined:         db.rowsJoined.Load(),
 		QueriesRun:         db.queriesRun.Load(),

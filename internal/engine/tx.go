@@ -55,8 +55,12 @@ func (tx *Tx) recordWrite(table string, row tuple.Tuple, count int64) {
 	}
 }
 
-// Insert adds a row to the named base table.
+// Insert adds a row to the named base table. On a replica engine it
+// returns ErrReadOnly: base state is owned by the leader's shipped log.
 func (tx *Tx) Insert(table string, row tuple.Tuple) error {
+	if tx.db.replica {
+		return ErrReadOnly
+	}
 	t, err := tx.db.Table(table)
 	if err != nil {
 		return err
@@ -95,6 +99,9 @@ func (tx *Tx) Insert(table string, row tuple.Tuple) error {
 // races with a concurrent insert may miss it (no phantom protection on the
 // write path — propagation queries use full table S locks instead).
 func (tx *Tx) DeleteWhere(table string, pred relalg.Predicate, limit int) (int, error) {
+	if tx.db.replica {
+		return 0, ErrReadOnly
+	}
 	t, err := tx.db.Table(table)
 	if err != nil {
 		return 0, err
@@ -197,6 +204,15 @@ func (tx *Tx) AppendDeltaEncoded(d *DeltaTable, ts relalg.CSN, count int64, encR
 // serialization order. The publish phase then stamps row versions with
 // the commit CSN before the CSN becomes stable and the locks release.
 func (tx *Tx) Commit() (relalg.CSN, error) {
+	if tx.db.replica {
+		// Quiet commit: keep the transaction's effects (delta appends, cache
+		// updates) and release its locks, but mint no CSN and write no WAL
+		// record — a follower's time axis is the leader's CSN sequence, and
+		// its log holds only shipped leader bytes. Base writes are already
+		// impossible here (Insert/DeleteWhere gate on ErrReadOnly), so there
+		// are no stamps to publish.
+		return 0, tx.db.tm.CommitQuiet(tx.inner)
+	}
 	var publish func(relalg.CSN)
 	if len(tx.stamps) > 0 {
 		publish = func(csn relalg.CSN) {

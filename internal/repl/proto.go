@@ -1,0 +1,237 @@
+// Package repl is the serving and replication layer: an HTTP server
+// exposing commits, ad-hoc queries, point-in-time view materialization,
+// view-delta subscriptions, and raw WAL shipping — plus the follower-side
+// tailer that keeps a read replica converged with a leader by streaming
+// its log.
+//
+// The wire protocol is line-oriented JSON over HTTP/1.1 (no dependencies
+// outside the standard library). Values travel in a typed envelope so the
+// follower reconstructs exactly the leader's dynamic types:
+//
+//	null            NULL
+//	{"t":true}      BOOLEAN
+//	{"i":5}         BIGINT (exact int64)
+//	{"f":1.5}       DOUBLE
+//	{"s":"x"}       VARCHAR
+//	{"b":"aGk="}    BLOB (base64)
+//
+// The WAL-shipping endpoint (GET /v1/wal?from=N) is not JSON: it streams
+// the leader's committed log bytes verbatim — the same CRC-framed records
+// the local capture process tails — so a follower replays the leader's
+// commit sequence with no re-encoding.
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/relalg"
+	"repro/internal/tuple"
+)
+
+type wireValue struct {
+	T *bool    `json:"t,omitempty"`
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	S *string  `json:"s,omitempty"`
+	B *[]byte  `json:"b,omitempty"` // pointer so empty BLOBs survive omitempty
+}
+
+// EncodeValue renders a tuple value in the typed wire envelope.
+func EncodeValue(v tuple.Value) any {
+	switch v.Kind() {
+	case tuple.KindNull:
+		return nil
+	case tuple.KindBool:
+		b := v.AsBool()
+		return wireValue{T: &b}
+	case tuple.KindInt:
+		i := v.AsInt()
+		return wireValue{I: &i}
+	case tuple.KindFloat:
+		f := v.AsFloat()
+		return wireValue{F: &f}
+	case tuple.KindString:
+		s := v.AsString()
+		return wireValue{S: &s}
+	case tuple.KindBytes:
+		b := v.AsBytes()
+		if b == nil {
+			b = []byte{}
+		}
+		return wireValue{B: &b}
+	default:
+		return nil
+	}
+}
+
+// EncodeRow renders a tuple in the typed wire envelope.
+func EncodeRow(t tuple.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		out[i] = EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeValue parses one wire value. An envelope with no type field set
+// (e.g. {}) is invalid, not NULL — only a JSON null is NULL.
+func DecodeValue(raw json.RawMessage) (tuple.Value, error) {
+	if len(raw) == 0 || bytes.Equal(bytes.TrimSpace(raw), []byte("null")) {
+		return tuple.Null(), nil
+	}
+	var w wireValue
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return tuple.Value{}, fmt.Errorf("repl: bad value %s: %w", raw, err)
+	}
+	switch {
+	case w.T != nil:
+		return tuple.Bool(*w.T), nil
+	case w.I != nil:
+		return tuple.Int(*w.I), nil
+	case w.F != nil:
+		return tuple.Float(*w.F), nil
+	case w.S != nil:
+		return tuple.String_(*w.S), nil
+	case w.B != nil:
+		return tuple.Bytes(*w.B), nil
+	default:
+		return tuple.Value{}, fmt.Errorf("repl: value %s has no type field", raw)
+	}
+}
+
+// DecodeRow parses a wire row.
+func DecodeRow(raws []json.RawMessage) (tuple.Tuple, error) {
+	out := make(tuple.Tuple, len(raws))
+	for i, raw := range raws {
+		v, err := DecodeValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("repl: column %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Comparison-operator names on the wire.
+var opNames = map[string]relalg.CmpOp{
+	"eq": relalg.OpEQ, "ne": relalg.OpNE,
+	"lt": relalg.OpLT, "le": relalg.OpLE,
+	"gt": relalg.OpGT, "ge": relalg.OpGE,
+}
+
+// DecodeOp parses a comparison-operator name ("eq", "ne", "lt", "le",
+// "gt", "ge"). An empty name means equality.
+func DecodeOp(name string) (relalg.CmpOp, error) {
+	if name == "" {
+		return relalg.OpEQ, nil
+	}
+	op, ok := opNames[name]
+	if !ok {
+		return 0, fmt.Errorf("repl: unknown comparison operator %q", name)
+	}
+	return op, nil
+}
+
+// WriteOp is one operation of a commit request: an insert carrying a row,
+// or a delete carrying filters (conjunctive) and an optional limit.
+type WriteOp struct {
+	Op      string            `json:"op"` // "insert" or "delete"
+	Table   string            `json:"table"`
+	Row     []json.RawMessage `json:"row,omitempty"`
+	Filters []WireFilter      `json:"filters,omitempty"`
+	Limit   int               `json:"limit,omitempty"`
+}
+
+// WireFilter is a column-vs-constant condition.
+type WireFilter struct {
+	Table  string          `json:"table,omitempty"`
+	Column string          `json:"column"`
+	Op     string          `json:"op,omitempty"` // default "eq"
+	Value  json.RawMessage `json:"value"`
+}
+
+// WireJoin is an equi-join condition of a query.
+type WireJoin struct {
+	LeftTable   string `json:"leftTable"`
+	LeftColumn  string `json:"leftColumn"`
+	RightTable  string `json:"rightTable"`
+	RightColumn string `json:"rightColumn"`
+}
+
+// WireOut selects one output column of a query.
+type WireOut struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+}
+
+// CommitRequest is the body of POST /v1/commit: the operations commit
+// atomically in one transaction.
+type CommitRequest struct {
+	Ops []WriteOp `json:"ops"`
+}
+
+// CommitResponse reports the commit sequence number assigned.
+type CommitResponse struct {
+	CSN int64 `json:"csn"`
+}
+
+// QueryRequest is the body of POST /v1/query: a one-shot
+// select-project-join over the current committed state.
+type QueryRequest struct {
+	Tables  []string     `json:"tables"`
+	Joins   []WireJoin   `json:"joins,omitempty"`
+	Filters []WireFilter `json:"filters,omitempty"`
+	Output  []WireOut    `json:"output,omitempty"`
+}
+
+// RowsResponse carries query or materialization results.
+type RowsResponse struct {
+	Columns []string `json:"columns,omitempty"`
+	AsOf    int64    `json:"asOf,omitempty"`
+	Rows    [][]any  `json:"rows"`
+}
+
+// MaterializeRequest is the body of POST /v1/materialize: the view's
+// contents at a point in time. AsOf names a CSN directly; Time (RFC 3339)
+// translates through the unit-of-work table. Both zero means the current
+// high-water mark. Wait blocks until propagation reaches the target
+// instead of failing with "beyond HWM".
+type MaterializeRequest struct {
+	View string `json:"view"`
+	AsOf int64  `json:"asOf,omitempty"`
+	Time string `json:"time,omitempty"`
+	Wait bool   `json:"wait,omitempty"`
+}
+
+// DeltaEvent is one line of the NDJSON view-delta subscription stream: a
+// timed change of the view, exactly as minted by propagation.
+type DeltaEvent struct {
+	CSN   int64 `json:"csn"`
+	Count int64 `json:"count"`
+	Row   []any `json:"row"`
+}
+
+// ViewStatus is one view's maintenance position.
+type ViewStatus struct {
+	HWM     int64 `json:"hwm"`
+	MatTime int64 `json:"matTime"`
+}
+
+// StatusResponse is GET /v1/status: the node's role and clock positions.
+type StatusResponse struct {
+	Role       string                `json:"role"` // "leader" or "follower"
+	LastCSN    int64                 `json:"lastCSN"`
+	StableCSN  int64                 `json:"stableCSN"`
+	AppliedCSN int64                 `json:"appliedCSN,omitempty"` // follower only
+	WALSize    int64                 `json:"walSize"`              // committed bytes
+	Views      map[string]ViewStatus `json:"views,omitempty"`
+}
+
+// errorResponse is the JSON body of non-2xx responses.
+type errorResponse struct {
+	Error string `json:"error"`
+}

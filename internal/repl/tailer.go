@@ -1,0 +1,237 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rollingjoin "repro"
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// ErrDiverged is the tailer's fail-stop: the follower holds more log bytes
+// than the leader has committed, so the two histories cannot be spliced.
+// The replica must be rebuilt from an empty log (or a leader checkpoint).
+var ErrDiverged = errors.New("repl: follower log diverged from leader")
+
+// Tailer keeps a follower database converged with a leader by streaming
+// GET /v1/wal from the follower's current shipped offset and feeding the
+// bytes through DB.ShipFrames. It reconnects with capped backoff on
+// transport errors; it fail-stops (Err becomes non-nil, tailing ends) on
+// shipped corruption or history divergence — conditions where replaying
+// further could only corrupt the replica.
+type Tailer struct {
+	db     *rollingjoin.DB
+	leader string // base URL, e.g. http://127.0.0.1:7070
+	client *http.Client
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	leaderCSN  atomic.Int64
+	bytesIn    atomic.Int64
+	reconnects atomic.Int64
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewTailer prepares a tailer for the follower database against the
+// leader's base URL. Start launches it.
+func NewTailer(db *rollingjoin.DB, leaderURL string) *Tailer {
+	return &Tailer{
+		db:     db,
+		leader: leaderURL,
+		client: &http.Client{},
+	}
+}
+
+// Start installs the follower's replication-lag stats hook and launches
+// the ship loop plus a status poller that tracks the leader's CSN.
+func (t *Tailer) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	t.cancel = cancel
+	t.db.Engine().SetReplStats(func() engine.ReplStats {
+		follower := int64(t.db.AppliedCSN())
+		leader := t.leaderCSN.Load()
+		lag := leader - follower
+		if lag < 0 {
+			lag = 0
+		}
+		return engine.ReplStats{
+			Role:         "follower",
+			FollowerCSN:  follower,
+			LeaderCSN:    leader,
+			LagCSNs:      lag,
+			BytesShipped: t.bytesIn.Load(),
+			Reconnects:   t.reconnects.Load(),
+		}
+	})
+	t.wg.Add(2)
+	go t.shipLoop(ctx)
+	go t.pollLoop(ctx)
+}
+
+// Stop ends tailing and waits for the loops to exit. The follower
+// database stays open and readable at its last applied state.
+func (t *Tailer) Stop() {
+	if t.cancel != nil {
+		t.cancel()
+	}
+	t.wg.Wait()
+}
+
+// Err returns the terminal error if the tailer fail-stopped (shipped
+// corruption or divergence), nil while healthy or after an orderly Stop.
+func (t *Tailer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// BytesShipped returns the total WAL bytes received from the leader.
+func (t *Tailer) BytesShipped() int64 { return t.bytesIn.Load() }
+
+// Reconnects returns how many times the stream was re-established.
+func (t *Tailer) Reconnects() int64 { return t.reconnects.Load() }
+
+// LeaderCSN returns the leader's last observed commit sequence number.
+func (t *Tailer) LeaderCSN() int64 { return t.leaderCSN.Load() }
+
+func (t *Tailer) fail(err error) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.mu.Unlock()
+}
+
+// shipLoop is the replication stream: request the leader's WAL from the
+// follower's shipped offset, feed every chunk through ShipFrames, and on
+// any transport hiccup reconnect from the new offset with capped backoff.
+// Corruption and divergence are terminal.
+func (t *Tailer) shipLoop(ctx context.Context) {
+	defer t.wg.Done()
+	backoff := 50 * time.Millisecond
+	const maxBackoff = time.Second
+	first := true
+	for ctx.Err() == nil {
+		if !first {
+			t.reconnects.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		first = false
+		terminal, streamed := t.streamOnce(ctx)
+		if terminal {
+			return
+		}
+		if streamed {
+			backoff = 50 * time.Millisecond
+		}
+	}
+}
+
+// streamOnce runs one connection: it reports terminal=true when tailing
+// must end (context done, corruption, divergence) and streamed=true when
+// any bytes were shipped (resetting backoff).
+func (t *Tailer) streamOnce(ctx context.Context) (terminal, streamed bool) {
+	from := t.db.ShippedOffset()
+	url := fmt.Sprintf("%s/v1/wal?from=%d", t.leader, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.fail(fmt.Errorf("repl: bad leader URL: %w", err))
+		return true, false
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return ctx.Err() != nil, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		// The leader has fewer committed bytes than we hold: divergence.
+		t.fail(fmt.Errorf("%w: local offset %d", ErrDiverged, from))
+		return true, false
+	default:
+		return false, false
+	}
+	if csn, err := parseInt64(resp.Header.Get("X-Rollserve-Csn"), 0); err == nil && csn > 0 {
+		t.storeLeaderCSN(csn)
+	}
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, serr := t.db.ShipFrames(buf[:n]); serr != nil {
+				var ce *wal.CorruptError
+				if errors.As(serr, &ce) {
+					t.fail(fmt.Errorf("repl: shipped log corrupt: %w", serr))
+				} else {
+					t.fail(serr)
+				}
+				return true, streamed
+			}
+			t.bytesIn.Add(int64(n))
+			streamed = true
+		}
+		if err != nil {
+			return ctx.Err() != nil, streamed
+		}
+	}
+}
+
+// pollLoop refreshes the leader's CSN for the lag gauge: the WAL stream
+// itself reports it only at connect time, so a long-lived stream would
+// otherwise show stale lag.
+func (t *Tailer) pollLoop(ctx context.Context) {
+	defer t.wg.Done()
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.leader+"/v1/status", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := t.client.Do(req)
+		if err != nil {
+			continue
+		}
+		var st StatusResponse
+		derr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if derr == nil {
+			t.storeLeaderCSN(st.LastCSN)
+		}
+	}
+}
+
+// storeLeaderCSN advances the observed leader CSN monotonically (the
+// poller and the stream header race harmlessly).
+func (t *Tailer) storeLeaderCSN(csn int64) {
+	for {
+		cur := t.leaderCSN.Load()
+		if csn <= cur || t.leaderCSN.CompareAndSwap(cur, csn) {
+			return
+		}
+	}
+}

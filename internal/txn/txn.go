@@ -191,6 +191,25 @@ func (m *Manager) WaitStable(csn relalg.CSN) {
 	m.publishMu.Unlock()
 }
 
+// CommitQuiet finishes the transaction keeping its effects but WITHOUT
+// assigning a CSN, running a commit hook, or touching the publish barrier.
+// Replica engines use it for local view-maintenance commits: a follower's
+// time axis is the leader's CSN sequence replayed from the shipped log, so
+// follower-side propagation must not mint CSNs of its own — doing so would
+// desynchronize the replica's clock from the leader's. The transaction's
+// effects (delta-table appends, cache updates) stand; undo actions are
+// discarded and locks release as on a normal commit.
+func (m *Manager) CommitQuiet(t *Txn) error {
+	if t.state != StateActive {
+		return ErrTxnDone
+	}
+	t.state = StateCommitted
+	t.undo = nil
+	m.lm.release(t)
+	m.committed.Add(1)
+	return nil
+}
+
 // Abort rolls the transaction back: undo actions run in reverse order, then
 // all locks are released.
 func (m *Manager) Abort(t *Txn) error {

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -181,15 +182,78 @@ func (e *CorruptError) Error() string {
 // Unwrap lets errors.Is match ErrCorrupt.
 func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 
+// ErrIncomplete reports a clean short read at the log frontier: the bytes
+// at the current offset are a prefix of a frame that has not finished
+// arriving (a live tailer mid-ship, or a torn tail during recovery). It is
+// the io.EOF of WAL streams — "not here yet", never "damaged". Checksum or
+// payload violations on a fully present frame surface as *CorruptError
+// instead; conflating the two would make a follower either stall forever on
+// real corruption or replay past damaged committed data.
+var ErrIncomplete = errors.New("wal: incomplete frame at log frontier")
+
+// ReadFrameAt decodes the frame starting at byte offset off, considering
+// only the device prefix [0, limit) (limit < 0 means the device's current
+// size). It returns the record and the offset just past the frame.
+//
+// The two failure classes are kept strictly apart:
+//
+//   - ErrIncomplete: the frame's header or payload extends past limit. More
+//     bytes may turn it into a valid frame; a tailer waits, recovery treats
+//     it as a torn tail.
+//   - *CorruptError: the frame is fully present inside the limit but its
+//     CRC or payload fails to validate. Durable bytes were damaged; waiting
+//     cannot fix it.
+func ReadFrameAt(dev Device, off, limit int64) (*Record, int64, error) {
+	if limit < 0 {
+		limit = dev.Size()
+	}
+	if off+frameHeader > limit {
+		return nil, off, ErrIncomplete
+	}
+	var hdr [frameHeader]byte
+	if _, err := dev.ReadAt(hdr[:], off); err != nil {
+		return nil, off, fmt.Errorf("wal: read header at %d: %w", off, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	next := off + frameHeader + int64(n)
+	if next > limit {
+		// The payload (or a garbage length field from a torn header write)
+		// runs past the readable prefix: incomplete either way — if the
+		// length field is garbage the eventual full frame fails its CRC.
+		return nil, off, ErrIncomplete
+	}
+	payload := make([]byte, n)
+	if n > 0 {
+		if _, err := dev.ReadAt(payload, off+frameHeader); err != nil {
+			return nil, off, fmt.Errorf("wal: read payload at %d: %w", off+frameHeader, err)
+		}
+	}
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, off, &CorruptError{Offset: off}
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return nil, off, &CorruptError{Offset: off}
+	}
+	return rec, next, nil
+}
+
 // Log is the append-only transaction log. Appends are serialized; any
 // number of Readers may tail the log concurrently.
 type Log struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
 	dev    Device
 	size   int64 // committed log size (all complete frames)
 	closed bool
 	buf    []byte // append scratch buffer, reused under mu
+
+	// gen is closed and replaced whenever the committed size grows or the
+	// log closes, so blocked tailing readers wake; a channel generation
+	// (instead of a sync.Cond) lets waits compose with contexts — the
+	// capture drain on shutdown and network subscribers both need
+	// cancellable blocking reads.
+	gen chan struct{}
 }
 
 // NewLog creates a log on the given device, scanning existing content to
@@ -198,8 +262,7 @@ type Log struct {
 // appends start at a frame boundary instead of interleaving with the
 // garbage suffix; corruption inside the log body fails with *CorruptError.
 func NewLog(dev Device) (*Log, error) {
-	l := &Log{dev: dev}
-	l.cond = sync.NewCond(&l.mu)
+	l := &Log{dev: dev, gen: make(chan struct{})}
 	end, torn, err := scanEnd(dev)
 	if err != nil {
 		return nil, err
@@ -228,33 +291,18 @@ func NewLog(dev Device) (*Log, error) {
 func scanEnd(dev Device) (end int64, torn bool, err error) {
 	size := dev.Size()
 	var off int64
-	var hdr [frameHeader]byte
 	for {
-		if off+frameHeader > size {
-			return off, off < size, nil // trailing bytes shorter than a header
-		}
-		if _, err := dev.ReadAt(hdr[:], off); err != nil {
+		_, next, err := ReadFrameAt(dev, off, size)
+		switch {
+		case err == nil:
+			off = next
+		case errors.Is(err, ErrIncomplete):
+			return off, off < size, nil
+		case errors.Is(err, ErrCorrupt):
+			return off, false, err
+		default:
 			return 0, false, fmt.Errorf("wal: recovery read at %d: %w", off, err)
 		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		crc := binary.LittleEndian.Uint32(hdr[4:8])
-		next := off + frameHeader + int64(n)
-		if next > size {
-			// The payload (or a garbage length field from a torn header
-			// write) runs past the device: torn tail either way.
-			return off, true, nil
-		}
-		payload := make([]byte, n)
-		if _, err := dev.ReadAt(payload, off+frameHeader); err != nil {
-			return 0, false, fmt.Errorf("wal: recovery read at %d: %w", off+frameHeader, err)
-		}
-		if crc32.Checksum(payload, crcTable) != crc {
-			return off, false, &CorruptError{Offset: off}
-		}
-		if _, err := decodeRecord(payload); err != nil {
-			return off, false, &CorruptError{Offset: off}
-		}
-		off = next
 	}
 }
 
@@ -280,8 +328,92 @@ func (l *Log) Append(r *Record) (int64, error) {
 		return 0, err
 	}
 	l.size += int64(len(l.buf))
-	l.cond.Broadcast()
+	l.broadcastLocked()
 	return off, nil
+}
+
+// broadcastLocked wakes all blocked readers; the caller holds l.mu.
+func (l *Log) broadcastLocked() {
+	close(l.gen)
+	l.gen = make(chan struct{})
+}
+
+// AppendShipped ingests raw replicated log bytes (a follower receiving the
+// leader's WAL over the network). The bytes land on the device verbatim;
+// the committed size then advances over every newly complete, valid frame,
+// waking blocked readers. A trailing partial frame stays on the device
+// (uncommitted) until the next shipment completes it — exactly the torn
+// tail NewLog truncates if the process restarts first. A CRC or payload
+// violation in a complete frame surfaces as *CorruptError: replicated
+// bytes were damaged in flight or at rest, and replaying past them would
+// silently diverge from the leader.
+//
+// It returns the committed size after the shipment. AppendShipped and
+// Append must not be mixed on one log: a replica's log is written only by
+// its shipping stream.
+func (l *Log) AppendShipped(p []byte) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.size, ErrClosed
+	}
+	if len(p) == 0 {
+		return l.size, nil
+	}
+	if err := l.dev.Append(p); err != nil {
+		return l.size, err
+	}
+	limit := l.dev.Size()
+	advanced := false
+	for {
+		_, next, err := ReadFrameAt(l.dev, l.size, limit)
+		if err != nil {
+			if errors.Is(err, ErrIncomplete) {
+				break
+			}
+			if advanced {
+				l.broadcastLocked()
+			}
+			return l.size, err
+		}
+		l.size = next
+		advanced = true
+	}
+	if advanced {
+		l.broadcastLocked()
+	}
+	return l.size, nil
+}
+
+// DeviceSize returns the raw device length, including any uncommitted
+// partial frame a shipping stream has buffered past the committed size.
+// A follower resumes shipping from here so a mid-frame disconnect does not
+// re-request bytes it already holds.
+func (l *Log) DeviceSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.Size()
+}
+
+// ReadCommitted reads committed log bytes (complete frames only) starting
+// at off. It returns the number of bytes read; n == 0 with a nil error
+// means the reader has caught up with the committed frontier. The leader's
+// WAL-ship handler streams the log to followers with it.
+func (l *Log) ReadCommitted(p []byte, off int64) (int, error) {
+	l.mu.Lock()
+	size := l.size
+	l.mu.Unlock()
+	if off >= size {
+		return 0, nil
+	}
+	if max := size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := l.dev.ReadAt(p, off)
+	if err == io.EOF && int64(n) == size-off {
+		err = nil
+	}
+	return n, err
 }
 
 // Sync flushes the device.
@@ -303,23 +435,39 @@ func (l *Log) Size() int64 {
 func (l *Log) Close() error {
 	l.mu.Lock()
 	l.closed = true
-	l.cond.Broadcast()
+	l.broadcastLocked()
 	l.mu.Unlock()
 	return l.dev.Close()
 }
 
-// waitBeyond blocks until the log extends past off or the log is closed.
-// It returns ErrClosed in the latter case.
+// WaitBeyond blocks until the committed log extends past off, the log is
+// closed (ErrClosed), or the context is done (ctx.Err()). Data available
+// wins over close, so a drain loop alternating Next/WaitBeyond consumes
+// every committed frame before seeing ErrClosed.
+func (l *Log) WaitBeyond(ctx context.Context, off int64) error {
+	for {
+		l.mu.Lock()
+		if l.size > off {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return ErrClosed
+		}
+		ch := l.gen
+		l.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// waitBeyond is WaitBeyond without cancellation, for in-process tailers.
 func (l *Log) waitBeyond(off int64) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for l.size <= off && !l.closed {
-		l.cond.Wait()
-	}
-	if l.size > off {
-		return nil // data available wins over close
-	}
-	return ErrClosed
+	return l.WaitBeyond(context.Background(), off)
 }
 
 // Reader tails the log from a byte offset. It is not goroutine-safe; use
@@ -339,38 +487,36 @@ func (r *Reader) Offset() int64 { return r.off }
 var ErrNoMore = errors.New("wal: no more records")
 
 // Next returns the next record without blocking. It returns ErrNoMore when
-// the reader has caught up with the log.
+// the reader has caught up with the log's committed frontier; a frame that
+// is complete but invalid inside that frontier is *CorruptError.
 func (r *Reader) Next() (*Record, error) {
 	r.log.mu.Lock()
 	size := r.log.size
 	r.log.mu.Unlock()
-	if r.off >= size {
-		return nil, ErrNoMore
-	}
-	var hdr [frameHeader]byte
-	if _, err := r.log.dev.ReadAt(hdr[:], r.off); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[0:4])
-	crc := binary.LittleEndian.Uint32(hdr[4:8])
-	payload := make([]byte, n)
-	if _, err := r.log.dev.ReadAt(payload, r.off+frameHeader); err != nil {
-		return nil, err
-	}
-	if crc32.Checksum(payload, crcTable) != crc {
-		return nil, &CorruptError{Offset: r.off}
-	}
-	rec, err := decodeRecord(payload)
+	rec, next, err := ReadFrameAt(r.log.dev, r.off, size)
 	if err != nil {
-		return nil, &CorruptError{Offset: r.off}
+		if errors.Is(err, ErrIncomplete) {
+			// The committed size only ever covers whole frames, so a short
+			// read here just means "caught up", never "mid-frame".
+			return nil, ErrNoMore
+		}
+		return nil, err
 	}
-	r.off += frameHeader + int64(n)
+	r.off = next
 	return rec, nil
 }
 
 // NextBlocking returns the next record, waiting for one to be appended if
 // necessary. It returns ErrClosed once the log is closed and drained.
 func (r *Reader) NextBlocking() (*Record, error) {
+	return r.NextBlockingContext(context.Background())
+}
+
+// NextBlockingContext is NextBlocking with cancellation: it additionally
+// returns ctx.Err() once the context is done. Network delta subscribers
+// and the shutdown drain use it so a blocked tailer can be detached
+// without closing the log.
+func (r *Reader) NextBlockingContext(ctx context.Context) (*Record, error) {
 	for {
 		rec, err := r.Next()
 		if err == nil {
@@ -379,7 +525,7 @@ func (r *Reader) NextBlocking() (*Record, error) {
 		if !errors.Is(err, ErrNoMore) {
 			return nil, err
 		}
-		if err := r.log.waitBeyond(r.off); err != nil {
+		if err := r.log.WaitBeyond(ctx, r.off); err != nil {
 			return nil, err
 		}
 	}

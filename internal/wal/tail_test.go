@@ -1,0 +1,424 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// buildStream appends the sample records to a fresh log and returns the raw
+// encoded bytes plus each frame's start offset (with the total size as a
+// final sentinel boundary).
+func buildStream(t testing.TB) (stream []byte, bounds []int64) {
+	t.Helper()
+	dev := NewMemDevice()
+	l, err := NewLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords() {
+		off, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, off)
+	}
+	bounds = append(bounds, l.Size())
+	stream = make([]byte, l.Size())
+	if _, err := dev.ReadAt(stream, 0); err != nil {
+		t.Fatal(err)
+	}
+	return stream, bounds
+}
+
+// frameStart returns the start offset of the frame containing byte pos.
+func frameStart(bounds []int64, pos int64) int64 {
+	start := bounds[0]
+	for _, b := range bounds[:len(bounds)-1] {
+		if b <= pos {
+			start = b
+		}
+	}
+	return start
+}
+
+// TestTailVsCorrupt is the frontier-classification regression test: a short
+// frame at the readable limit is ErrIncomplete (wait for more bytes), while
+// a fully present frame failing CRC or decode is *CorruptError (durable
+// damage). The pre-fix reader conflated the two, so a live follower tailing
+// a leader mid-append would have treated a partial frame as corruption.
+func TestTailVsCorrupt(t *testing.T) {
+	stream, bounds := buildStream(t)
+	full := int64(len(stream))
+	firstLen := bounds[1]
+
+	cases := []struct {
+		name       string
+		mutate     func([]byte) []byte // applied to a copy of the stream
+		off        int64               // read offset
+		incomplete bool                // want ErrIncomplete
+		corrupt    bool                // want *CorruptError
+		corruptAt  int64               // expected CorruptError offset
+	}{
+		{name: "empty device", mutate: func(s []byte) []byte { return nil }, incomplete: true},
+		{name: "mid header", mutate: func(s []byte) []byte { return s[:3] }, incomplete: true},
+		{name: "exact header no payload", mutate: func(s []byte) []byte { return s[:frameHeader] }, incomplete: true},
+		{name: "mid payload", mutate: func(s []byte) []byte { return s[:firstLen-1] }, incomplete: true},
+		{name: "clean boundary then partial", mutate: func(s []byte) []byte { return s[:bounds[2]+5] },
+			off: bounds[2], incomplete: true},
+		{name: "flipped crc byte", mutate: func(s []byte) []byte {
+			c := append([]byte(nil), s...)
+			c[4] ^= 0xFF
+			return c
+		}, corrupt: true, corruptAt: 0},
+		{name: "flipped payload byte", mutate: func(s []byte) []byte {
+			c := append([]byte(nil), s...)
+			c[frameHeader] ^= 0xFF
+			return c
+		}, corrupt: true, corruptAt: 0},
+		{name: "corrupt second frame", mutate: func(s []byte) []byte {
+			c := append([]byte(nil), s...)
+			c[bounds[1]+frameHeader+2] ^= 0x40
+			return c
+		}, off: bounds[1], corrupt: true, corruptAt: bounds[1]},
+		{name: "valid full frame", mutate: func(s []byte) []byte { return s }},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dev := NewMemDeviceFrom(tc.mutate(stream))
+			rec, next, err := ReadFrameAt(dev, tc.off, dev.Size())
+			switch {
+			case tc.incomplete:
+				if !errors.Is(err, ErrIncomplete) {
+					t.Fatalf("want ErrIncomplete, got %v", err)
+				}
+				if errors.Is(err, ErrCorrupt) {
+					t.Fatal("ErrIncomplete must not match ErrCorrupt")
+				}
+				if next != tc.off {
+					t.Fatalf("incomplete read moved offset to %d", next)
+				}
+			case tc.corrupt:
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("want *CorruptError, got %v", err)
+				}
+				if errors.Is(err, ErrIncomplete) {
+					t.Fatal("CorruptError must not match ErrIncomplete")
+				}
+				if ce.Offset != tc.corruptAt {
+					t.Fatalf("corrupt offset %d, want %d", ce.Offset, tc.corruptAt)
+				}
+			default:
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rec == nil || next <= tc.off {
+					t.Fatalf("valid frame: rec=%v next=%d", rec, next)
+				}
+			}
+		})
+	}
+
+	// The full valid stream read back frame by frame matches the input.
+	dev := NewMemDeviceFrom(stream)
+	var off int64
+	for i, want := range sampleRecords() {
+		rec, next, err := ReadFrameAt(dev, off, full)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !recordsEqual(rec, want) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+		off = next
+	}
+	if _, _, err := ReadFrameAt(dev, off, full); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("past end: want ErrIncomplete, got %v", err)
+	}
+}
+
+// TestAppendShipped covers the follower-side ingestion path: bytes arrive in
+// arbitrary chunks, complete frames become committed (readable) as soon as
+// they close, a partial tail is retained across shipments, and in-flight
+// corruption fail-stops.
+func TestAppendShipped(t *testing.T) {
+	stream, bounds := buildStream(t)
+	recs := sampleRecords()
+
+	t.Run("byte at a time", func(t *testing.T) {
+		l, _ := NewLog(NewMemDevice())
+		for i := range stream {
+			if _, err := l.AppendShipped(stream[i : i+1]); err != nil {
+				t.Fatalf("byte %d: %v", i, err)
+			}
+		}
+		if l.Size() != int64(len(stream)) {
+			t.Fatalf("committed %d, want %d", l.Size(), len(stream))
+		}
+		r := l.NewReader(0)
+		for i, want := range recs {
+			got, err := r.Next()
+			if err != nil || !recordsEqual(got, want) {
+				t.Fatalf("record %d: %+v %v", i, got, err)
+			}
+		}
+	})
+
+	t.Run("partial tail retained across shipments", func(t *testing.T) {
+		l, _ := NewLog(NewMemDevice())
+		cut := bounds[1] + 3 // first frame plus a sliver of the second
+		if _, err := l.AppendShipped(stream[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		if l.Size() != bounds[1] {
+			t.Fatalf("committed %d, want first frame boundary %d", l.Size(), bounds[1])
+		}
+		if l.DeviceSize() != cut {
+			t.Fatalf("device %d, want partial tail retained at %d", l.DeviceSize(), cut)
+		}
+		if _, err := l.AppendShipped(stream[cut:]); err != nil {
+			t.Fatal(err)
+		}
+		if l.Size() != int64(len(stream)) {
+			t.Fatalf("committed %d after completion, want %d", l.Size(), len(stream))
+		}
+	})
+
+	t.Run("corrupt shipment fail-stops at frame boundary", func(t *testing.T) {
+		l, _ := NewLog(NewMemDevice())
+		bad := append([]byte(nil), stream...)
+		bad[bounds[2]+frameHeader] ^= 0xFF // damage third frame's payload
+		_, err := l.AppendShipped(bad)
+		var ce *CorruptError
+		if !errors.As(err, &ce) || ce.Offset != bounds[2] {
+			t.Fatalf("want CorruptError at %d, got %v", bounds[2], err)
+		}
+		if l.Size() != bounds[2] {
+			t.Fatalf("committed %d, want stall before damaged frame at %d", l.Size(), bounds[2])
+		}
+		// The clean prefix stays readable.
+		r := l.NewReader(0)
+		for i := 0; i < 2; i++ {
+			if _, err := r.Next(); err != nil {
+				t.Fatalf("prefix record %d: %v", i, err)
+			}
+		}
+		if _, err := r.Next(); !errors.Is(err, ErrNoMore) {
+			t.Fatalf("want ErrNoMore at stall point, got %v", err)
+		}
+	})
+
+	t.Run("shipment wakes blocked reader", func(t *testing.T) {
+		l, _ := NewLog(NewMemDevice())
+		r := l.NewReader(0)
+		done := make(chan error, 1)
+		go func() {
+			rec, err := r.NextBlocking()
+			if err == nil && rec.Type != recs[0].Type {
+				err = errors.New("wrong record")
+			}
+			done <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		if _, err := l.AppendShipped(stream[:bounds[1]]); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestReadCommitted(t *testing.T) {
+	stream, bounds := buildStream(t)
+	l, _ := NewLog(NewMemDevice())
+	cut := bounds[2] + 4
+	l.AppendShipped(stream[:cut]) // two frames committed + partial tail
+
+	// Read everything committed; the partial tail past Size() is invisible.
+	buf := make([]byte, len(stream))
+	n, err := l.ReadCommitted(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(n) != bounds[2] {
+		t.Fatalf("read %d committed bytes, want %d", n, bounds[2])
+	}
+	if !bytes.Equal(buf[:n], stream[:bounds[2]]) {
+		t.Fatal("committed bytes differ from source stream")
+	}
+	// Caught up: n == 0, nil error.
+	if n, err := l.ReadCommitted(buf, bounds[2]); n != 0 || err != nil {
+		t.Fatalf("at frontier: n=%d err=%v", n, err)
+	}
+}
+
+func TestWaitBeyondContext(t *testing.T) {
+	l, _ := NewLog(NewMemDevice())
+
+	// Cancellation unblocks a waiter without closing the log.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.WaitBeyond(ctx, 0) }()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// NextBlockingContext honors cancellation the same way.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if _, err := l.NewReader(0).NextBlockingContext(ctx2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+
+	// Data satisfies a waiter.
+	go func() { done <- l.WaitBeyond(context.Background(), 0) }()
+	l.Append(&Record{Type: TypeBegin, TxID: 1})
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Close wins when no data will arrive.
+	go func() { done <- l.WaitBeyond(context.Background(), l.Size()) }()
+	l.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+// FuzzWALStream drives the tailing reader with truncated, bit-flipped, and
+// arbitrary byte streams, asserting the two error classes never bleed into
+// each other: truncation of a valid stream is always ErrIncomplete (never
+// corruption), damage inside a complete frame's CRC-covered region is
+// always *CorruptError (never incompleteness), and no input panics the
+// reader or breaks the committed-prefix invariant.
+func FuzzWALStream(f *testing.F) {
+	stream, _ := buildStream(f)
+	f.Add(stream, uint32(len(stream)), uint32(0), uint8(1))
+	f.Add(stream, uint32(11), uint32(9), uint8(3))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint32(8), uint32(4), uint8(1))
+	f.Add([]byte("arbitrary garbage that is not a frame"), uint32(5), uint32(2), uint8(7))
+
+	f.Fuzz(func(t *testing.T, raw []byte, cut uint32, flipPos uint32, chunk uint8) {
+		// Part 1: arbitrary bytes shipped in arbitrary chunks. Whatever
+		// arrives, the committed prefix must stay a decodable sequence of
+		// frames: Reader.Next yields records up to Size() then ErrNoMore,
+		// never ErrIncomplete, never a panic.
+		step := int(chunk)%7 + 1
+		l, _ := NewLog(NewMemDevice())
+		var shipErr error
+		for i := 0; i < len(raw); i += step {
+			end := i + step
+			if end > len(raw) {
+				end = len(raw)
+			}
+			if _, shipErr = l.AppendShipped(raw[i:end]); shipErr != nil {
+				break
+			}
+		}
+		if shipErr != nil && !errors.Is(shipErr, ErrCorrupt) {
+			t.Fatalf("AppendShipped: non-corruption error %v", shipErr)
+		}
+		if l.Size() > l.DeviceSize() {
+			t.Fatalf("committed %d beyond device %d", l.Size(), l.DeviceSize())
+		}
+		r := l.NewReader(0)
+		for {
+			_, err := r.Next()
+			if err != nil {
+				if !errors.Is(err, ErrNoMore) {
+					t.Fatalf("committed prefix not cleanly readable: %v", err)
+				}
+				break
+			}
+		}
+		if r.Offset() != l.Size() {
+			t.Fatalf("reader stopped at %d, committed %d", r.Offset(), l.Size())
+		}
+
+		// Part 2: mutations of a known-valid stream.
+		stream, bounds := buildStream(t)
+		n := int64(len(stream))
+
+		// Truncation at any byte is incompleteness, never corruption: the
+		// committed size lands on the last whole-frame boundary and the
+		// remainder waits for more bytes.
+		cutAt := int64(cut) % (n + 1)
+		lt, _ := NewLog(NewMemDevice())
+		if _, err := lt.AppendShipped(stream[:cutAt]); err != nil {
+			t.Fatalf("truncated-at-%d shipment misread as corruption: %v", cutAt, err)
+		}
+		if want := frameStart(bounds, cutAt); lt.Size() != want && cutAt != n {
+			t.Fatalf("cut at %d: committed %d, want boundary %d", cutAt, lt.Size(), want)
+		}
+		if _, _, err := ReadFrameAt(lt.NewReader(0).log.dev, lt.Size(), lt.DeviceSize()); cutAt != n && lt.Size() < lt.DeviceSize() {
+			if !errors.Is(err, ErrIncomplete) {
+				t.Fatalf("partial tail at %d: want ErrIncomplete, got %v", lt.Size(), err)
+			}
+		}
+
+		// A bit flip inside a complete frame, at or past the CRC field, is
+		// corruption at that frame's offset, never incompleteness. Flips in
+		// the 4 length bytes are excluded: a garbled length legitimately
+		// reads as an incomplete longer frame until contradicted.
+		pos := int64(flipPos) % n
+		start := frameStart(bounds, pos)
+		if pos >= start+4 {
+			bad := append([]byte(nil), stream...)
+			bad[pos] ^= 1 << (chunk % 8)
+			lf, _ := NewLog(NewMemDevice())
+			_, err := lf.AppendShipped(bad)
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("flip at %d (frame %d): want CorruptError, got %v", pos, start, err)
+			}
+			if errors.Is(err, ErrIncomplete) {
+				t.Fatalf("flip at %d: corruption must not read as incompleteness", pos)
+			}
+			if ce.Offset != start {
+				t.Fatalf("flip at %d: corrupt offset %d, want frame start %d", pos, ce.Offset, start)
+			}
+			if lf.Size() != start {
+				t.Fatalf("flip at %d: committed %d, want stall at %d", pos, lf.Size(), start)
+			}
+		}
+	})
+}
+
+// TestShippedRoundTripRows guards against value-level drift: rows shipped
+// byte-for-byte decode to equal tuples on the replica side.
+func TestShippedRoundTripRows(t *testing.T) {
+	src, _ := NewLog(NewMemDevice())
+	rows := []tuple.Tuple{
+		{tuple.Int(-9), tuple.Float(3.25), tuple.String_("α βγ"), tuple.Bool(true)},
+		{tuple.Null(), tuple.Bytes([]byte{0, 1, 2, 255})},
+	}
+	for i, row := range rows {
+		src.Append(&Record{Type: TypeInsert, TxID: uint64(i + 1), Table: "t", Row: row})
+	}
+	raw := make([]byte, src.Size())
+	if n, err := src.ReadCommitted(raw, 0); err != nil || int64(n) != src.Size() {
+		t.Fatalf("read source: n=%d err=%v", n, err)
+	}
+	dst, _ := NewLog(NewMemDevice())
+	if _, err := dst.AppendShipped(raw); err != nil {
+		t.Fatal(err)
+	}
+	r := dst.NewReader(0)
+	for i, want := range rows {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !rec.Row.Equal(want) {
+			t.Fatalf("record %d row mismatch: %v vs %v", i, rec.Row, want)
+		}
+	}
+}

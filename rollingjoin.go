@@ -77,6 +77,15 @@ type Options struct {
 	// SpillAfter is the idleness window before a structure is considered
 	// cold (default one minute).
 	SpillAfter time.Duration
+	// Follower opens the database as a read-only replication target. The
+	// engine rejects client writes with ErrReadOnly, the local log is fed
+	// exclusively by ShipFrames (raw WAL bytes tailed from a leader), and
+	// a scheduler job replays shipped commits — base-table writes at the
+	// leader's CSNs, then delta capture — so locally defined views maintain
+	// themselves against the leader's commit sequence. Capture is forced to
+	// the log architecture; do not call Recover on a follower (replay
+	// rebuilds base state from the shipped log itself).
+	Follower bool
 }
 
 // defaultMaintenanceWorkers sizes the shared pool when Options leaves it
@@ -100,6 +109,11 @@ type DB struct {
 	// claim unconsumed so a later view definition can still start capture.
 	capMu      sync.Mutex
 	capClaimed bool
+
+	// follower marks a read-only replication target; applyJob is its
+	// scheduler-driven replay of the shipped leader log (see follower.go).
+	follower bool
+	applyJob *sched.Job
 
 	// Storage-tiering maintenance (see tiering.go): the fold and spill
 	// jobs on the scheduler's low-priority queue, plus the ticker driving
@@ -128,6 +142,7 @@ func Open(opts Options) (*DB, error) {
 		Partitions:        opts.Partitions,
 		DisableHeavySplit: opts.DisableHeavySplit,
 		BatchSize:         opts.BatchSize,
+		Replica:           opts.Follower,
 	}
 	if opts.Device != nil {
 		cfg.Device = opts.Device
@@ -167,8 +182,25 @@ func Open(opts Options) (*DB, error) {
 			BacklogRows: st.Backlog,
 		}
 	})
-	switch opts.Capture {
-	case CaptureTrigger:
+	switch {
+	case opts.Follower:
+		// A follower's capture runs in replica mode (commits replayed from
+		// the shipped log also apply their base writes) and is driven by a
+		// scheduler job instead of a free-running goroutine: RunBounded
+		// steps replay the log synchronously, so shutdown and backpressure
+		// compose with the rest of maintenance. The capture-start claim is
+		// consumed up front so a view definition never launches the
+		// goroutine alongside the job.
+		db.follower = true
+		db.capClaimed = true
+		db.logCap = capture.NewReplicaLogCapture(eng)
+		db.src = db.logCap
+		db.logCap.OnProgress(func(csn relalg.CSN) { db.sched.Notify(csn) })
+		db.applyJob = db.sched.Register("repl:apply", db.followerApplyStep, sched.Options{
+			Classify: classifyMaintenance,
+		})
+		db.applyJob.Start()
+	case opts.Capture == CaptureTrigger:
 		db.trigCap = capture.NewTriggerCapture(eng)
 		db.src = db.trigCap
 		db.trigCap.OnProgress(func(csn relalg.CSN) { db.sched.Notify(csn) })
@@ -219,16 +251,21 @@ func (db *DB) Recover() (CSN, error) {
 	return db.eng.Recover()
 }
 
-// Close stops view maintenance, the capture process, and the engine. The
-// scheduler shuts down first, draining every in-flight propagation and
-// apply step before the engine goes away.
+// Close stops view maintenance, the capture process, and the engine, in
+// dependency order: the scheduler shuts down first (draining every
+// in-flight propagation and apply step), then the log capture drains —
+// replaying every committed frame still in the log against the live
+// engine — and only then does the engine (and its log device) close.
+// Draining capture before the engine closes is load-bearing: the capture
+// goroutine replays WAL frames from the device, so closing the device
+// first would have it racing shutdown with reads against a closed file.
 func (db *DB) Close() error {
 	db.stopTiering()
 	db.sched.Close()
-	err := db.eng.Close()
 	if db.logCap != nil {
-		db.logCap.Wait()
+		db.logCap.Drain()
 	}
+	err := db.eng.Close()
 	if db.trigCap != nil {
 		db.trigCap.Stop()
 	}
@@ -836,10 +873,26 @@ func (db *DB) DropView(name string) error {
 	return err
 }
 
+// ErrNoCommits is returned by wall-clock-to-CSN translation when the
+// database has no commit at or before the requested instant — including a
+// completely fresh database with no commits at all.
+var ErrNoCommits = errors.New("rollingjoin: no commits at or before the requested time")
+
 // CSNAt translates a wall-clock instant to the last CSN committed at or
-// before it, using the unit-of-work table.
-func (db *DB) CSNAt(t time.Time) (CSN, bool) {
-	return db.UOW().CSNAtOrBefore(t)
+// before it, using the unit-of-work table. It returns ErrNoCommits when no
+// commit is that old (a fresh database, or an instant before the first
+// commit); callers must not assume a CSN exists — the pre-fix signature
+// invited exactly the nil-UOW / zero-CSN panic this guards against.
+func (db *DB) CSNAt(t time.Time) (CSN, error) {
+	uow := db.UOW()
+	if uow == nil {
+		return 0, ErrNoCommits
+	}
+	csn, ok := uow.CSNAtOrBefore(t)
+	if !ok {
+		return 0, ErrNoCommits
+	}
+	return csn, nil
 }
 
 // PruneBaseDeltas garbage-collects base-table delta rows that no view can

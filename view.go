@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/relalg"
+	"repro/internal/tuple"
 )
 
 // Re-exported apply-side errors.
@@ -72,6 +73,46 @@ func (v *View) Rows() []Tuple {
 // Cardinality returns the number of tuples (with multiplicity).
 func (v *View) Cardinality() int64 { return v.mv.Cardinality() }
 
+// MaterializeAt computes the view's contents as of an arbitrary CSN at or
+// below the high-water mark — the derived image plus the delta window up
+// to asOf — without moving the materialized tuples (no Refresh). It
+// returns ErrBeyondHWM when asOf exceeds the HWM. This is the server's
+// point-in-time read: any number of clients can materialize at different
+// instants concurrently with ongoing maintenance.
+func (v *View) MaterializeAt(asOf CSN) ([]Tuple, error) {
+	if v.derived == nil {
+		return nil, errors.New("rollingjoin: view has no derived registration")
+	}
+	rel, err := v.derived.ScanAsOf(asOf, nil)
+	if err != nil {
+		return nil, err
+	}
+	net := relalg.NetEffect(rel)
+	out := make([]Tuple, 0, net.Len())
+	for _, r := range net.Rows {
+		for i := int64(0); i < r.Count; i++ {
+			out = append(out, Tuple(r.Tuple))
+		}
+	}
+	return out, nil
+}
+
+// EachDelta streams the view's timed delta rows with CSN in (lo, hi] in
+// timestamp order: fn receives each delta's commit CSN, signed
+// multiplicity, and decoded row. The view-delta subscription endpoint
+// drives it window by window as the high-water mark advances — the view's
+// change stream, exactly as minted by propagation. fn must not retain the
+// row slice and must not call back into the view's delta table.
+func (v *View) EachDelta(lo, hi CSN, fn func(ts CSN, count int64, row Tuple) error) error {
+	return v.dest.WindowEach(lo, hi, func(ts relalg.CSN, count int64, encRow []byte) error {
+		row, _, err := tuple.DecodeRow(encRow)
+		if err != nil {
+			return err
+		}
+		return fn(ts, count, Tuple(row))
+	})
+}
+
 // Relation exposes the materialized contents for experiments.
 func (v *View) Relation() *relalg.Relation { return v.mv.AsRelation() }
 
@@ -96,9 +137,9 @@ func (v *View) RefreshTo(t CSN) error {
 // before the given wall-clock instant ("refresh the view to its 5:00 pm
 // state").
 func (v *View) RefreshToTime(t time.Time) (CSN, error) {
-	csn, ok := v.db.CSNAt(t)
-	if !ok {
-		return 0, errors.New("rollingjoin: no commits at or before the requested time")
+	csn, err := v.db.CSNAt(t)
+	if err != nil {
+		return 0, err
 	}
 	if csn < v.MatTime() {
 		// The view is already past that instant.
